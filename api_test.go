@@ -1,0 +1,124 @@
+package highradix_test
+
+import (
+	"strings"
+	"testing"
+
+	"highradix"
+)
+
+// The facade tests exercise the library exactly as a downstream user
+// would: construct, simulate, sweep, and query the analytic models.
+
+func TestPublicSimulate(t *testing.T) {
+	res, err := highradix.Simulate(highradix.SimOptions{
+		Router:        highradix.RouterConfig{Arch: highradix.Hierarchical, Radix: 16, VCs: 2, SubSize: 4},
+		Load:          0.5,
+		WarmupCycles:  400,
+		MeasureCycles: 800,
+		Seed:          1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Packets == 0 || res.AvgLatency <= 0 {
+		t.Fatalf("degenerate result %+v", res)
+	}
+}
+
+func TestPublicNewRouter(t *testing.T) {
+	r, err := highradix.NewRouter(highradix.RouterConfig{Arch: highradix.Buffered, Radix: 8, VCs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Config().Radix != 8 {
+		t.Fatalf("config radix %d", r.Config().Radix)
+	}
+	if !r.CanAccept(0, 0) {
+		t.Fatal("fresh router rejects flits")
+	}
+}
+
+func TestPublicSweep(t *testing.T) {
+	s, err := highradix.SweepLoads("x", []float64{0.2, 0.4}, highradix.SimOptions{
+		Router:        highradix.RouterConfig{Arch: highradix.Buffered, Radix: 16, VCs: 2},
+		WarmupCycles:  300,
+		MeasureCycles: 600,
+		Seed:          1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Points) != 2 {
+		t.Fatalf("sweep points %d", len(s.Points))
+	}
+}
+
+func TestPublicPatterns(t *testing.T) {
+	if highradix.UniformTraffic(8).Name() != "uniform" {
+		t.Fatal("uniform constructor broken")
+	}
+	p, err := highradix.PatternByName("diagonal", 8, 4, 2)
+	if err != nil || p.Name() != "diagonal" {
+		t.Fatalf("PatternByName: %v %v", p, err)
+	}
+}
+
+func TestPublicAnalytic(t *testing.T) {
+	if k := highradix.OptimalRadix(highradix.Tech2003.AspectRatio()); k < 38 || k > 42 {
+		t.Fatalf("optimal radix %v", k)
+	}
+	m := highradix.DefaultAreaModel()
+	if s := m.TotalSavings(64, 8, m.XpointBufDepth); s < 0.3 || s > 0.5 {
+		t.Fatalf("savings %v", s)
+	}
+}
+
+func TestPublicNetwork(t *testing.T) {
+	res, err := highradix.SimulateNetwork(highradix.NetOptions{
+		Net:           highradix.NetworkConfig{Radix: 4, Digits: 2},
+		Load:          0.3,
+		WarmupCycles:  300,
+		MeasureCycles: 600,
+		Seed:          1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Packets == 0 {
+		t.Fatal("network delivered nothing")
+	}
+}
+
+func TestPublicTrace(t *testing.T) {
+	tr, err := highradix.LoadTrace(strings.NewReader("10,0,1\n13,1,0,2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := highradix.Simulate(highradix.SimOptions{
+		Router:        highradix.RouterConfig{Arch: highradix.Buffered, Radix: 4, VCs: 2},
+		Trace:         tr,
+		WarmupCycles:  5,
+		MeasureCycles: 100,
+		Seed:          1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Packets != 2 {
+		t.Fatalf("replayed %d packets, want 2", res.Packets)
+	}
+}
+
+func TestPublicExperiment(t *testing.T) {
+	tab, err := highradix.Experiment("fig2", highradix.QuickScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tab.String(), "optimal radix") {
+		t.Fatal("fig2 table malformed")
+	}
+	if _, err := highradix.Experiment("nope", highradix.QuickScale); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

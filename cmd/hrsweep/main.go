@@ -1,0 +1,84 @@
+// Command hrsweep regenerates the tables and figures of "Microarchitecture
+// of a High-Radix Router" (ISCA 2005). Each experiment prints an aligned
+// text table whose series correspond to the lines of the paper's figure.
+//
+// Usage:
+//
+//	hrsweep -list
+//	hrsweep -exp fig9
+//	hrsweep -exp all [-quick] [-seed N]
+//
+// -quick runs reduced simulation windows (the scale used by the test
+// suite and benchmarks); the default is publication scale, which takes
+// minutes for the simulation-heavy figures.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"highradix/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment to run (see -list), or 'all'")
+		quick = flag.Bool("quick", false, "reduced simulation windows")
+		seed  = flag.Uint64("seed", 1, "random seed")
+		list  = flag.Bool("list", false, "list available experiments")
+		csv   = flag.Bool("csv", false, "emit CSV instead of the text table")
+		plot  = flag.Bool("plot", false, "append an ASCII plot of the series")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("experiments:")
+		for _, e := range experiments.Registry {
+			fmt.Printf("  %-10s %s\n", e.Name, e.Desc)
+		}
+		fmt.Println("  all        run everything")
+		if *exp == "" {
+			os.Exit(2)
+		}
+		return
+	}
+
+	scale := experiments.Full
+	if *quick {
+		scale = experiments.Quick
+	}
+	scale.Seed = *seed
+
+	run := func(name string, gen experiments.Generator) {
+		t0 := time.Now()
+		table, err := gen(scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hrsweep: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		if *csv {
+			fmt.Print(table.CSV())
+		} else {
+			fmt.Print(table.String())
+		}
+		if *plot {
+			fmt.Print(table.Plot(72, 20))
+		}
+		fmt.Printf("[%s completed in %.1fs]\n\n", name, time.Since(t0).Seconds())
+	}
+
+	if *exp == "all" {
+		for _, e := range experiments.Registry {
+			run(e.Name, e.Gen)
+		}
+		return
+	}
+	gen, err := experiments.ByName(*exp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hrsweep:", err)
+		os.Exit(2)
+	}
+	run(*exp, gen)
+}

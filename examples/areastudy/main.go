@@ -1,0 +1,48 @@
+// Areastudy: the design-space walk of Sections 2, 5 and 6. Given a
+// technology point (bandwidth, router delay, network size, packet
+// length), find the latency-optimal radix, then compare the silicon
+// cost of building that radix as a fully buffered crossbar versus the
+// paper's hierarchical crossbar.
+package main
+
+import (
+	"fmt"
+
+	"highradix"
+)
+
+func main() {
+	// Step 1 — Section 2: what radix should a 2010-technology router
+	// have? (20 Tb/s, 5 ns per hop, 2048 nodes, 256-bit packets.)
+	tech := highradix.Tech2010
+	a := tech.AspectRatio()
+	kOpt := highradix.OptimalRadix(a)
+	fmt.Printf("technology %s: aspect ratio %.0f -> optimal radix %.0f\n", tech.Name, a, kOpt)
+	fmt.Printf("  latency at k_opt: %.0f ns; at k=16: %.0f ns; at k=256: %.0f ns\n",
+		tech.Latency(kOpt)*1e9, tech.Latency(16)*1e9, tech.Latency(256)*1e9)
+
+	// Step 2 — Sections 5-6: what does a radix-64 switch cost to build?
+	m := highradix.DefaultAreaModel()
+	const k = 64
+	fmt.Printf("\nbuffer storage at k=%d, v=%d, %d-flit buffers:\n", k, m.VCs, m.XpointBufDepth)
+	fb := m.FullyBufferedBits(k)
+	fmt.Printf("  fully buffered crossbar : %8.2e bits (%5.1f mm^2 storage)\n", fb, m.StorageAreaMm2(fb))
+	for _, p := range []int{4, 8, 16, 32} {
+		h := m.HierarchicalBits(k, p, m.XpointBufDepth)
+		fmt.Printf("  hierarchical p=%-2d       : %8.2e bits (%5.1f mm^2), total-area saving %4.1f%%\n",
+			p, h, m.StorageAreaMm2(h), 100*m.TotalSavings(k, p, m.XpointBufDepth))
+	}
+
+	// Step 3 — Figure 15: where does buffering start to dominate the
+	// die?
+	fmt.Printf("\nstorage vs wire area (fully buffered):\n")
+	for _, kk := range []int{16, 32, 48, 64, 128, 256} {
+		s, w := m.FullyBufferedAreaMm2(kk)
+		dom := "wire-dominated"
+		if s > w {
+			dom = "storage-dominated"
+		}
+		fmt.Printf("  k=%-4d storage %6.1f mm^2, wire %5.1f mm^2  (%s)\n", kk, s, w, dom)
+	}
+	fmt.Printf("  crossover at radix %d (paper: ~50)\n", m.Crossover())
+}

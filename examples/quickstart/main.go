@@ -1,0 +1,43 @@
+// Quickstart: build the paper's hierarchical crossbar router (k=64,
+// v=4, p=8), offer it 70% uniform random load, and print latency and
+// throughput — the minimal end-to-end use of the library.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"highradix"
+)
+
+func main() {
+	cfg := highradix.RouterConfig{
+		Arch:    highradix.Hierarchical,
+		Radix:   64,
+		VCs:     4,
+		SubSize: 8,
+	}
+	res, err := highradix.Simulate(highradix.SimOptions{
+		Router: cfg,
+		Load:   0.7,
+		Seed:   1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("hierarchical crossbar, k=64 v=4 p=8, uniform random traffic at 70% load")
+	fmt.Printf("  mean packet latency: %.1f cycles (p99 %.1f)\n", res.AvgLatency, res.P99)
+	fmt.Printf("  accepted throughput: %.1f%% of capacity\n", 100*res.Throughput)
+	fmt.Printf("  packets measured:    %d\n", res.Packets)
+
+	// For contrast, the unbuffered baseline saturates near 55-60% and
+	// cannot carry this load at all.
+	base := highradix.RouterConfig{Arch: highradix.Baseline, VA: highradix.CVA}
+	bres, err := highradix.Simulate(highradix.SimOptions{Router: base, Load: 0.7, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbaseline (unbuffered crossbar, speculative CVA) at the same load:\n")
+	fmt.Printf("  accepted throughput: %.1f%% of capacity, saturated=%v\n",
+		100*bres.Throughput, bres.Saturated)
+}

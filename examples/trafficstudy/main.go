@@ -1,0 +1,70 @@
+// Trafficstudy: compare the paper's router architectures across the
+// Table 1 traffic patterns — the workload study a network architect
+// would run before picking a switch organization. It reproduces the
+// qualitative story of Figures 9, 13, 17 and 18 in one table:
+// crosspoint or subswitch buffering removes head-of-line blocking on
+// benign traffic, the hierarchical crossbar gives that up gracefully on
+// its adversarial pattern, and hotspots clamp everyone.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"highradix"
+)
+
+func main() {
+	archs := []struct {
+		name string
+		cfg  highradix.RouterConfig
+	}{
+		{"baseline-CVA", highradix.RouterConfig{Arch: highradix.Baseline, VA: highradix.CVA}},
+		{"baseline-OVA", highradix.RouterConfig{Arch: highradix.Baseline, VA: highradix.OVA}},
+		{"fully-buffered", highradix.RouterConfig{Arch: highradix.Buffered}},
+		{"shared-xpoint", highradix.RouterConfig{Arch: highradix.SharedXpoint}},
+		{"hierarchical-p8", highradix.RouterConfig{Arch: highradix.Hierarchical, SubSize: 8}},
+	}
+	patterns := []struct {
+		name   string
+		mutate func(*highradix.SimOptions)
+	}{
+		{"uniform", func(o *highradix.SimOptions) {}},
+		{"diagonal", func(o *highradix.SimOptions) { o.Pattern = highradix.DiagonalTraffic(64) }},
+		{"hotspot", func(o *highradix.SimOptions) { o.Pattern = highradix.HotspotTraffic(64, 8) }},
+		{"bursty", func(o *highradix.SimOptions) { o.Bursty = true; o.BurstLen = 8 }},
+		{"worstcase", func(o *highradix.SimOptions) { o.Pattern = highradix.WorstCaseTraffic(64, 8) }},
+	}
+
+	fmt.Println("saturation throughput (fraction of capacity), k=64 v=4, 1-flit packets")
+	fmt.Printf("%-16s", "architecture")
+	for _, p := range patterns {
+		fmt.Printf(" %10s", p.name)
+	}
+	fmt.Println()
+	for _, a := range archs {
+		fmt.Printf("%-16s", a.name)
+		for _, p := range patterns {
+			o := highradix.SimOptions{
+				Router:        a.cfg,
+				WarmupCycles:  1500,
+				MeasureCycles: 3000,
+				DrainCycles:   1,
+				Seed:          7,
+			}
+			p.mutate(&o)
+			thr, err := highradix.SaturationThroughput(o)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf(" %10.3f", thr)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nreading the table:")
+	fmt.Println(" - uniform/diagonal/bursty: buffered designs ~1.0, unbuffered baseline ~0.5-0.6")
+	fmt.Println(" - hotspot: every design is clamped by the oversubscribed outputs (paper: under")
+	fmt.Println("   40% for all three); the unbuffered baseline is hit hardest")
+	fmt.Println(" - worstcase: concentrates traffic into one subswitch per row group; the")
+	fmt.Println("   hierarchical design degrades but still beats the baseline (paper Fig 17b)")
+}

@@ -1,0 +1,3 @@
+module highradix
+
+go 1.22

@@ -1,0 +1,216 @@
+// Package highradix is a Go reproduction of "Microarchitecture of a
+// High-Radix Router" (Kim, Dally, Towles, Gupta — ISCA 2005).
+//
+// It provides cycle-accurate models of the paper's four router
+// microarchitectures (plus the shared-crosspoint variant of Section
+// 5.4), the synthetic traffic patterns of its evaluation, a
+// single-router testbench implementing the paper's measurement
+// methodology, a multistage Clos network simulator, and the analytic
+// latency/cost/area models of Sections 2, 5 and 6.
+//
+// # Quick start
+//
+//	cfg := highradix.RouterConfig{Arch: highradix.Hierarchical, SubSize: 8}
+//	res, err := highradix.Simulate(highradix.SimOptions{Router: cfg, Load: 0.7})
+//	if err != nil { ... }
+//	fmt.Println(res.AvgLatency, res.Throughput)
+//
+// The five architectures, in the order the paper develops them:
+//
+//   - LowRadix — conventional input-queued VC router, centralized
+//     single-cycle allocation (the paper's radix-16 comparison point).
+//   - Baseline — the input-queued crossbar scaled to high radix with
+//     distributed hierarchical (local-global) switch allocation and
+//     speculative VC allocation (CVA or OVA), optionally with the
+//     prioritized dual arbiter of Section 4.4.
+//   - Buffered — the fully buffered crossbar: per-input-VC crosspoint
+//     buffers, credit flow control with a shared credit-return bus.
+//   - SharedXpoint — a single shared buffer per crosspoint with ACK/NACK
+//     retention (Section 5.4).
+//   - Hierarchical — the paper's contribution: (k/p)^2 p-by-p
+//     subswitches with per-VC buffers at subswitch boundaries and
+//     decoupled local/global VC allocation.
+//
+// Every experiment in the paper's evaluation can be regenerated with
+// the Experiment function or the cmd/hrsweep tool; see EXPERIMENTS.md
+// for measured-versus-paper results.
+package highradix
+
+import (
+	"highradix/internal/analytic"
+	"highradix/internal/area"
+	"highradix/internal/experiments"
+	"highradix/internal/network"
+	"highradix/internal/router"
+	"highradix/internal/stats"
+	"highradix/internal/testbench"
+	"highradix/internal/traffic"
+)
+
+// RouterConfig parameterizes a router; zero fields default to the
+// paper's evaluation parameters (k=64, v=4, 4-cycle switch traversal,
+// m=8 arbitration groups, p=8 subswitches, 4-flit crosspoint buffers).
+type RouterConfig = router.Config
+
+// Arch selects a router microarchitecture.
+type Arch = router.Arch
+
+// The architectures studied by the paper.
+const (
+	LowRadix     = router.ArchLowRadix
+	Baseline     = router.ArchBaseline
+	Buffered     = router.ArchBuffered
+	SharedXpoint = router.ArchSharedXpoint
+	Hierarchical = router.ArchHierarchical
+)
+
+// VAScheme selects the speculative virtual-channel allocation flavor of
+// the baseline architecture.
+type VAScheme = router.VAScheme
+
+// CVA allocates VCs at the crosspoints; OVA defers the check to the
+// output of the switch (deeper speculation, less logic, lower
+// throughput).
+const (
+	CVA = router.CVA
+	OVA = router.OVA
+)
+
+// Router is the cycle-level device interface shared by all
+// architectures.
+type Router = router.Router
+
+// Event, EventKind, Observer and ObserverFunc expose the per-flit
+// microarchitectural event stream (attach via RouterConfig.Observer).
+type (
+	Event        = router.Event
+	EventKind    = router.EventKind
+	Observer     = router.Observer
+	ObserverFunc = router.ObserverFunc
+)
+
+// Observable event kinds.
+const (
+	EvAccept = router.EvAccept
+	EvGrant  = router.EvGrant
+	EvNack   = router.EvNack
+	EvEject  = router.EvEject
+)
+
+// NewRouter constructs a router from a configuration.
+func NewRouter(cfg RouterConfig) (Router, error) { return router.New(cfg) }
+
+// SimOptions parameterizes a single-router simulation (see
+// testbench.Options for field documentation).
+type SimOptions = testbench.Options
+
+// SimResult reports latency, throughput and saturation for one run.
+type SimResult = testbench.Result
+
+// Simulate runs one single-router simulation with the paper's
+// warm-up/measure/drain methodology.
+func Simulate(o SimOptions) (SimResult, error) { return testbench.Run(o) }
+
+// SweepLoads runs a latency-versus-offered-load curve, stopping at the
+// first saturated point.
+func SweepLoads(name string, loads []float64, base SimOptions) (*Series, error) {
+	return testbench.Sweep(name, loads, base)
+}
+
+// SaturationThroughput measures accepted throughput at an offered load
+// of 1.0 — the scalar the paper quotes as saturation throughput.
+func SaturationThroughput(base SimOptions) (float64, error) {
+	return testbench.SaturationThroughput(base)
+}
+
+// Traffic patterns (Table 1 plus the classic permutations).
+type Pattern = traffic.Pattern
+
+// Pattern constructors; see the traffic package for semantics.
+var (
+	UniformTraffic   = traffic.NewUniform
+	DiagonalTraffic  = traffic.NewDiagonal
+	HotspotTraffic   = traffic.NewHotspot
+	WorstCaseTraffic = traffic.NewWorstCaseHierarchical
+	PatternByName    = traffic.ByName
+)
+
+// Trace is a replayable recorded workload; TraceEntry is one packet.
+// Load with LoadTrace, record with Trace.WriteTo, or synthesize with
+// GenerateTrace; pass via SimOptions.Trace to replay.
+type (
+	Trace      = traffic.Trace
+	TraceEntry = traffic.TraceEntry
+)
+
+// Trace constructors.
+var (
+	NewTrace  = traffic.NewTrace
+	LoadTrace = traffic.LoadTrace
+)
+
+// Series and Table are the reporting containers used by experiment
+// output.
+type (
+	Series = stats.Series
+	Table  = stats.Table
+)
+
+// NetworkConfig parameterizes a multistage Clos network (Figure 19).
+type NetworkConfig = network.Config
+
+// NetOptions and NetResult parameterize and report network runs.
+type (
+	NetOptions = network.Options
+	NetResult  = network.Result
+)
+
+// SimulateNetwork runs one Clos network simulation.
+func SimulateNetwork(o NetOptions) (NetResult, error) { return network.Run(o) }
+
+// SweepNetwork runs a network latency-load curve.
+func SweepNetwork(name string, loads []float64, base NetOptions) (*Series, error) {
+	return network.Sweep(name, loads, base)
+}
+
+// Technology is a design point of the Section 2 latency/cost model.
+type Technology = analytic.Technology
+
+// The paper's four technology design points.
+var (
+	Tech1991 = analytic.Tech1991
+	Tech1996 = analytic.Tech1996
+	Tech2003 = analytic.Tech2003
+	Tech2010 = analytic.Tech2010
+)
+
+// OptimalRadix solves k*ln^2(k) = A for the latency-minimizing radix.
+func OptimalRadix(aspectRatio float64) float64 { return analytic.OptimalRadix(aspectRatio) }
+
+// AreaModel holds the storage/wire area parameters of Figures 15 and
+// 17(d).
+type AreaModel = area.Model
+
+// DefaultAreaModel returns the calibrated 0.10um model used by the
+// reproduction.
+func DefaultAreaModel() AreaModel { return area.Default() }
+
+// ExperimentScale sizes experiment runs; FullScale reproduces the
+// figures at publication quality, QuickScale is for smoke runs.
+type ExperimentScale = experiments.Scale
+
+// Experiment scales.
+var (
+	FullScale  = experiments.Full
+	QuickScale = experiments.Quick
+)
+
+// Experiment regenerates one of the paper's tables or figures by name
+// ("fig9", "fig17a", "table1", ...; see cmd/hrsweep -list).
+func Experiment(name string, scale ExperimentScale) (*Table, error) {
+	gen, err := experiments.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return gen(scale)
+}

@@ -1,0 +1,78 @@
+package analytic
+
+import "math"
+
+// RouterDataPoint is one historical router from Figure 1: the aggregate
+// pin bandwidth of a router chip by year of introduction. Bandwidths
+// are the approximate values plotted by the paper (taken from its
+// citations); they are order-of-magnitude anchors, not datasheet-grade.
+type RouterDataPoint struct {
+	Year      int
+	System    string
+	GbPerSec  float64
+	HighWater bool // on the paper's "highest performance router" fit line
+}
+
+// RouterHistory is the Figure 1 dataset.
+var RouterHistory = []RouterDataPoint{
+	{1985, "Torus Routing Chip", 0.48, true},
+	{1988, "Intel iPSC/2", 0.36, false},
+	{1991, "J-Machine", 3.84, true},
+	{1993, "CM-5", 1.6, false},
+	{1993, "Intel Paragon XP", 6.4, false},
+	{1994, "Cray T3D", 19.2, true},
+	{1995, "MIT Alewife", 1.8, false},
+	{1995, "IBM Vulcan", 4.5, false},
+	{1996, "Cray T3E", 64, true},
+	{1997, "SGI Origin 2000", 25, false},
+	{2000, "AlphaServer GS320", 51.2, false},
+	{2001, "IBM SP Switch2", 64, false},
+	{2002, "Quadrics QsNet", 32, false},
+	{2003, "Cray X1", 204.8, true},
+	{2003, "SGI Altix 3000", 409.6, true},
+	{2004, "Velio 3003", 1000, true},
+	{2005, "IBM HPS", 128, false},
+}
+
+// TrendFit is an exponential fit bandwidth = a * 10^(b*(year-1985)).
+type TrendFit struct {
+	// BaseGb is the fitted bandwidth at year 1985 in Gb/s.
+	BaseGb float64
+	// DecadesPerYear is the fitted log10 slope; the paper observes an
+	// order of magnitude roughly every five years, i.e. ~0.2.
+	DecadesPerYear float64
+}
+
+// Eval returns the fitted bandwidth at the given year.
+func (t TrendFit) Eval(year float64) float64 {
+	return t.BaseGb * math.Pow(10, t.DecadesPerYear*(year-1985))
+}
+
+// DecadeYears returns how many years the fit takes to grow 10x.
+func (t TrendFit) DecadeYears() float64 { return 1 / t.DecadesPerYear }
+
+// FitTrend least-squares fits log10(bandwidth) against year over the
+// supplied points. With highWaterOnly it fits only the highest
+// performance routers (the paper's solid line); otherwise all points
+// (the dotted line).
+func FitTrend(points []RouterDataPoint, highWaterOnly bool) TrendFit {
+	var n, sx, sy, sxx, sxy float64
+	for _, p := range points {
+		if highWaterOnly && !p.HighWater {
+			continue
+		}
+		x := float64(p.Year - 1985)
+		y := math.Log10(p.GbPerSec)
+		n++
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	if n < 2 {
+		return TrendFit{}
+	}
+	slope := (n*sxy - sx*sy) / (n*sxx - sx*sx)
+	intercept := (sy - slope*sx) / n
+	return TrendFit{BaseGb: math.Pow(10, intercept), DecadesPerYear: slope}
+}

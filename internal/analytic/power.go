@@ -1,0 +1,63 @@
+package analytic
+
+import "math"
+
+// PowerModel captures Section 2's power argument: router power is
+// dominated by I/O circuits and switch bandwidth, both proportional to
+// router bandwidth B and hence independent of radix; the arbitration
+// logic grows with radix but is a negligible fraction (the paper cites
+// Wang/Peh/Malik). Network power is then proportional to the number of
+// router nodes, which falls as radix rises, so higher radix means less
+// power.
+type PowerModel struct {
+	// BandwidthBps is B.
+	BandwidthBps float64
+	// IOEnergyPerBit is the I/O circuit energy in joules/bit.
+	IOEnergyPerBit float64
+	// SwitchEnergyPerBit is the internal datapath energy in joules/bit.
+	SwitchEnergyPerBit float64
+	// ArbUnitWatts is the per-arbiter-cell power; total arbitration
+	// power scales as k*log2(k) cells.
+	ArbUnitWatts float64
+}
+
+// DefaultPower returns a model loosely calibrated to ~2003 numbers
+// (10 pJ/bit I/O, 5 pJ/bit switch at 1 Tb/s gives a 15 W router).
+func DefaultPower(bandwidthBps float64) PowerModel {
+	return PowerModel{
+		BandwidthBps:       bandwidthBps,
+		IOEnergyPerBit:     10e-12,
+		SwitchEnergyPerBit: 5e-12,
+		ArbUnitWatts:       0.1e-3,
+	}
+}
+
+// RouterWatts returns the power of one router of radix k at full load.
+func (p PowerModel) RouterWatts(k float64) float64 {
+	io := p.BandwidthBps * p.IOEnergyPerBit
+	sw := p.BandwidthBps * p.SwitchEnergyPerBit
+	arb := p.ArbUnitWatts * k * math.Log2(math.Max(k, 2))
+	return io + sw + arb
+}
+
+// ArbFraction returns the arbitration share of router power at radix k
+// — the quantity the paper calls "a negligible fraction".
+func (p PowerModel) ArbFraction(k float64) float64 {
+	arb := p.ArbUnitWatts * k * math.Log2(math.Max(k, 2))
+	return arb / p.RouterWatts(k)
+}
+
+// NetworkRouters returns the router count of an N-node Clos built from
+// radix-k routers: N/k routers in each of 2*ceil(log_k N) - 1 stages.
+func NetworkRouters(k, n float64) float64 {
+	stages := 2*math.Ceil(math.Log(n)/math.Log(k)) - 1
+	return n / k * stages
+}
+
+// NetworkWatts returns total network power for N nodes at radix k.
+// Because per-router power is nearly radix-independent while the router
+// count falls with radix, this decreases monotonically — the paper's
+// "power dissipated by a network also decreases with increasing radix".
+func (p PowerModel) NetworkWatts(k, n float64) float64 {
+	return NetworkRouters(k, n) * p.RouterWatts(k)
+}

@@ -1,0 +1,45 @@
+package analytic
+
+import "testing"
+
+func TestRouterPowerNearlyRadixIndependent(t *testing.T) {
+	p := DefaultPower(1e12)
+	w16 := p.RouterWatts(16)
+	w256 := p.RouterWatts(256)
+	if w256/w16 > 1.1 {
+		t.Fatalf("router power grew %vx from k=16 to k=256; should be nearly flat", w256/w16)
+	}
+}
+
+func TestArbitrationNegligible(t *testing.T) {
+	p := DefaultPower(1e12)
+	for _, k := range []float64{16, 64, 256} {
+		if f := p.ArbFraction(k); f > 0.05 {
+			t.Fatalf("arbitration is %.1f%% of power at k=%v; the paper calls it negligible", 100*f, k)
+		}
+	}
+}
+
+func TestNetworkPowerFallsWithRadix(t *testing.T) {
+	p := DefaultPower(1e12)
+	const n = 4096
+	prev := p.NetworkWatts(4, n)
+	for _, k := range []float64{8, 16, 64} {
+		w := p.NetworkWatts(k, n)
+		if w >= prev {
+			t.Fatalf("network power not decreasing at k=%v: %v >= %v", k, w, prev)
+		}
+		prev = w
+	}
+}
+
+func TestNetworkRouterCount(t *testing.T) {
+	// 4096 nodes of radix-64: 64 routers per stage, 3 stages.
+	if got := NetworkRouters(64, 4096); got != 192 {
+		t.Fatalf("radix-64 router count %v, want 192", got)
+	}
+	// Radix-16: 256 per stage, 5 stages.
+	if got := NetworkRouters(16, 4096); got != 1280 {
+		t.Fatalf("radix-16 router count %v, want 1280", got)
+	}
+}

@@ -1,0 +1,107 @@
+// Package arb implements the arbiters used by the router
+// microarchitectures in this repository.
+//
+// The paper's distributed switch allocator (Section 4.1) is built from
+// round-robin arbiters arranged hierarchically: a local output arbiter
+// selects among a co-located group of m inputs and forwards one request
+// to a global output arbiter that selects among the k/m local winners.
+// Section 4.4 adds a dual arbiter that prioritizes nonspeculative
+// requests over speculative ones. All of those are provided here.
+//
+// Arbiters are single-winner: given a request vector they grant at most
+// one requester per invocation. Fairness comes from a rotating priority
+// pointer that advances past the most recent grant, exactly the
+// "priority pointer which rotates in a round-robin manner based on the
+// requests" described in the paper.
+package arb
+
+// Arbiter selects at most one winner from a request vector. Arbitrate
+// returns the granted index, or -1 when no line is requesting. The
+// request slice length must equal Size().
+type Arbiter interface {
+	Arbitrate(requests []bool) int
+	Size() int
+}
+
+// RoundRobin is a rotating-priority arbiter over n request lines. After
+// granting line g, the highest priority moves to line g+1 (mod n), which
+// guarantees that a continuously-requesting line is served at least once
+// every n grants (strong fairness).
+type RoundRobin struct {
+	n    int
+	next int
+}
+
+// NewRoundRobin returns a round-robin arbiter over n lines.
+func NewRoundRobin(n int) *RoundRobin {
+	if n <= 0 {
+		panic("arb: arbiter size must be positive")
+	}
+	return &RoundRobin{n: n}
+}
+
+// Size returns the number of request lines.
+func (a *RoundRobin) Size() int { return a.n }
+
+// Arbitrate grants the requesting line closest to the priority pointer
+// and advances the pointer past it. It returns -1 when no line requests.
+func (a *RoundRobin) Arbitrate(requests []bool) int {
+	if len(requests) != a.n {
+		panic("arb: request vector size mismatch")
+	}
+	for i := 0; i < a.n; i++ {
+		idx := (a.next + i) % a.n
+		if requests[idx] {
+			a.next = (idx + 1) % a.n
+			return idx
+		}
+	}
+	return -1
+}
+
+// Peek returns the line that would win without updating the priority
+// pointer. It returns -1 when no line requests.
+func (a *RoundRobin) Peek(requests []bool) int {
+	if len(requests) != a.n {
+		panic("arb: request vector size mismatch")
+	}
+	for i := 0; i < a.n; i++ {
+		idx := (a.next + i) % a.n
+		if requests[idx] {
+			return idx
+		}
+	}
+	return -1
+}
+
+// Pointer exposes the current priority pointer (for tests).
+func (a *RoundRobin) Pointer() int { return a.next }
+
+// Fixed is a fixed-priority arbiter: lower indices always win. It exists
+// as a baseline for fairness property tests and for modeling paths where
+// the paper specifies static priority.
+type Fixed struct{ n int }
+
+// NewFixed returns a fixed-priority arbiter over n lines.
+func NewFixed(n int) *Fixed {
+	if n <= 0 {
+		panic("arb: arbiter size must be positive")
+	}
+	return &Fixed{n: n}
+}
+
+// Size returns the number of request lines.
+func (a *Fixed) Size() int { return a.n }
+
+// Arbitrate grants the lowest requesting index, or -1 if none.
+func (a *Fixed) Arbitrate(requests []bool) int {
+	if len(requests) != a.n {
+		panic("arb: request vector size mismatch")
+	}
+	for i, r := range requests {
+		if r {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,126 @@
+package arb
+
+// Tree generalizes the local-global arbiter to an arbitrary number of
+// stages: request lines are grouped into fan-in m at every level, with
+// a round-robin arbiter per node, until a single root remains. The
+// paper notes that "for very high-radix routers, the two-stage output
+// arbiter can be extended to a larger number of stages" — Tree is that
+// extension; NewOutputArbiter picks the shallowest structure whose
+// every stage fits the fan-in budget.
+type Tree struct {
+	n      int
+	m      int
+	levels []treeLevel
+}
+
+type treeLevel struct {
+	nodes []*RoundRobin
+	// width is the number of lines entering this level.
+	width int
+}
+
+// NewTree builds a tree arbiter over n lines with fan-in m per stage.
+func NewTree(n, m int) *Tree {
+	if n <= 0 {
+		panic("arb: arbiter size must be positive")
+	}
+	if m < 2 {
+		panic("arb: tree fan-in must be at least 2")
+	}
+	t := &Tree{n: n, m: m}
+	width := n
+	for width > 1 {
+		nodes := (width + m - 1) / m
+		lvl := treeLevel{nodes: make([]*RoundRobin, nodes), width: width}
+		for i := 0; i < nodes; i++ {
+			size := m
+			if i == nodes-1 && width%m != 0 {
+				size = width % m
+			}
+			lvl.nodes[i] = NewRoundRobin(size)
+		}
+		t.levels = append(t.levels, lvl)
+		width = nodes
+	}
+	return t
+}
+
+// Size returns the number of request lines.
+func (t *Tree) Size() int { return t.n }
+
+// Stages returns the number of arbitration stages.
+func (t *Tree) Stages() int { return len(t.levels) }
+
+// Arbitrate selects a winner by percolating per-group winners up the
+// tree and committing the pointers along the winning path only, so a
+// group whose candidate loses higher up is not penalized (the same
+// convention as LocalGlobal).
+func (t *Tree) Arbitrate(requests []bool) int {
+	if len(requests) != t.n {
+		panic("arb: request vector size mismatch")
+	}
+	if len(t.levels) == 0 {
+		// Single line: grant it if requesting.
+		if requests[0] {
+			return 0
+		}
+		return -1
+	}
+	// Upward pass: per level, the winner index within each group and
+	// the request vector of the next level.
+	winners := make([][]int, len(t.levels))
+	cur := requests
+	for li, lvl := range t.levels {
+		next := make([]bool, len(lvl.nodes))
+		winners[li] = make([]int, len(lvl.nodes))
+		for ni, node := range lvl.nodes {
+			base := ni * t.m
+			size := node.Size()
+			grp := cur[base : base+size]
+			w := node.Peek(grp)
+			winners[li][ni] = w
+			next[ni] = w >= 0
+		}
+		cur = next
+	}
+	if !cur[0] {
+		return -1
+	}
+	// Downward pass: follow the winning path from the root, committing
+	// each node's pointer.
+	node := 0
+	for li := len(t.levels) - 1; li >= 0; li-- {
+		lvl := t.levels[li]
+		rr := lvl.nodes[node]
+		base := node * t.m
+		size := rr.Size()
+		grp := make([]bool, size)
+		if li == 0 {
+			copy(grp, requests[base:base+size])
+		} else {
+			below := t.levels[li-1]
+			for i := 0; i < size; i++ {
+				grp[i] = winners[li-1][base+i] >= 0
+			}
+			_ = below
+		}
+		w := rr.Arbitrate(grp)
+		node = base + w
+	}
+	return node
+}
+
+// NewOutputArbiter returns the shallowest arbiter over n lines whose
+// every stage has fan-in at most m: a flat round-robin when n <= m, the
+// paper's two-stage local-global when n <= m^2, and a deeper tree
+// beyond that.
+func NewOutputArbiter(n, m int) Arbiter {
+	switch {
+	case n <= m:
+		return NewRoundRobin(n)
+	case n <= m*m:
+		return NewLocalGlobal(n, m)
+	default:
+		return NewTree(n, m)
+	}
+}

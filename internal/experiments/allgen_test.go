@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllGeneratorsMicro runs every registered experiment at a
+// deliberately tiny scale so the whole registry is exercised by the
+// unit-test suite (statistical quality is not the point here — the
+// Quick and Full scales are). Skipped in -short mode.
+func TestAllGeneratorsMicro(t *testing.T) {
+	if testing.Short() {
+		t.Skip("micro registry sweep skipped in short mode")
+	}
+	micro := Scale{
+		Warmup:     200,
+		Measure:    400,
+		Loads:      []float64{0.3, 0.9},
+		NetLoads:   []float64{0.3},
+		NetWarmup:  200,
+		NetMeasure: 300,
+		Seed:       1,
+	}
+	for _, e := range Registry {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			t.Parallel()
+			tab, err := e.Gen(micro)
+			if err != nil {
+				t.Fatalf("%s: %v", e.Name, err)
+			}
+			if len(tab.Series) == 0 {
+				t.Fatalf("%s: no series", e.Name)
+			}
+			out := tab.String()
+			if !strings.HasPrefix(out, "== ") {
+				t.Fatalf("%s: bad rendering", e.Name)
+			}
+			if csv := tab.CSV(); !strings.Contains(csv, ",") {
+				t.Fatalf("%s: bad CSV", e.Name)
+			}
+		})
+	}
+}

@@ -1,0 +1,129 @@
+// Package experiments regenerates every table and figure in the paper's
+// evaluation. Each Fig* function returns a stats.Table whose series
+// correspond to the lines of the paper's figure; cmd/hrsweep prints
+// them, the repository benchmarks time them, and EXPERIMENTS.md records
+// their output against the paper's reported numbers.
+package experiments
+
+import (
+	"fmt"
+
+	"highradix/internal/router"
+	"highradix/internal/stats"
+	"highradix/internal/testbench"
+)
+
+// Scale sizes the simulations: Full reproduces the figures at
+// publication quality; Quick is for tests and benchmarks.
+type Scale struct {
+	// Warmup and Measure are the phase lengths in cycles.
+	Warmup, Measure int64
+	// Loads are the offered-load sweep points for latency-load figures.
+	Loads []float64
+	// NetLoads are the sweep points for the network figure (coarser,
+	// because network runs are expensive).
+	NetLoads []float64
+	// NetWarmup and NetMeasure size the network runs.
+	NetWarmup, NetMeasure int64
+	// NetTerminals shrinks the Figure 19 network when nonzero is false;
+	// FullNetwork selects the paper's 4096-node configuration.
+	FullNetwork bool
+	// Seed drives all runs.
+	Seed uint64
+}
+
+// Full is the publication-quality scale.
+var Full = Scale{
+	Warmup:  3000,
+	Measure: 8000,
+	Loads: []float64{0.1, 0.2, 0.3, 0.4, 0.45, 0.5, 0.55, 0.6, 0.65,
+		0.7, 0.75, 0.8, 0.85, 0.9, 0.95, 0.98},
+	NetLoads:    []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9},
+	NetWarmup:   1500,
+	NetMeasure:  3000,
+	FullNetwork: true,
+	Seed:        1,
+}
+
+// Quick is the reduced scale for tests and benchmarks.
+var Quick = Scale{
+	Warmup:     800,
+	Measure:    1600,
+	Loads:      []float64{0.2, 0.4, 0.6, 0.8, 0.95},
+	NetLoads:   []float64{0.2, 0.5, 0.8},
+	NetWarmup:  600,
+	NetMeasure: 1200,
+	Seed:       1,
+}
+
+// opts builds testbench options for a router config at this scale.
+func (s Scale) opts(cfg router.Config) testbench.Options {
+	return testbench.Options{
+		Router:        cfg,
+		WarmupCycles:  s.Warmup,
+		MeasureCycles: s.Measure,
+		Seed:          s.Seed,
+	}
+}
+
+// sweep is a helper running one latency-load curve.
+func (s Scale) sweep(name string, cfg router.Config, mutate func(*testbench.Options)) (*stats.Series, error) {
+	o := s.opts(cfg)
+	if mutate != nil {
+		mutate(&o)
+	}
+	return testbench.Sweep(name, s.Loads, o)
+}
+
+// satThroughput measures accepted throughput at offered load 1.0.
+func (s Scale) satThroughput(cfg router.Config, mutate func(*testbench.Options)) (float64, error) {
+	o := s.opts(cfg)
+	o.DrainCycles = 1 // no need to drain a deliberately saturated run
+	if mutate != nil {
+		mutate(&o)
+	}
+	return testbench.SaturationThroughput(o)
+}
+
+// Registry maps experiment names (as accepted by cmd/hrsweep -exp) to
+// their generator functions.
+type Generator func(Scale) (*stats.Table, error)
+
+// Registry lists every reproducible experiment.
+var Registry = []struct {
+	Name string
+	Desc string
+	Gen  Generator
+}{
+	{"fig1", "router pin-bandwidth scaling 1985-2010 (historical data + trend fits)", Fig1},
+	{"fig2", "latency-optimal radix vs router aspect ratio", Fig2},
+	{"fig3", "network latency and cost vs radix for 2003/2010 technologies", Fig3},
+	{"fig9", "latency vs offered load, baseline high-radix (CVA/OVA) vs low-radix", Fig9},
+	{"fig11", "prioritized (dual-arbiter) vs single-arbiter speculation, 1 VC and 4 VC", Fig11},
+	{"fig13", "fully buffered crossbar vs baseline vs low-radix", Fig13},
+	{"fig14", "crosspoint buffer size sweep, short and long packets", Fig14},
+	{"fig15", "storage area vs wire area of the fully buffered crossbar", Fig15},
+	{"fig17a", "hierarchical crossbar, uniform random traffic, subswitch sizes", Fig17a},
+	{"fig17b", "hierarchical crossbar, worst-case traffic", Fig17b},
+	{"fig17c", "long packets at equal total buffer storage", Fig17c},
+	{"fig17d", "storage bits vs radix, hierarchical vs fully buffered", Fig17d},
+	{"fig18", "nonuniform traffic: diagonal, hotspot, bursty (Table 1)", Fig18},
+	{"fig19", "4096-node Clos network: radix-64 (3 stages) vs radix-16 (5 stages)", Fig19},
+	{"table1", "saturation throughput of every architecture on every Table 1 pattern", TableT1},
+	{"creditbus", "ablation: shared credit-return bus vs ideal credit return", AblCreditBus},
+	{"sharedxp", "ablation: shared-buffer (ACK/NACK) crosspoints vs per-VC buffers", AblSharedXpoint},
+	{"localgroup", "ablation: local arbitration group size m", AblLocalGroup},
+	{"specpolicy", "ablation: speculative output-VC bid policy (Section 4.4 re-bidding)", AblSpecPolicy},
+	{"allociters", "ablation: allocation iterations of the centralized low-radix router", AblAllocIters},
+	{"radixsweep", "extension: saturation throughput vs radix for the main organizations", RadixSweep},
+}
+
+// ByName finds a registered experiment.
+func ByName(name string) (Generator, error) {
+	for _, e := range Registry {
+		if e.Name == name {
+			return e.Gen, nil
+		}
+	}
+	return nil, fmt.Errorf("experiments: unknown experiment %q", name)
+}

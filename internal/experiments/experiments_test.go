@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAnalyticExperiments runs the simulation-free generators and
+// verifies their headline scalars against the paper.
+func TestAnalyticExperiments(t *testing.T) {
+	for _, name := range []string{"fig1", "fig2", "fig3", "fig15", "fig17d"} {
+		gen, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tab, err := gen(Quick)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(tab.Series) == 0 {
+			t.Fatalf("%s produced no series", name)
+		}
+		out := tab.String()
+		if !strings.Contains(out, "==") {
+			t.Fatalf("%s rendering broken:\n%s", name, out)
+		}
+	}
+}
+
+func TestFig2Headlines(t *testing.T) {
+	tab, err := Fig2(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	find := func(name string) float64 {
+		for _, s := range tab.Scalars {
+			if s.Name == name {
+				return s.Value
+			}
+		}
+		t.Fatalf("scalar %q missing", name)
+		return 0
+	}
+	if k := find("k_opt(2003)"); k < 38 || k < 0 || k > 42 {
+		t.Fatalf("k_opt(2003) = %v, paper says 40", k)
+	}
+	if k := find("k_opt(2010)"); k < 124 || k > 130 {
+		t.Fatalf("k_opt(2010) = %v, paper says 127", k)
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	// Every figure and table of the evaluation must be registered.
+	want := []string{"fig1", "fig2", "fig3", "fig9", "fig11", "fig13", "fig14",
+		"fig15", "fig17a", "fig17b", "fig17c", "fig17d", "fig18", "fig19",
+		"table1", "creditbus", "sharedxp", "localgroup", "specpolicy", "allociters", "radixsweep"}
+	have := map[string]bool{}
+	for _, e := range Registry {
+		have[e.Name] = true
+		if e.Desc == "" || e.Gen == nil {
+			t.Errorf("experiment %s missing description or generator", e.Name)
+		}
+	}
+	for _, w := range want {
+		if !have[w] {
+			t.Errorf("experiment %s not registered", w)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+// TestFig9Quick runs the cheapest simulation figure end to end at Quick
+// scale and sanity-checks the paper's ordering: the low-radix router
+// saturates above the CVA baseline, which saturates at or above OVA.
+func TestFig9Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation figure skipped in short mode")
+	}
+	tab, err := Fig9(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var low, cva, ova float64
+	for _, s := range tab.Scalars {
+		switch {
+		case strings.Contains(s.Name, "low-radix"):
+			low = s.Value
+		case strings.Contains(s.Name, "CVA"):
+			cva = s.Value
+		case strings.Contains(s.Name, "OVA"):
+			ova = s.Value
+		}
+	}
+	if low == 0 || cva == 0 || ova == 0 {
+		t.Fatalf("missing saturation scalars: %v", tab.Scalars)
+	}
+	if !(low > cva && cva >= ova-0.02) {
+		t.Fatalf("saturation ordering violated: low=%.3f cva=%.3f ova=%.3f (paper: 0.60 > 0.50 > 0.45)",
+			low, cva, ova)
+	}
+}
+
+// TestFig19Quick runs the reduced network figure and checks the
+// high-radix network's latency advantage.
+func TestFig19Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation figure skipped in short mode")
+	}
+	tab, err := Fig19(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var zeroHigh, zeroLow float64
+	for _, s := range tab.Scalars {
+		if strings.HasPrefix(s.Name, "zero-load latency radix-16") {
+			zeroHigh = s.Value
+		}
+		if strings.HasPrefix(s.Name, "zero-load latency radix-4") {
+			zeroLow = s.Value
+		}
+	}
+	if zeroHigh == 0 || zeroLow == 0 {
+		t.Fatalf("zero-load scalars missing: %+v", tab.Scalars)
+	}
+	if zeroHigh >= zeroLow {
+		t.Fatalf("high-radix network zero-load latency %.1f not below low-radix %.1f", zeroHigh, zeroLow)
+	}
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"highradix/internal/network"
+	"highradix/internal/stats"
+)
+
+// Fig19 reproduces Figure 19: latency versus offered load for a
+// 4096-node Clos network built from radix-64 routers (three stages,
+// 64^2 terminals) and from radix-16 routers (five stages, 16^3
+// terminals), with oblivious routing (random middle stages) and uniform
+// random traffic. At Quick scale the network is shrunk to 256 nodes
+// (16^2 vs 4^4), preserving the high-vs-low-radix stage contrast while
+// keeping test and benchmark runtimes reasonable.
+func Fig19(s Scale) (*stats.Table, error) {
+	t := &stats.Table{
+		Title:  "Figure 19: 4096-node Clos, radix-64 (3 stages) vs radix-16 (5 stages)",
+		XLabel: "offered load",
+		YLabel: "latency (cycles)",
+	}
+	type netCase struct {
+		name string
+		cfg  network.Config
+	}
+	var cases []netCase
+	if s.FullNetwork {
+		cases = []netCase{
+			{"radix-64 (3 stages)", network.Config{Radix: 64, Digits: 2}},
+			{"radix-16 (5 stages)", network.Config{Radix: 16, Digits: 3}},
+		}
+	} else {
+		t.Title = "Figure 19 (reduced): 256-node Clos, radix-16 (3 stages) vs radix-4 (7 stages)"
+		cases = []netCase{
+			{"radix-16 (3 stages)", network.Config{Radix: 16, Digits: 2}},
+			{"radix-4 (7 stages)", network.Config{Radix: 4, Digits: 4}},
+		}
+	}
+	for _, c := range cases {
+		base := network.Options{
+			Net:           c.cfg,
+			WarmupCycles:  s.NetWarmup,
+			MeasureCycles: s.NetMeasure,
+			Seed:          s.Seed,
+		}
+		series, err := network.Sweep(c.name, s.NetLoads, base)
+		if err != nil {
+			return nil, err
+		}
+		t.AddSeries(series)
+		zero, err := network.Run(func() network.Options {
+			o := base
+			o.Load = 0.05
+			return o
+		}())
+		if err != nil {
+			return nil, err
+		}
+		t.AddScalar("zero-load latency "+c.name, zero.AvgLatency, "cycles")
+		t.AddScalar("avg hops "+c.name, zero.AvgHops, "router traversals")
+	}
+	t.AddNote("paper: the high-radix network has lower zero-load latency network-wide despite the higher per-router latency, because hop count falls")
+	return t, nil
+}

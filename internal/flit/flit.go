@@ -1,0 +1,120 @@
+// Package flit defines the unit of flow control used throughout the
+// simulator: packets, the flits they are broken into, and the credits
+// exchanged by flow control.
+//
+// Following the paper (Section 3), a packet is broken into one or more
+// flits. The first flit of a packet is the head flit: it carries the
+// routing information and triggers the per-packet steps (route
+// computation, virtual-channel allocation). The last flit is the tail
+// flit: its departure frees the virtual channel. A single-flit packet is
+// both head and tail.
+package flit
+
+import "fmt"
+
+// Flit is a single flow-control unit moving through a router or network.
+// Flits are allocated once at injection and mutated in place as they move
+// so that a simulation run does not churn the garbage collector.
+type Flit struct {
+	// PacketID identifies the packet this flit belongs to. IDs are unique
+	// within one simulation run.
+	PacketID uint64
+
+	// Seq is the index of this flit within its packet (0 = head).
+	Seq int
+
+	// Src is the injection port (single-router simulations) or source
+	// terminal (network simulations).
+	Src int
+
+	// Dst is the destination output port (single-router simulations) or
+	// destination terminal (network simulations).
+	Dst int
+
+	// VC is the virtual channel currently occupied by the flit. It is
+	// rewritten as the flit is reallocated onto downstream VCs.
+	VC int
+
+	// Head marks the first flit of a packet.
+	Head bool
+
+	// Tail marks the final flit of a packet. Single-flit packets have
+	// both Head and Tail set.
+	Tail bool
+
+	// PacketLen is the total number of flits in the packet, carried on
+	// every flit so that receivers can account without per-packet state.
+	PacketLen int
+
+	// CreatedAt is the cycle the packet was generated at the source.
+	// Latency is measured from this point, so source queueing is included
+	// (the convention used by the paper's latency/offered-load plots).
+	CreatedAt int64
+
+	// InjectedAt is the cycle the flit entered the router input buffer.
+	InjectedAt int64
+
+	// Measured marks flits belonging to the labeled measurement sample
+	// (paper Section 4.3).
+	Measured bool
+
+	// Hops counts router traversals in network simulations.
+	Hops int
+
+	// Route is the output port selected by route computation at the
+	// router currently holding the flit (network simulations; unused by
+	// single-router models, where Dst is already the output port).
+	Route int
+}
+
+// String renders a compact human-readable description, useful in test
+// failures and traces.
+func (f *Flit) String() string {
+	kind := "body"
+	switch {
+	case f.Head && f.Tail:
+		kind = "single"
+	case f.Head:
+		kind = "head"
+	case f.Tail:
+		kind = "tail"
+	}
+	return fmt.Sprintf("flit{pkt=%d seq=%d %s %d->%d vc=%d}", f.PacketID, f.Seq, kind, f.Src, f.Dst, f.VC)
+}
+
+// Credit is a flow-control credit returned upstream when a buffer slot is
+// freed. Credits identify the buffer they replenish by output (or
+// crosspoint) and virtual channel.
+type Credit struct {
+	// Input is the input row the credit is returned to.
+	Input int
+	// Output identifies the crosspoint (or subswitch port) whose buffer
+	// freed a slot.
+	Output int
+	// VC is the virtual channel of the freed slot.
+	VC int
+}
+
+// MakePacket allocates the flits of one packet. The head flit carries the
+// routing information; every flit carries the measurement label.
+func MakePacket(id uint64, src, dst, vc, length int, createdAt int64, measured bool) []*Flit {
+	if length < 1 {
+		panic("flit: packet length must be >= 1")
+	}
+	flits := make([]*Flit, length)
+	for i := range flits {
+		flits[i] = &Flit{
+			PacketID:  id,
+			Seq:       i,
+			Src:       src,
+			Dst:       dst,
+			VC:        vc,
+			Head:      i == 0,
+			Tail:      i == length-1,
+			PacketLen: length,
+			CreatedAt: createdAt,
+			Measured:  measured,
+		}
+	}
+	return flits
+}

@@ -1,0 +1,62 @@
+package flit
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMakePacketStructure(t *testing.T) {
+	err := quick.Check(func(lenSel uint8) bool {
+		n := int(lenSel%20) + 1
+		flits := MakePacket(7, 3, 9, 2, n, 100, true)
+		if len(flits) != n {
+			return false
+		}
+		for i, f := range flits {
+			ok := f.PacketID == 7 && f.Src == 3 && f.Dst == 9 && f.VC == 2 &&
+				f.Seq == i && f.PacketLen == n && f.CreatedAt == 100 && f.Measured &&
+				f.Head == (i == 0) && f.Tail == (i == n-1)
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMakePacketSingleFlit(t *testing.T) {
+	f := MakePacket(1, 0, 1, 0, 1, 0, false)[0]
+	if !f.Head || !f.Tail {
+		t.Fatalf("single-flit packet head=%v tail=%v, want both", f.Head, f.Tail)
+	}
+}
+
+func TestMakePacketPanicsOnZeroLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-length packet did not panic")
+		}
+	}()
+	MakePacket(1, 0, 1, 0, 0, 0, false)
+}
+
+func TestFlitString(t *testing.T) {
+	cases := []struct {
+		f    *Flit
+		want string
+	}{
+		{MakePacket(1, 2, 3, 0, 1, 0, false)[0], "single"},
+		{MakePacket(1, 2, 3, 0, 3, 0, false)[0], "head"},
+		{MakePacket(1, 2, 3, 0, 3, 0, false)[1], "body"},
+		{MakePacket(1, 2, 3, 0, 3, 0, false)[2], "tail"},
+	}
+	for _, c := range cases {
+		if s := c.f.String(); !strings.Contains(s, c.want) {
+			t.Errorf("String() = %q, want it to contain %q", s, c.want)
+		}
+	}
+}

@@ -1,0 +1,444 @@
+// Package network implements the multistage Clos network simulation of
+// the paper's Section 7 (Figure 19): 4096 nodes connected either by
+// three stages of radix-64 routers (used as 64x64 unidirectional
+// switches, 4096 = 64^2) or by five stages of radix-16 routers
+// (4096 = 16^3), with oblivious routing that selects middle-stage
+// switches at random, uniform random traffic, and credit-based flow
+// control between stages.
+//
+// Per the paper, a simplified router model is used at network scale
+// (the paper cites its own reduced-accuracy methodology [19]): each
+// router is input-queued with per-VC buffers and a single-iteration
+// round-robin output allocation; the per-hop pipeline latency follows
+// the Section 2 router-delay model tr = X + Y*log2(k), and channels
+// are serialized at L/b cycles per flit, where b shrinks as radix
+// grows at constant router bandwidth. Flits cut through hop to hop
+// (header latency per hop is the pipeline delay) and pay the full
+// serialization once at ejection, matching Equation (1)'s
+// T = H*tr + L/b decomposition.
+package network
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"highradix/internal/flit"
+	"highradix/internal/sim"
+)
+
+// Config describes one Clos network.
+type Config struct {
+	// Radix is k, the switch radix (ports per unidirectional side).
+	Radix int
+	// Digits is d with N = k^d terminals and 2d-1 switch stages.
+	Digits int
+	// VCs is the number of virtual channels per input port.
+	VCs int
+	// BufDepth is the per-(port,VC) input buffer depth in flits.
+	BufDepth int
+	// RouterDelayX, RouterDelayY set the per-hop pipeline latency
+	// tr = X + Y*log2(k) in cycles (Section 2).
+	RouterDelayX, RouterDelayY float64
+	// SerCycles is the channel serialization time of one flit. If zero
+	// it is derived from the single-router convention of 4 cycles at
+	// radix 64 (channels narrow as radix grows at constant router
+	// bandwidth).
+	SerCycles int
+	// CreditDelay is the upstream credit return latency in cycles.
+	CreditDelay int
+	// Seed drives injection and middle-stage selection.
+	Seed uint64
+}
+
+// WithDefaults fills the paper's Figure 19 parameters.
+func (c Config) WithDefaults() Config {
+	if c.Radix == 0 {
+		c.Radix = 64
+	}
+	if c.Digits == 0 {
+		switch c.Radix {
+		case 64:
+			c.Digits = 2 // 4096 = 64^2, three stages
+		case 16:
+			c.Digits = 3 // 4096 = 16^3, five stages
+		default:
+			c.Digits = 2
+		}
+	}
+	if c.VCs == 0 {
+		c.VCs = 4
+	}
+	if c.BufDepth == 0 {
+		c.BufDepth = 8
+	}
+	if c.RouterDelayX == 0 {
+		c.RouterDelayX = 5
+	}
+	if c.RouterDelayY == 0 {
+		c.RouterDelayY = 1
+	}
+	if c.SerCycles == 0 {
+		c.SerCycles = int(math.Max(1, math.Round(4*float64(c.Radix)/64)))
+	}
+	if c.CreditDelay == 0 {
+		c.CreditDelay = 2
+	}
+	return c
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Radix < 2 {
+		return fmt.Errorf("network: radix %d < 2", c.Radix)
+	}
+	if c.Digits < 1 || c.Digits > 6 {
+		return fmt.Errorf("network: digits %d out of range", c.Digits)
+	}
+	if c.VCs < 1 || c.BufDepth < 1 {
+		return errors.New("network: VCs and buffer depth must be >= 1")
+	}
+	return nil
+}
+
+// Terminals returns N = k^d.
+func (c Config) Terminals() int {
+	n := 1
+	for i := 0; i < c.Digits; i++ {
+		n *= c.Radix
+	}
+	return n
+}
+
+// Stages returns 2d-1, the number of switch stages.
+func (c Config) Stages() int { return 2*c.Digits - 1 }
+
+// RouterDelay returns tr in cycles for this radix.
+func (c Config) RouterDelay() int {
+	return int(math.Round(c.RouterDelayX + c.RouterDelayY*math.Log2(float64(c.Radix))))
+}
+
+// arrival is a flit in flight between stages (or from a terminal).
+type arrival struct {
+	stage  int // receiving stage
+	router int
+	port   int
+	vc     int
+	f      *flit.Flit
+}
+
+// creditMsg returns a buffer slot to an upstream output (or terminal).
+type creditMsg struct {
+	stage  int // stage holding the buffer that freed a slot
+	router int
+	port   int
+	vc     int
+}
+
+type serial struct{ freeAt int64 }
+
+// Network is a running Clos simulation.
+type Network struct {
+	cfg Config
+	n   int // terminals
+	s   int // stages
+	rpl int // routers per stage = n/k
+
+	// buf[stage][router][port][vc] are the input buffers.
+	buf [][][][]*sim.Queue[*flit.Flit]
+	// credit[stage][router][port][vc] counts free slots in the
+	// downstream buffer fed by output `port` of (stage, router); the
+	// last stage's outputs feed terminals and are uncounted.
+	credit [][][][]int
+	// injCredit[terminal][vc] counts free slots in the stage-0 buffer
+	// fed by each terminal.
+	injCredit [][]int
+	// linkOwner[stage][router][port][vc] holds the packet that owns the
+	// outgoing channel VC between head and tail (wormhole flow control:
+	// flits of different packets must not interleave on one link VC).
+	linkOwner [][][][]uint64
+	// routeOf[stage][router][port][vc] is the output port of the packet
+	// currently at (or upstream of) that buffer; body flits follow the
+	// route their head computed.
+	routeOf [][][][]int
+	// outFree[stage][router][port] serializes each channel.
+	outFree [][][]serial
+	// outPtr is the rotating allocation pointer per (stage, router,
+	// output) over flat (port*VCs+vc) requester indices.
+	outPtr [][][]int
+
+	inFlight *sim.DelayLine[arrival]
+	toTerm   *sim.DelayLine[*flit.Flit]
+	credits  *sim.DelayLine[creditMsg]
+	rng      *sim.RNG
+
+	// reqScratch[output] collects flat (port*VCs+vc) requester indices;
+	// reused across routers and cycles.
+	reqScratch [][]int
+
+	ejected []*flit.Flit
+}
+
+// New builds the network.
+func New(cfg Config) (*Network, error) {
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	k, v := cfg.Radix, cfg.VCs
+	n := cfg.Terminals()
+	s := cfg.Stages()
+	rpl := n / k
+	nw := &Network{
+		cfg: cfg, n: n, s: s, rpl: rpl,
+		buf:        make([][][][]*sim.Queue[*flit.Flit], s),
+		credit:     make([][][][]int, s),
+		injCredit:  make([][]int, n),
+		outFree:    make([][][]serial, s),
+		outPtr:     make([][][]int, s),
+		inFlight:   sim.NewDelayLine[arrival](0),
+		toTerm:     sim.NewDelayLine[*flit.Flit](cfg.SerCycles),
+		credits:    sim.NewDelayLine[creditMsg](cfg.CreditDelay),
+		rng:        sim.NewRNG(cfg.Seed ^ 0x632be59bd9b4e019),
+		reqScratch: make([][]int, k),
+	}
+	nw.linkOwner = make([][][][]uint64, s)
+	nw.routeOf = make([][][][]int, s)
+	for st := 0; st < s; st++ {
+		nw.buf[st] = make([][][]*sim.Queue[*flit.Flit], rpl)
+		nw.credit[st] = make([][][]int, rpl)
+		nw.outFree[st] = make([][]serial, rpl)
+		nw.outPtr[st] = make([][]int, rpl)
+		nw.linkOwner[st] = make([][][]uint64, rpl)
+		nw.routeOf[st] = make([][][]int, rpl)
+		for r := 0; r < rpl; r++ {
+			nw.buf[st][r] = make([][]*sim.Queue[*flit.Flit], k)
+			nw.credit[st][r] = make([][]int, k)
+			nw.outFree[st][r] = make([]serial, k)
+			nw.outPtr[st][r] = make([]int, k)
+			nw.linkOwner[st][r] = make([][]uint64, k)
+			nw.routeOf[st][r] = make([][]int, k)
+			for p := 0; p < k; p++ {
+				nw.buf[st][r][p] = make([]*sim.Queue[*flit.Flit], v)
+				nw.credit[st][r][p] = make([]int, v)
+				nw.linkOwner[st][r][p] = make([]uint64, v)
+				nw.routeOf[st][r][p] = make([]int, v)
+				for c := 0; c < v; c++ {
+					nw.buf[st][r][p][c] = sim.NewQueue[*flit.Flit](cfg.BufDepth)
+					nw.credit[st][r][p][c] = cfg.BufDepth
+				}
+			}
+		}
+	}
+	for t := 0; t < n; t++ {
+		nw.injCredit[t] = make([]int, v)
+		for c := 0; c < v; c++ {
+			nw.injCredit[t][c] = cfg.BufDepth
+		}
+	}
+	return nw, nil
+}
+
+// Config returns the defaulted configuration.
+func (nw *Network) Config() Config { return nw.cfg }
+
+// Terminals returns the node count.
+func (nw *Network) Terminals() int { return nw.n }
+
+// shuffle applies the k-ary perfect shuffle to a wire position: the
+// base-k digits of w rotate left by one, which is the inter-stage
+// wiring of the k-ary Clos.
+func (nw *Network) shuffle(w int) int {
+	k := nw.cfg.Radix
+	msb := w / (nw.n / k)
+	return (w%(nw.n/k))*k + msb
+}
+
+// routePort returns the output port a flit takes at the given stage:
+// random during the ascent (oblivious middle-stage selection), then the
+// destination digits MSB-first during the descent. The digit schedule
+// composes with the shuffle wiring so the flit exits exactly at its
+// destination terminal; TestRoutingReachesDestination proves this for
+// every (src, dst) pair.
+func (nw *Network) routePort(stage, dst int) int {
+	k, d := nw.cfg.Radix, nw.cfg.Digits
+	if stage < d-1 {
+		return nw.rng.Intn(k)
+	}
+	digit := 2*d - 2 - stage
+	div := 1
+	for i := 0; i < digit; i++ {
+		div *= k
+	}
+	return (dst / div) % k
+}
+
+// CanInject reports whether terminal src can send a flit on vc.
+func (nw *Network) CanInject(src, vc int) bool { return nw.injCredit[src][vc] > 0 }
+
+// Inject launches a flit from terminal f.Src on virtual channel vc.
+// The caller enforces the terminal channel's serialization rate.
+func (nw *Network) Inject(now int64, f *flit.Flit, vc int) {
+	k := nw.cfg.Radix
+	if nw.injCredit[f.Src][vc] <= 0 {
+		panic("network: injection without credit")
+	}
+	nw.injCredit[f.Src][vc]--
+	f.VC = vc
+	f.InjectedAt = now
+	r, p := f.Src/k, f.Src%k
+	if f.Head {
+		// Route computation happens once per packet per hop; body flits
+		// follow the head's choice through the same buffer.
+		nw.routeOf[0][r][p][vc] = nw.routePort(0, f.Dst)
+	}
+	f.Route = nw.routeOf[0][r][p][vc]
+	nw.inFlight.PushAt(now+int64(nw.cfg.RouterDelay())+1,
+		arrival{stage: 0, router: r, port: p, vc: vc, f: f})
+}
+
+// Ejected returns flits delivered to terminals during the last Step;
+// the slice is reused across steps.
+func (nw *Network) Ejected() []*flit.Flit { return nw.ejected }
+
+// InFlight counts flits inside the network.
+func (nw *Network) InFlight() int {
+	cnt := nw.inFlight.Len() + nw.toTerm.Len()
+	for st := range nw.buf {
+		for r := range nw.buf[st] {
+			for p := range nw.buf[st][r] {
+				for c := range nw.buf[st][r][p] {
+					cnt += nw.buf[st][r][p][c].Len()
+				}
+			}
+		}
+	}
+	return cnt
+}
+
+// Step advances the network one cycle.
+func (nw *Network) Step(now int64) {
+	k, v := nw.cfg.Radix, nw.cfg.VCs
+	nw.ejected = nw.ejected[:0]
+	nw.credits.DrainReady(now, func(c creditMsg) {
+		if c.stage < 0 {
+			nw.injCredit[c.router][c.vc]++
+			return
+		}
+		nw.credit[c.stage][c.router][c.port][c.vc]++
+	})
+	nw.inFlight.DrainReady(now, func(a arrival) {
+		nw.buf[a.stage][a.router][a.port][a.vc].MustPush(a.f)
+	})
+	nw.toTerm.DrainReady(now, func(f *flit.Flit) {
+		nw.ejected = append(nw.ejected, f)
+	})
+
+	ser := int64(nw.cfg.SerCycles)
+	rd := int64(nw.cfg.RouterDelay())
+	flat := k * v
+	for st := 0; st < nw.s; st++ {
+		last := st == nw.s-1
+		for r := 0; r < nw.rpl; r++ {
+			bufs := nw.buf[st][r]
+			// Request phase: every occupied input VC posts its front
+			// flit's output request (single-iteration separable
+			// allocation, requester side).
+			for i := range nw.reqScratch {
+				nw.reqScratch[i] = nw.reqScratch[i][:0]
+			}
+			for p := 0; p < k; p++ {
+				for c := 0; c < v; c++ {
+					f, ok := bufs[p][c].Peek()
+					if !ok {
+						continue
+					}
+					nw.reqScratch[f.Route] = append(nw.reqScratch[f.Route], p*v+c)
+				}
+			}
+			// Grant phase: one winner per free output, rotating
+			// priority over flat (port, vc) indices.
+			for out := 0; out < k; out++ {
+				reqs := nw.reqScratch[out]
+				if len(reqs) == 0 || nw.outFree[st][r][out].freeAt > now {
+					continue
+				}
+				ptr := nw.outPtr[st][r][out]
+				best, bestRank := -1, flat
+				for _, fi := range reqs {
+					p, c := fi/v, fi%v
+					if !last && nw.credit[st][r][out][c] <= 0 {
+						continue
+					}
+					// Wormhole link-VC ownership: a head flit needs the
+					// channel VC free; body flits must own it. This is
+					// what keeps packets from interleaving on a link.
+					fr, _ := bufs[p][c].Peek()
+					owner := nw.linkOwner[st][r][out][c]
+					if fr.Head && !fr.Tail {
+						if owner != 0 {
+							continue
+						}
+					} else if !fr.Head && owner != fr.PacketID {
+						continue
+					} else if fr.Head && fr.Tail && owner != 0 {
+						continue
+					}
+					rank := (fi - ptr + flat) % flat
+					if rank < bestRank {
+						bestRank, best = rank, fi
+					}
+				}
+				if best < 0 {
+					continue
+				}
+				p, c := best/v, best%v
+				f := bufs[p][c].MustPop()
+				nw.outPtr[st][r][out] = (best + 1) % flat
+				nw.outFree[st][r][out].freeAt = now + ser
+				nw.sendCreditUpstream(now, st, r, p, c)
+				if f.Head && !f.Tail {
+					nw.linkOwner[st][r][out][c] = f.PacketID
+				}
+				if f.Tail && !f.Head {
+					nw.linkOwner[st][r][out][c] = 0
+				}
+				f.Hops++
+				if last {
+					// The exit wire position must equal the destination
+					// terminal (routing invariant); the packet pays
+					// serialization once (Eq. 1).
+					if r*k+out != f.Dst {
+						panic("network: routing delivered flit to wrong terminal")
+					}
+					nw.toTerm.Push(now, f)
+				} else {
+					nw.credit[st][r][out][c]--
+					w := nw.shuffle(r*k + out)
+					if f.Head {
+						nw.routeOf[st+1][w/k][w%k][c] = nw.routePort(st+1, f.Dst)
+					}
+					f.Route = nw.routeOf[st+1][w/k][w%k][c]
+					nw.inFlight.PushAt(now+rd+1, arrival{stage: st + 1, router: w / k, port: w % k, vc: c, f: f})
+				}
+			}
+		}
+	}
+}
+
+// sendCreditUpstream routes a freed (stage, router, port, vc) buffer
+// slot back to the output (or terminal) that feeds it.
+func (nw *Network) sendCreditUpstream(now int64, stage, router, port, vc int) {
+	k := nw.cfg.Radix
+	if stage == 0 {
+		// Fed directly by terminal router*k+port.
+		nw.credits.Push(now, creditMsg{stage: -1, router: router*k + port, vc: vc})
+		return
+	}
+	// Invert the shuffle: the wire entering (stage, router, port) left
+	// the previous stage at unshuffle(router*k+port).
+	w := router*k + port
+	lsb := w % k
+	up := lsb*(nw.n/k) + w/k
+	nw.credits.Push(now, creditMsg{stage: stage - 1, router: up / k, port: up % k, vc: vc})
+}

@@ -1,0 +1,193 @@
+package network
+
+import (
+	"highradix/internal/flit"
+	"highradix/internal/sim"
+	"highradix/internal/stats"
+)
+
+// Options parameterizes one network simulation run (Figure 19 uses
+// uniform random traffic and single-flit packets).
+type Options struct {
+	// Net is the network configuration.
+	Net Config
+	// Load is offered load as a fraction of terminal channel capacity
+	// (one flit per SerCycles per terminal).
+	Load float64
+	// PktLen is the packet length in flits (default 1, the paper's
+	// Figure 19 configuration). Longer packets exercise wormhole
+	// link-VC ownership across the network.
+	PktLen int
+	// WarmupCycles, MeasureCycles, DrainCycles size the phases; zero
+	// takes defaults. SatLatency flags saturation.
+	WarmupCycles  int64
+	MeasureCycles int64
+	DrainCycles   int64
+	SatLatency    float64
+	// Seed seeds traffic generation.
+	Seed uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.PktLen == 0 {
+		o.PktLen = 1
+	}
+	if o.WarmupCycles == 0 {
+		o.WarmupCycles = 2000
+	}
+	if o.MeasureCycles == 0 {
+		o.MeasureCycles = 4000
+	}
+	if o.DrainCycles == 0 {
+		o.DrainCycles = 4 * (o.WarmupCycles + o.MeasureCycles)
+	}
+	if o.SatLatency == 0 {
+		o.SatLatency = 2000
+	}
+	return o
+}
+
+// Result mirrors testbench.Result at network scale.
+type Result struct {
+	Load       float64
+	AvgLatency float64
+	P99        float64
+	Throughput float64
+	Packets    int64
+	Saturated  bool
+	Cycles     int64
+	AvgHops    float64
+}
+
+// Run executes one network simulation.
+func Run(o Options) (Result, error) {
+	o = o.withDefaults()
+	nw, err := New(o.Net)
+	if err != nil {
+		return Result{}, err
+	}
+	cfg := nw.Config()
+	n, v, ser := nw.Terminals(), cfg.VCs, cfg.SerCycles
+	rate := o.Load / float64(ser*o.PktLen)
+
+	master := sim.NewRNG(o.Seed ^ 0x51b0944ffb2c1d85)
+	genRng := master.Split()
+	srcQ := make([]*sim.Queue[*flit.Flit], n)
+	injFree := make([]int64, n)
+	vcPtr := make([]int, n)
+	curVC := make([]int, n)
+	for t := range srcQ {
+		srcQ[t] = sim.NewQueue[*flit.Flit](0)
+		curVC[t] = -1
+	}
+
+	lat := stats.NewSample(8192)
+	hops := stats.NewSample(4096)
+	var (
+		pktID            uint64
+		injectedLabeled  int64
+		deliveredLabeled int64
+		measFlitsOut     int64
+		now              int64
+	)
+	measStart := o.WarmupCycles
+	measEnd := o.WarmupCycles + o.MeasureCycles
+	maxCycles := measEnd + o.DrainCycles
+
+	for now = 0; now < maxCycles; now++ {
+		measuring := now >= measStart && now < measEnd
+		for t := 0; t < n; t++ {
+			if genRng.Bernoulli(rate) {
+				dst := genRng.Intn(n)
+				pktID++
+				for _, f := range flit.MakePacket(pktID, t, dst, 0, o.PktLen, now, measuring) {
+					srcQ[t].MustPush(f)
+				}
+				if measuring {
+					injectedLabeled++
+				}
+			}
+			if injFree[t] > now {
+				continue
+			}
+			f, ok := srcQ[t].Peek()
+			if !ok {
+				continue
+			}
+			// All flits of a packet use the VC chosen at its head so
+			// they stay contiguous per link VC (wormhole).
+			vc := curVC[t]
+			if f.Head {
+				vc = -1
+				for i := 0; i < v; i++ {
+					c := (vcPtr[t] + i) % v
+					if nw.CanInject(t, c) {
+						vc = c
+						break
+					}
+				}
+				if vc < 0 {
+					continue
+				}
+				curVC[t] = vc
+			} else if !nw.CanInject(t, vc) {
+				continue
+			}
+			srcQ[t].MustPop()
+			nw.Inject(now, f, vc)
+			injFree[t] = now + int64(ser)
+			if f.Tail {
+				vcPtr[t] = (vc + 1) % v
+				curVC[t] = -1
+			}
+		}
+		nw.Step(now)
+		for _, f := range nw.Ejected() {
+			if measuring {
+				measFlitsOut++
+			}
+			if f.Tail && f.Measured {
+				lat.Add(float64(now - f.CreatedAt))
+				hops.Add(float64(f.Hops))
+				deliveredLabeled++
+			}
+		}
+		if now >= measEnd && deliveredLabeled >= injectedLabeled {
+			now++
+			break
+		}
+	}
+
+	res := Result{
+		Load:       o.Load,
+		AvgLatency: lat.Mean(),
+		P99:        lat.Quantile(0.99),
+		Throughput: float64(measFlitsOut) * float64(ser) / (float64(n) * float64(o.MeasureCycles)),
+		Packets:    deliveredLabeled,
+		Cycles:     now,
+		AvgHops:    hops.Mean(),
+	}
+	if deliveredLabeled < injectedLabeled || res.AvgLatency > o.SatLatency {
+		res.Saturated = true
+	}
+	return res, nil
+}
+
+// Sweep runs across offered loads, stopping after the first saturated
+// point, and returns the latency-versus-load series.
+func Sweep(name string, loads []float64, base Options) (*stats.Series, error) {
+	s := &stats.Series{Name: name}
+	for _, load := range loads {
+		o := base
+		o.Load = load
+		res, err := Run(o)
+		if err != nil {
+			return nil, err
+		}
+		s.Add(load, res.AvgLatency, res.Saturated)
+		if res.Saturated {
+			break
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,393 @@
+package router
+
+import (
+	"highradix/internal/arb"
+	"highradix/internal/flit"
+	"highradix/internal/sim"
+)
+
+// Pipeline timing of the distributed allocator (Figure 7(b-c)). A
+// request issued at cycle t (SA1) crosses the request wires and is
+// arbitrated at the output at t+reqWireDelay (SA2/SA3); the grant or
+// NACK crosses back in grantWireDelay; a granted flit begins switch
+// traversal one cycle after the grant arrives.
+const (
+	reqWireDelay   = 2
+	grantWireDelay = 1
+	stStartDelay   = 1
+)
+
+// blRequest is one request on an input's horizontal request lines. Each
+// input controller drives a single request at a time (Section 4.1); the
+// request persists at the output until granted, or until NACKed by the
+// speculative VC check.
+type blRequest struct {
+	input, vc int
+	out       int
+	outVC     int
+	spec      bool // head flit without an allocated output VC
+	pkt       uint64
+}
+
+// blResponse travels back from an output arbiter to an input.
+type blResponse struct {
+	input, vc int
+	grant     bool
+	outVC     int
+}
+
+// blOutput is the distributed arbitration state co-located with one
+// switch output (the right half of Figure 6 plus, for CVA, the
+// per-output-VC arbiters of Figure 8(a)).
+type blOutput struct {
+	pending []blRequest
+	lg      arb.Arbiter
+	dual    *arb.Dual
+	vcPtr   []int // CVA per-output-VC rotating pointer over inputs
+	free    serializer
+}
+
+// reqTimeout is how long an input lets one request sit unresolved
+// before withdrawing it and re-arbitrating among its VCs. Hardware
+// input arbiters re-evaluate their drive every cycle; the timeout is
+// the cycle-accurate shorthand for that re-selection, and without it a
+// request pinned at a saturated output would hold the input's single
+// request line forever and starve the input's other VCs (most visible
+// on hotspot traffic, where the unbuffered baseline otherwise
+// collapses).
+const reqTimeout = 8
+
+// baseline is the Section 4 high-radix router: an unbuffered crossbar
+// with the three-stage distributed switch allocator and speculative
+// virtual-channel allocation (CVA or OVA). Optionally the output
+// arbiters are duplicated to prioritize nonspeculative requests
+// (Section 4.4, Figure 10(b)).
+type baseline struct {
+	cfg Config
+
+	in          [][]*inputVC
+	outstanding []bool // one request line per input
+	issuedAt    []int64
+	reqOut      []int // output targeted by the outstanding request
+	inFree      []serializer
+	inputArb    []*arb.RoundRobin
+
+	outs  []*blOutput
+	owner *vcOwnerTable
+
+	reqLine  *sim.DelayLine[blRequest]
+	respLine *sim.DelayLine[blResponse]
+
+	ej      *ejectQueue
+	ejected []*flit.Flit
+
+	// scratch vectors sized k, reused per output per cycle.
+	nonspecReq []bool
+	specReq    []bool
+	anyReq     []bool
+	reqAt      []int // index into pending per input
+}
+
+func newBaseline(cfg Config) *baseline {
+	k, v := cfg.Radix, cfg.VCs
+	r := &baseline{
+		cfg:         cfg,
+		in:          make([][]*inputVC, k),
+		outstanding: make([]bool, k),
+		issuedAt:    make([]int64, k),
+		reqOut:      make([]int, k),
+		inFree:      make([]serializer, k),
+		inputArb:    make([]*arb.RoundRobin, k),
+		outs:        make([]*blOutput, k),
+		owner:       newVCOwnerTable(k, v),
+		reqLine:     sim.NewDelayLine[blRequest](reqWireDelay),
+		respLine:    sim.NewDelayLine[blResponse](grantWireDelay),
+		ej:          newEjectQueue(),
+		nonspecReq:  make([]bool, k),
+		specReq:     make([]bool, k),
+		anyReq:      make([]bool, k),
+		reqAt:       make([]int, k),
+	}
+	for i := 0; i < k; i++ {
+		r.in[i] = make([]*inputVC, v)
+		for c := 0; c < v; c++ {
+			r.in[i][c] = newInputVC(cfg.InputBufDepth)
+		}
+		r.inputArb[i] = arb.NewRoundRobin(v)
+		o := &blOutput{vcPtr: make([]int, v)}
+		if cfg.Prioritized {
+			o.dual = arb.NewDual(k, func(n int) arb.Arbiter { return arb.NewOutputArbiter(n, cfg.LocalGroup) })
+		} else {
+			o.lg = arb.NewOutputArbiter(k, cfg.LocalGroup)
+		}
+		r.outs[i] = o
+	}
+	return r
+}
+
+func (r *baseline) Config() Config { return r.cfg }
+
+func (r *baseline) CanAccept(input, vc int) bool { return !r.in[input][vc].q.Full() }
+
+func (r *baseline) Accept(now int64, f *flit.Flit) {
+	f.InjectedAt = now
+	r.in[f.Src][f.VC].q.MustPush(f)
+	r.cfg.observe(Event{Cycle: now, Kind: EvAccept, Flit: f, Input: f.Src, Output: f.Dst, VC: f.VC})
+}
+
+func (r *baseline) Ejected() []*flit.Flit { return r.ejected }
+
+func (r *baseline) InFlight() int {
+	n := r.ej.len()
+	for _, vcs := range r.in {
+		for _, v := range vcs {
+			n += v.q.Len()
+		}
+	}
+	return n
+}
+
+func (r *baseline) Step(now int64) {
+	r.ejected = r.ejected[:0]
+	r.ej.drain(now, func(e ejection) {
+		if e.f.Tail {
+			r.owner.release(e.port, e.f.VC, e.f.PacketID)
+		}
+		r.cfg.observe(Event{Cycle: now, Kind: EvEject, Flit: e.f, Input: e.f.Src, Output: e.port, VC: e.f.VC})
+		r.ejected = append(r.ejected, e.f)
+	})
+	r.processResponses(now)
+	r.deliverRequests(now)
+	r.arbitrateOutputs(now)
+	r.issueRequests(now)
+}
+
+// processResponses handles grants and NACKs arriving at the inputs.
+func (r *baseline) processResponses(now int64) {
+	st := int64(r.cfg.STCycles)
+	r.respLine.DrainReady(now, func(resp blResponse) {
+		r.outstanding[resp.input] = false
+		ivc := r.in[resp.input][resp.vc]
+		if !resp.grant {
+			// Failed speculation: rotate the output-VC choice so the
+			// re-bid eventually finds a free VC (Section 4.4).
+			ivc.reqRotate = (ivc.reqRotate + 1) % r.cfg.VCs
+			return
+		}
+		f := ivc.q.MustPop()
+		f.VC = resp.outVC
+		if f.Head {
+			ivc.outVC = resp.outVC
+		}
+		if f.Tail {
+			ivc.outVC = -1
+		}
+		// Traversal occupies cycles now+stStartDelay .. now+stStartDelay+st-1.
+		r.inFree[resp.input].reserve(now+stStartDelay, r.cfg.STCycles)
+		r.ej.push(now+stStartDelay+st-1, f.Dst, f)
+	})
+	_ = st
+}
+
+// deliverRequests moves requests off the wires into the output pending
+// sets.
+func (r *baseline) deliverRequests(now int64) {
+	r.reqLine.DrainReady(now, func(req blRequest) {
+		r.outs[req.out].pending = append(r.outs[req.out].pending, req)
+	})
+}
+
+// arbitrateOutputs runs one local-global arbitration round at every
+// output whose port will be free when the granted flit arrives, then
+// lets the crosspoint VC arbiters reject speculative requests whose
+// output VC is busy. The rejection and the switch arbitration happen in
+// the same cycle (Figure 8(a) runs them in parallel), so the switch can
+// grant a doomed speculative request and waste the round — the loss
+// that Section 4.4's prioritized dual arbiter reduces.
+func (r *baseline) arbitrateOutputs(now int64) {
+	k := r.cfg.Radix
+	start := now + grantWireDelay + stStartDelay
+	for o := 0; o < k; o++ {
+		ou := r.outs[o]
+		if len(ou.pending) == 0 {
+			continue
+		}
+		if ou.free.freeAt <= start {
+			r.arbitrateOne(now, o, ou, start)
+		}
+		if r.cfg.VA == CVA {
+			r.nackBusySpecs(now, o, ou)
+		}
+	}
+}
+
+// nackBusySpecs implements the crosspoint VC arbiters' continuous
+// rejection: pending speculative requests whose output VC is busy are
+// NACKed so the input re-bids with a rotated VC choice.
+func (r *baseline) nackBusySpecs(now int64, o int, ou *blOutput) {
+	kept := ou.pending[:0]
+	for _, req := range ou.pending {
+		if req.spec && !r.owner.freeVC(o, req.outVC) {
+			r.cfg.observe(Event{Cycle: now, Kind: EvNack, Input: req.input, Output: o, VC: req.outVC, Note: "cva-busy"})
+			r.respLine.Push(now, blResponse{input: req.input, vc: req.vc, grant: false})
+			continue
+		}
+		kept = append(kept, req)
+	}
+	ou.pending = kept
+}
+
+func (r *baseline) arbitrateOne(now int64, o int, ou *blOutput, start int64) {
+	k, v := r.cfg.Radix, r.cfg.VCs
+	for i := 0; i < k; i++ {
+		r.nonspecReq[i] = false
+		r.specReq[i] = false
+		r.anyReq[i] = false
+		r.reqAt[i] = -1
+	}
+	// perVCWinner[ov] is the index of the speculative request selected
+	// by the crosspoint VC arbiter for output VC ov this round (CVA
+	// only); a speculative switch winner only proceeds if it also won
+	// its VC arbiter and the VC is free — switch and VC allocation run
+	// in parallel (Figure 8(a)), so a mismatch wastes the round.
+	perVCWinner := make([]int, v)
+	if r.cfg.VA == CVA {
+		// Crosspoint VC arbiters pick one speculative winner per free
+		// output VC with a rotating pointer (busy-VC requests cannot
+		// win; they are NACKed by nackBusySpecs this same cycle).
+		for ov := 0; ov < v; ov++ {
+			best, bestRank := -1, 1<<62
+			if r.owner.freeVC(o, ov) {
+				for idx, req := range ou.pending {
+					if !req.spec || req.outVC != ov {
+						continue
+					}
+					rank := (req.input - ou.vcPtr[ov] + k) % k
+					if rank < bestRank {
+						bestRank, best = rank, idx
+					}
+				}
+			}
+			perVCWinner[ov] = best
+		}
+	}
+	// Every pending request drives the switch arbiter (speculative
+	// switch allocation proceeds in parallel with VC allocation).
+	for idx, req := range ou.pending {
+		if req.spec {
+			r.specReq[req.input] = true
+		} else {
+			r.nonspecReq[req.input] = true
+		}
+		r.reqAt[req.input] = idx
+	}
+
+	var winner int
+	if r.cfg.Prioritized {
+		winner, _ = ou.dual.Arbitrate(r.nonspecReq, r.specReq)
+	} else {
+		for i := 0; i < k; i++ {
+			r.anyReq[i] = r.nonspecReq[i] || r.specReq[i]
+		}
+		winner = ou.lg.Arbitrate(r.anyReq)
+	}
+	if winner < 0 {
+		return
+	}
+	req := ou.pending[r.reqAt[winner]]
+	if req.spec {
+		if r.cfg.VA == OVA && !r.owner.freeVC(o, req.outVC) {
+			// Deep speculation failed after the switch was allocated:
+			// the allocation round is wasted and the failure is only
+			// discovered after the grant has crossed back (Figure 7(c)),
+			// so the output cannot re-arbitrate until then.
+			ou.free.freeAt = now + grantWireDelay + stStartDelay
+			r.removePending(ou, r.reqAt[winner])
+			r.cfg.observe(Event{Cycle: now, Kind: EvNack, Input: req.input, Output: o, VC: req.outVC, Note: "ova-busy"})
+			r.respLine.Push(now, blResponse{input: req.input, vc: req.vc, grant: false})
+			return
+		}
+		if r.cfg.VA == CVA && perVCWinner[req.outVC] != r.reqAt[winner] {
+			// The switch arbiter granted a speculative request that did
+			// not win its parallel VC arbitration — either the VC is
+			// busy (the request is NACKed by nackBusySpecs this cycle)
+			// or it lost the per-VC tie-break (it stays pending). Either
+			// way the switch round is wasted (Figure 8(a)).
+			r.cfg.observe(Event{Cycle: now, Kind: EvNack, Input: req.input, Output: o, VC: req.outVC, Note: "cva-lost-vc-arb"})
+			return
+		}
+		r.owner.acquire(o, req.outVC, req.pkt)
+		if r.cfg.VA == CVA {
+			ou.vcPtr[req.outVC] = (req.input + 1) % k
+		}
+	}
+	r.removePending(ou, r.reqAt[winner])
+	ou.free.freeAt = start + int64(r.cfg.STCycles)
+	r.cfg.observe(Event{Cycle: now, Kind: EvGrant, Input: req.input, Output: o, VC: req.outVC, Note: "switch"})
+	r.respLine.Push(now, blResponse{input: req.input, vc: req.vc, grant: true, outVC: req.outVC})
+}
+
+func (r *baseline) removePending(ou *blOutput, idx int) {
+	last := len(ou.pending) - 1
+	ou.pending[idx] = ou.pending[last]
+	ou.pending = ou.pending[:last]
+}
+
+// issueRequests runs the per-input round-robin arbiters (SA1). An input
+// issues at most one request and only when it has none outstanding and
+// its port will be free by the time a grant could start traversal.
+func (r *baseline) issueRequests(now int64) {
+	k, v := r.cfg.Radix, r.cfg.VCs
+	horizon := now + reqWireDelay + grantWireDelay + stStartDelay
+	req := make([]bool, v)
+	for i := 0; i < k; i++ {
+		if r.outstanding[i] && now-r.issuedAt[i] >= reqTimeout {
+			// Withdraw a request stuck at a congested output so the
+			// input arbiter can serve another VC (the per-cycle
+			// re-selection real request wires get for free). If the
+			// request is still in flight on the wires the withdrawal
+			// misses and the response resolves it instead.
+			ou := r.outs[r.reqOut[i]]
+			for idx, pr := range ou.pending {
+				if pr.input == i {
+					r.removePending(ou, idx)
+					r.outstanding[i] = false
+					break
+				}
+			}
+		}
+		if r.outstanding[i] || r.inFree[i].freeAt > horizon {
+			continue
+		}
+		any := false
+		for c := 0; c < v; c++ {
+			f, ok := r.in[i][c].front()
+			req[c] = ok && now > f.InjectedAt
+			any = any || req[c]
+		}
+		if !any {
+			continue
+		}
+		c := r.inputArb[i].Arbitrate(req)
+		ivc := r.in[i][c]
+		f, _ := ivc.front()
+		breq := blRequest{input: i, vc: c, out: f.Dst, pkt: f.PacketID}
+		if f.Head && ivc.outVC < 0 {
+			breq.spec = true
+			switch r.cfg.SpecPolicy {
+			case SpecFixed:
+				breq.outVC = 0
+			case SpecHash:
+				breq.outVC = int(f.PacketID) % v
+			default: // SpecRotate: adapt after every NACK (Section 4.4)
+				breq.outVC = ivc.reqRotate % v
+			}
+		} else {
+			breq.outVC = ivc.outVC
+		}
+		r.outstanding[i] = true
+		r.issuedAt[i] = now
+		r.reqOut[i] = breq.out
+		r.reqLine.Push(now, breq)
+	}
+}

@@ -1,0 +1,214 @@
+package router
+
+import (
+	"highradix/internal/arb"
+	"highradix/internal/flit"
+	"highradix/internal/sim"
+)
+
+// buffered is the fully buffered crossbar of Section 5 (Figure 12(b)):
+// every crosspoint holds a buffer per input virtual channel, so the
+// crosspoint buffers act as per-output extensions of the input buffers
+// and no VC allocation is needed to reach a crosspoint. Input and
+// output switch allocation are completely decoupled: a flit that wins
+// input arbitration is immediately forwarded to the crosspoint buffer
+// for its output and never re-arbitrates at the input. Output VC
+// allocation happens in two stages at the output: a v-to-1 arbiter
+// selects a VC at each crosspoint and a k-to-1 local-global arbiter
+// selects a crosspoint.
+//
+// Crosspoint buffers never overflow thanks to credit-based flow control
+// (Section 5.2); credits return over a shared per-row credit bus unless
+// Config.IdealCredit asks for the idealized immediate return.
+type buffered struct {
+	cfg Config
+
+	in       [][]*inputVC
+	inFree   []serializer
+	inputArb []*arb.RoundRobin
+
+	credit  [][][]int                    // [input][output][vc] free slots seen by input
+	xp      [][][]*sim.Queue[*flit.Flit] // [input][output][vc]
+	xpArb   [][]*arb.RoundRobin          // [input][output] over VCs
+	outLG   []arb.Arbiter                // per output over crosspoints (inputs)
+	owner   *vcOwnerTable
+	outFree []serializer
+
+	toXp *sim.DelayLine[*flit.Flit]
+	bus  []*creditBus // per input row
+
+	ej      *ejectQueue
+	ejected []*flit.Flit
+
+	candidates []bool
+	chosenVC   []int
+}
+
+func newBuffered(cfg Config) *buffered {
+	k, v := cfg.Radix, cfg.VCs
+	r := &buffered{
+		cfg:        cfg,
+		in:         make([][]*inputVC, k),
+		inFree:     make([]serializer, k),
+		inputArb:   make([]*arb.RoundRobin, k),
+		credit:     make([][][]int, k),
+		xp:         make([][][]*sim.Queue[*flit.Flit], k),
+		xpArb:      make([][]*arb.RoundRobin, k),
+		outLG:      make([]arb.Arbiter, k),
+		owner:      newVCOwnerTable(k, v),
+		outFree:    make([]serializer, k),
+		toXp:       sim.NewDelayLine[*flit.Flit](cfg.STCycles),
+		bus:        make([]*creditBus, k),
+		ej:         newEjectQueue(),
+		candidates: make([]bool, k),
+		chosenVC:   make([]int, k),
+	}
+	for i := 0; i < k; i++ {
+		r.in[i] = make([]*inputVC, v)
+		for c := 0; c < v; c++ {
+			r.in[i][c] = newInputVC(cfg.InputBufDepth)
+		}
+		r.inputArb[i] = arb.NewRoundRobin(v)
+		r.credit[i] = make([][]int, k)
+		r.xp[i] = make([][]*sim.Queue[*flit.Flit], k)
+		r.xpArb[i] = make([]*arb.RoundRobin, k)
+		for o := 0; o < k; o++ {
+			r.credit[i][o] = make([]int, v)
+			r.xp[i][o] = make([]*sim.Queue[*flit.Flit], v)
+			for c := 0; c < v; c++ {
+				r.credit[i][o][c] = cfg.XpointBufDepth
+				r.xp[i][o][c] = sim.NewQueue[*flit.Flit](cfg.XpointBufDepth)
+			}
+			r.xpArb[i][o] = arb.NewRoundRobin(v)
+		}
+		r.outLG[i] = arb.NewOutputArbiter(k, cfg.LocalGroup)
+		r.bus[i] = newCreditBus(k, cfg.LocalGroup)
+	}
+	return r
+}
+
+func (r *buffered) Config() Config { return r.cfg }
+
+func (r *buffered) CanAccept(input, vc int) bool { return !r.in[input][vc].q.Full() }
+
+func (r *buffered) Accept(now int64, f *flit.Flit) {
+	f.InjectedAt = now
+	r.in[f.Src][f.VC].q.MustPush(f)
+	r.cfg.observe(Event{Cycle: now, Kind: EvAccept, Flit: f, Input: f.Src, Output: f.Dst, VC: f.VC})
+}
+
+func (r *buffered) Ejected() []*flit.Flit { return r.ejected }
+
+func (r *buffered) InFlight() int {
+	n := r.ej.len() + r.toXp.Len()
+	for i := range r.in {
+		for _, v := range r.in[i] {
+			n += v.q.Len()
+		}
+		for o := range r.xp[i] {
+			for _, q := range r.xp[i][o] {
+				n += q.Len()
+			}
+		}
+	}
+	return n
+}
+
+func (r *buffered) Step(now int64) {
+	r.ejected = r.ejected[:0]
+	r.ej.drain(now, func(e ejection) {
+		if e.f.Tail {
+			r.owner.release(e.port, e.f.VC, e.f.PacketID)
+		}
+		r.cfg.observe(Event{Cycle: now, Kind: EvEject, Flit: e.f, Input: e.f.Src, Output: e.port, VC: e.f.VC})
+		r.ejected = append(r.ejected, e.f)
+	})
+	// Flits land in their crosspoint buffers after traversing the row.
+	r.toXp.DrainReady(now, func(f *flit.Flit) {
+		r.xp[f.Src][f.Dst][f.VC].MustPush(f)
+	})
+	r.outputStage(now)
+	r.inputStage(now)
+	if !r.cfg.IdealCredit {
+		for i := range r.bus {
+			i := i
+			r.bus[i].step(now, func(output, vc int) { r.credit[i][output][vc]++ })
+		}
+	}
+}
+
+// outputStage performs the two-stage output VC allocation and drains one
+// flit per free output per round.
+func (r *buffered) outputStage(now int64) {
+	k, v := r.cfg.Radix, r.cfg.VCs
+	st := int64(r.cfg.STCycles)
+	req := make([]bool, v)
+	for o := 0; o < k; o++ {
+		if !r.outFree[o].free(now) {
+			continue
+		}
+		any := false
+		for i := 0; i < k; i++ {
+			r.candidates[i] = false
+			r.chosenVC[i] = -1
+			hasVC := false
+			for c := 0; c < v; c++ {
+				f, ok := r.xp[i][o][c].Peek()
+				req[c] = ok && (f.Head && r.owner.freeVC(o, c) || !f.Head)
+				hasVC = hasVC || req[c]
+			}
+			if !hasVC {
+				continue
+			}
+			c := r.xpArb[i][o].Arbitrate(req)
+			r.candidates[i] = true
+			r.chosenVC[i] = c
+			any = true
+		}
+		if !any {
+			continue
+		}
+		win := r.outLG[o].Arbitrate(r.candidates)
+		c := r.chosenVC[win]
+		f := r.xp[win][o][c].MustPop()
+		if f.Head {
+			r.owner.acquire(o, c, f.PacketID)
+		}
+		r.cfg.observe(Event{Cycle: now, Kind: EvGrant, Flit: f, Input: win, Output: o, VC: c, Note: "output"})
+		r.outFree[o].reserve(now, r.cfg.STCycles)
+		r.ej.push(now+st, o, f)
+		if r.cfg.IdealCredit {
+			r.credit[win][o][c]++
+		} else {
+			r.bus[win].enqueue(o, c)
+		}
+	}
+}
+
+// inputStage forwards at most one flit per input row into a crosspoint
+// buffer, subject to credits. No allocation beyond the input round-robin
+// is needed — this is the decoupling that removes head-of-line blocking.
+func (r *buffered) inputStage(now int64) {
+	k, v := r.cfg.Radix, r.cfg.VCs
+	req := make([]bool, v)
+	for i := 0; i < k; i++ {
+		if !r.inFree[i].free(now) {
+			continue
+		}
+		any := false
+		for c := 0; c < v; c++ {
+			f, ok := r.in[i][c].front()
+			req[c] = ok && now > f.InjectedAt && r.credit[i][f.Dst][c] > 0
+			any = any || req[c]
+		}
+		if !any {
+			continue
+		}
+		c := r.inputArb[i].Arbitrate(req)
+		f := r.in[i][c].q.MustPop()
+		r.credit[i][f.Dst][c]--
+		r.inFree[i].reserve(now, r.cfg.STCycles)
+		r.cfg.observe(Event{Cycle: now, Kind: EvGrant, Flit: f, Input: i, Output: f.Dst, VC: c, Note: "input-row"})
+		r.toXp.Push(now, f)
+	}
+}

@@ -1,0 +1,278 @@
+// Package router implements the router microarchitectures studied by
+// the paper:
+//
+//   - ArchLowRadix — the conventional input-queued virtual-channel router
+//     of Section 3 with centralized single-cycle allocation. It is the
+//     paper's (unrealistic at high radix) comparison point.
+//   - ArchBaseline — the baseline scaled to high radix (Section 4) with
+//     the distributed separable switch allocator of Figure 6 and
+//     speculative virtual-channel allocation, either CVA (crosspoint VC
+//     allocation) or OVA (output VC allocation), optionally with the
+//     prioritized dual switch arbiter of Section 4.4.
+//   - ArchBuffered — the fully buffered crossbar of Section 5 with
+//     per-input-VC crosspoint buffers, credit-based flow control and a
+//     shared credit-return bus per input row.
+//   - ArchSharedXpoint — the Section 5.4 variant with a single shared
+//     buffer per crosspoint and ACK/NACK retention in the input buffers.
+//   - ArchHierarchical — the paper's contribution (Section 6): the
+//     crossbar decomposed into p x p subswitches with per-VC buffers at
+//     subswitch inputs and outputs and decoupled local/global VC
+//     allocation.
+//
+// All architectures share the same external contract (Router) so the
+// testbench and benchmarks can sweep them interchangeably, and the same
+// timing conventions: every switch port is serialized at STCycles per
+// flit (the paper's "each flit taking 4 cycles to traverse the switch").
+package router
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Arch selects a router microarchitecture.
+type Arch int
+
+// Architectures, in the order the paper develops them.
+const (
+	ArchLowRadix Arch = iota
+	ArchBaseline
+	ArchBuffered
+	ArchSharedXpoint
+	ArchHierarchical
+)
+
+// String returns the report name of the architecture.
+func (a Arch) String() string {
+	switch a {
+	case ArchLowRadix:
+		return "lowradix"
+	case ArchBaseline:
+		return "baseline"
+	case ArchBuffered:
+		return "buffered"
+	case ArchSharedXpoint:
+		return "sharedxp"
+	case ArchHierarchical:
+		return "hierarchical"
+	default:
+		return fmt.Sprintf("arch(%d)", int(a))
+	}
+}
+
+// ArchByName parses a report name back into an Arch.
+func ArchByName(name string) (Arch, error) {
+	for _, a := range []Arch{ArchLowRadix, ArchBaseline, ArchBuffered, ArchSharedXpoint, ArchHierarchical} {
+		if a.String() == name {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("router: unknown architecture %q", name)
+}
+
+// VAScheme selects how the baseline architecture performs speculative
+// virtual-channel allocation (Section 4.2).
+type VAScheme int
+
+const (
+	// CVA maintains output-VC state at the crosspoints; requests whose
+	// output VC is busy are rejected before they can win the switch, so
+	// speculation wastes input bids but never switch slots.
+	CVA VAScheme = iota
+	// OVA defers the VC check until after the full three-stage switch
+	// allocation; a winner whose VC is busy wastes the allocation round.
+	OVA
+)
+
+// String returns the report name of the VA scheme.
+func (s VAScheme) String() string {
+	if s == OVA {
+		return "OVA"
+	}
+	return "CVA"
+}
+
+// SpecPolicy selects the output-VC bid of a speculative request.
+type SpecPolicy int
+
+const (
+	// SpecRotate rotates the VC choice after every failed speculation,
+	// so a blocked packet eventually finds a free VC — the careful
+	// re-bidding Section 4.4 calls for. This is the default.
+	SpecRotate SpecPolicy = iota
+	// SpecFixed always bids VC 0: the naive policy whose failed bids
+	// keep hammering a busy VC and waste bandwidth.
+	SpecFixed
+	// SpecHash spreads initial bids by packet ID but never adapts to
+	// failure.
+	SpecHash
+)
+
+// String returns the report name of the policy.
+func (p SpecPolicy) String() string {
+	switch p {
+	case SpecFixed:
+		return "fixed"
+	case SpecHash:
+		return "hash"
+	default:
+		return "rotate"
+	}
+}
+
+// Config parameterizes every architecture. Zero fields are filled in by
+// WithDefaults with the paper's evaluation parameters (k=64, v=4,
+// 4-cycle switch traversal, 4-flit crosspoint buffers, m=8 local
+// arbitration groups, p=8 subswitches).
+type Config struct {
+	// Arch selects the microarchitecture.
+	Arch Arch
+	// Radix is k, the number of input and output ports.
+	Radix int
+	// VCs is v, the number of virtual channels.
+	VCs int
+	// InputBufDepth is the per-input-VC buffer depth in flits.
+	InputBufDepth int
+	// XpointBufDepth is the per-VC crosspoint buffer depth in flits
+	// (fully buffered and shared-crosspoint architectures).
+	XpointBufDepth int
+	// SubSize is p, the subswitch size of the hierarchical crossbar.
+	SubSize int
+	// SubInDepth and SubOutDepth are the per-VC buffer depths at
+	// subswitch inputs and outputs.
+	SubInDepth  int
+	SubOutDepth int
+	// STCycles is the switch traversal time of one flit in cycles.
+	STCycles int
+	// LocalGroup is m, the local arbitration group size of the
+	// distributed output arbiters (Figure 6).
+	LocalGroup int
+	// AllocIters is the number of allocation iterations of the
+	// centralized low-radix switch allocator (iSLIP-style). The paper's
+	// reference design uses a single iteration; more iterations shrink
+	// the head-of-line matching loss and are only affordable because
+	// the allocator is centralized — which is exactly why it does not
+	// scale to high radix.
+	AllocIters int
+	// VA selects CVA or OVA for the baseline architecture.
+	VA VAScheme
+	// SpecPolicy selects how a speculative head flit picks the output
+	// VC it bids for (baseline architecture; Section 4.4 discusses how
+	// careless re-bidding wastes bandwidth).
+	SpecPolicy SpecPolicy
+	// Prioritized enables the dual speculative/nonspeculative switch
+	// arbiter of Section 4.4 (baseline architecture only).
+	Prioritized bool
+	// IdealCredit bypasses the shared credit-return bus and returns
+	// credits instantly (the "ideal (but not realizable) switch" of
+	// Section 5.2, used as an ablation).
+	IdealCredit bool
+	// Seed seeds all arbitration tie-breaking randomness (none today;
+	// kept so configurations fully describe a deterministic run).
+	Seed uint64
+	// Observer, when non-nil, receives per-flit microarchitectural
+	// events (accepts, grants, NACKs, ejects). Purely diagnostic; nil
+	// costs nothing.
+	Observer Observer
+}
+
+// WithDefaults returns a copy of c with unset fields replaced by the
+// paper's evaluation defaults.
+func (c Config) WithDefaults() Config {
+	if c.Radix == 0 {
+		c.Radix = 64
+	}
+	if c.VCs == 0 {
+		c.VCs = 4
+	}
+	if c.InputBufDepth == 0 {
+		c.InputBufDepth = 16
+	}
+	if c.XpointBufDepth == 0 {
+		c.XpointBufDepth = 4
+	}
+	if c.SubSize == 0 {
+		c.SubSize = 8
+	}
+	if c.SubInDepth == 0 {
+		c.SubInDepth = 4
+	}
+	if c.SubOutDepth == 0 {
+		c.SubOutDepth = 4
+	}
+	if c.STCycles == 0 {
+		c.STCycles = 4
+	}
+	if c.LocalGroup == 0 {
+		c.LocalGroup = 8
+	}
+	if c.AllocIters == 0 {
+		c.AllocIters = 1
+	}
+	return c
+}
+
+// Validate reports configuration errors. Call on a config that has been
+// through WithDefaults.
+func (c Config) Validate() error {
+	var errs []error
+	if c.Radix < 2 {
+		errs = append(errs, fmt.Errorf("radix %d < 2", c.Radix))
+	}
+	if c.VCs < 1 {
+		errs = append(errs, fmt.Errorf("vcs %d < 1", c.VCs))
+	}
+	if c.InputBufDepth < 1 {
+		errs = append(errs, fmt.Errorf("input buffer depth %d < 1", c.InputBufDepth))
+	}
+	if c.STCycles < 1 {
+		errs = append(errs, fmt.Errorf("switch traversal %d < 1 cycles", c.STCycles))
+	}
+	if c.LocalGroup < 1 {
+		errs = append(errs, fmt.Errorf("local group %d < 1", c.LocalGroup))
+	}
+	switch c.Arch {
+	case ArchBuffered, ArchSharedXpoint:
+		if c.XpointBufDepth < 1 {
+			errs = append(errs, fmt.Errorf("crosspoint buffer depth %d < 1", c.XpointBufDepth))
+		}
+	case ArchHierarchical:
+		if c.SubSize < 1 || c.Radix%c.SubSize != 0 {
+			errs = append(errs, fmt.Errorf("subswitch size %d must divide radix %d", c.SubSize, c.Radix))
+		}
+		if c.SubInDepth < 1 || c.SubOutDepth < 1 {
+			errs = append(errs, fmt.Errorf("subswitch buffer depths must be >= 1 (got in=%d out=%d)", c.SubInDepth, c.SubOutDepth))
+		}
+	case ArchLowRadix, ArchBaseline:
+		// No extra constraints.
+	default:
+		errs = append(errs, fmt.Errorf("unknown architecture %d", int(c.Arch)))
+	}
+	if c.Prioritized && c.Arch != ArchBaseline {
+		errs = append(errs, errors.New("prioritized allocation applies only to the baseline architecture"))
+	}
+	return errors.Join(errs...)
+}
+
+// New constructs a router for the configuration. Defaults are applied
+// and the configuration validated.
+func New(cfg Config) (Router, error) {
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("router: invalid config: %w", err)
+	}
+	switch cfg.Arch {
+	case ArchLowRadix:
+		return newLowRadix(cfg), nil
+	case ArchBaseline:
+		return newBaseline(cfg), nil
+	case ArchBuffered:
+		return newBuffered(cfg), nil
+	case ArchSharedXpoint:
+		return newSharedXpoint(cfg), nil
+	case ArchHierarchical:
+		return newHierarchical(cfg), nil
+	default:
+		return nil, fmt.Errorf("router: unknown architecture %d", int(cfg.Arch))
+	}
+}

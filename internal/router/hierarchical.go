@@ -1,0 +1,354 @@
+package router
+
+import (
+	"highradix/internal/arb"
+	"highradix/internal/flit"
+	"highradix/internal/sim"
+)
+
+// hierarchical is the paper's proposed architecture (Section 6,
+// Figure 16): the k x k crossbar is decomposed into a (k/p) x (k/p)
+// grid of p x p subswitches. Only subswitch inputs and outputs carry
+// buffers, all per virtual channel, so storage grows as O(v*k^2/p)
+// instead of the fully buffered crossbar's O(v*k^2).
+//
+// The subswitch input buffers are allocated according to a packet's
+// *input* VC (credit flow control from the router input, no allocation
+// needed), while the subswitch output buffers are allocated according
+// to the packet's *output* VC — VC allocation is thereby decoupled into
+// a local allocation inside the subswitch and a global allocation among
+// the subswitches of an output column, and flits never need to be
+// NACKed out of intermediate buffers.
+//
+// Head-of-line blocking can reappear inside a subswitch: a subswitch
+// input buffer is shared by the p outputs of its column group, which is
+// exactly why the adversarial pattern of Section 6 (all traffic of a
+// row group aimed at one column group) degrades the hierarchical design
+// while uniform traffic, which loads each subswitch at only lambda*p/k,
+// does not.
+type hierarchical struct {
+	cfg Config
+	p   int // subswitch size
+	g   int // groups per side = k/p
+
+	in       [][]*inputVC
+	inFree   []serializer
+	inputArb []*arb.RoundRobin
+	creditIn [][][]int // [input][column][vc] credits for subIn buffers
+
+	// Subswitch state, indexed [row][col].
+	subIn       [][][][]*sim.Queue[*flit.Flit] // [row][col][localIn][vc]
+	subOut      [][][][]*sim.Queue[*flit.Flit] // [row][col][localOut][vc]
+	subOutCred  [][][][]int                    // slots available in subOut (reserved at internal grant)
+	subOutOwner [][]*vcOwnerTable              // [row][col] local VC allocation over (localOut, vc)
+	intInFree   [][][]serializer               // [row][col][localIn]
+	intOutFree  [][][]serializer               // [row][col][localOut]
+	subInArb    [][][]*arb.RoundRobin          // [row][col][localIn] over VCs
+	intArb      [][][]*arb.RoundRobin          // [row][col][localOut] over local inputs
+
+	owner    *vcOwnerTable // global output VC allocation
+	outFree  []serializer
+	colArb   []arb.Arbiter       // per output, over rows (subswitches in the column)
+	subOutVC [][]*arb.RoundRobin // [output][row] per subswitch-output VC pick for the column stage
+
+	toSubIn    *sim.DelayLine[*flit.Flit]
+	toSubOut   *sim.DelayLine[*flit.Flit]
+	creditWire *sim.DelayLine[flit.Credit] // subIn slot freed -> router input
+
+	ej      *ejectQueue
+	ejected []*flit.Flit
+
+	rowCand []bool
+	rowVC   []int
+}
+
+func newHierarchical(cfg Config) *hierarchical {
+	k, v, p := cfg.Radix, cfg.VCs, cfg.SubSize
+	g := k / p
+	r := &hierarchical{
+		cfg:        cfg,
+		p:          p,
+		g:          g,
+		in:         make([][]*inputVC, k),
+		inFree:     make([]serializer, k),
+		inputArb:   make([]*arb.RoundRobin, k),
+		creditIn:   make([][][]int, k),
+		owner:      newVCOwnerTable(k, v),
+		outFree:    make([]serializer, k),
+		colArb:     make([]arb.Arbiter, k),
+		subOutVC:   make([][]*arb.RoundRobin, k),
+		toSubIn:    sim.NewDelayLine[*flit.Flit](cfg.STCycles),
+		toSubOut:   sim.NewDelayLine[*flit.Flit](cfg.STCycles),
+		creditWire: sim.NewDelayLine[flit.Credit](2),
+		ej:         newEjectQueue(),
+		rowCand:    make([]bool, g),
+		rowVC:      make([]int, g),
+	}
+	for i := 0; i < k; i++ {
+		r.in[i] = make([]*inputVC, v)
+		for c := 0; c < v; c++ {
+			r.in[i][c] = newInputVC(cfg.InputBufDepth)
+		}
+		r.inputArb[i] = arb.NewRoundRobin(v)
+		r.creditIn[i] = make([][]int, g)
+		for col := 0; col < g; col++ {
+			r.creditIn[i][col] = make([]int, v)
+			for c := 0; c < v; c++ {
+				r.creditIn[i][col][c] = cfg.SubInDepth
+			}
+		}
+		r.colArb[i] = arb.NewOutputArbiter(g, cfg.LocalGroup)
+		r.subOutVC[i] = make([]*arb.RoundRobin, g)
+		for row := 0; row < g; row++ {
+			r.subOutVC[i][row] = arb.NewRoundRobin(v)
+		}
+	}
+	mk4 := func(depth int) [][][][]*sim.Queue[*flit.Flit] {
+		grid := make([][][][]*sim.Queue[*flit.Flit], g)
+		for row := range grid {
+			grid[row] = make([][][]*sim.Queue[*flit.Flit], g)
+			for col := range grid[row] {
+				grid[row][col] = make([][]*sim.Queue[*flit.Flit], p)
+				for q := range grid[row][col] {
+					grid[row][col][q] = make([]*sim.Queue[*flit.Flit], v)
+					for c := range grid[row][col][q] {
+						grid[row][col][q][c] = sim.NewQueue[*flit.Flit](depth)
+					}
+				}
+			}
+		}
+		return grid
+	}
+	r.subIn = mk4(cfg.SubInDepth)
+	r.subOut = mk4(cfg.SubOutDepth)
+	r.subOutCred = make([][][][]int, g)
+	r.subOutOwner = make([][]*vcOwnerTable, g)
+	r.intInFree = make([][][]serializer, g)
+	r.intOutFree = make([][][]serializer, g)
+	r.subInArb = make([][][]*arb.RoundRobin, g)
+	r.intArb = make([][][]*arb.RoundRobin, g)
+	for row := 0; row < g; row++ {
+		r.subOutCred[row] = make([][][]int, g)
+		r.subOutOwner[row] = make([]*vcOwnerTable, g)
+		r.intInFree[row] = make([][]serializer, g)
+		r.intOutFree[row] = make([][]serializer, g)
+		r.subInArb[row] = make([][]*arb.RoundRobin, g)
+		r.intArb[row] = make([][]*arb.RoundRobin, g)
+		for col := 0; col < g; col++ {
+			r.subOutCred[row][col] = make([][]int, p)
+			for j := 0; j < p; j++ {
+				r.subOutCred[row][col][j] = make([]int, v)
+				for c := 0; c < v; c++ {
+					r.subOutCred[row][col][j][c] = cfg.SubOutDepth
+				}
+			}
+			r.subOutOwner[row][col] = newVCOwnerTable(p, v)
+			r.intInFree[row][col] = make([]serializer, p)
+			r.intOutFree[row][col] = make([]serializer, p)
+			r.subInArb[row][col] = make([]*arb.RoundRobin, p)
+			r.intArb[row][col] = make([]*arb.RoundRobin, p)
+			for q := 0; q < p; q++ {
+				r.subInArb[row][col][q] = arb.NewRoundRobin(v)
+				r.intArb[row][col][q] = arb.NewRoundRobin(p)
+			}
+		}
+	}
+	return r
+}
+
+func (r *hierarchical) Config() Config { return r.cfg }
+
+func (r *hierarchical) CanAccept(input, vc int) bool { return !r.in[input][vc].q.Full() }
+
+func (r *hierarchical) Accept(now int64, f *flit.Flit) {
+	f.InjectedAt = now
+	r.in[f.Src][f.VC].q.MustPush(f)
+	r.cfg.observe(Event{Cycle: now, Kind: EvAccept, Flit: f, Input: f.Src, Output: f.Dst, VC: f.VC})
+}
+
+func (r *hierarchical) Ejected() []*flit.Flit { return r.ejected }
+
+func (r *hierarchical) InFlight() int {
+	n := r.ej.len() + r.toSubIn.Len() + r.toSubOut.Len()
+	for i := range r.in {
+		for _, v := range r.in[i] {
+			n += v.q.Len()
+		}
+	}
+	for row := 0; row < r.g; row++ {
+		for col := 0; col < r.g; col++ {
+			for q := 0; q < r.p; q++ {
+				for c := 0; c < r.cfg.VCs; c++ {
+					n += r.subIn[row][col][q][c].Len()
+					n += r.subOut[row][col][q][c].Len()
+				}
+			}
+		}
+	}
+	return n
+}
+
+func (r *hierarchical) Step(now int64) {
+	r.ejected = r.ejected[:0]
+	r.ej.drain(now, func(e ejection) {
+		if e.f.Tail {
+			r.owner.release(e.port, e.f.VC, e.f.PacketID)
+		}
+		r.cfg.observe(Event{Cycle: now, Kind: EvEject, Flit: e.f, Input: e.f.Src, Output: e.port, VC: e.f.VC})
+		r.ejected = append(r.ejected, e.f)
+	})
+	r.toSubIn.DrainReady(now, func(f *flit.Flit) {
+		row, q := f.Src/r.p, f.Src%r.p
+		col := f.Dst / r.p
+		r.subIn[row][col][q][f.VC].MustPush(f)
+	})
+	r.toSubOut.DrainReady(now, func(f *flit.Flit) {
+		row := f.Src / r.p
+		col, j := f.Dst/r.p, f.Dst%r.p
+		r.subOut[row][col][j][f.VC].MustPush(f)
+	})
+	r.creditWire.DrainReady(now, func(c flit.Credit) {
+		r.creditIn[c.Input][c.Output][c.VC]++
+	})
+	r.columnStage(now)
+	r.internalStage(now)
+	r.inputStage(now)
+}
+
+// columnStage performs global output VC allocation and drains one flit
+// per free output per round from the subswitch output buffers of its
+// column, arbitrating among the k/p subswitches with the same
+// local-global scheme as the other architectures.
+func (r *hierarchical) columnStage(now int64) {
+	k, v := r.cfg.Radix, r.cfg.VCs
+	st := int64(r.cfg.STCycles)
+	req := make([]bool, v)
+	for o := 0; o < k; o++ {
+		if !r.outFree[o].free(now) {
+			continue
+		}
+		col, j := o/r.p, o%r.p
+		any := false
+		for row := 0; row < r.g; row++ {
+			r.rowCand[row] = false
+			r.rowVC[row] = -1
+			has := false
+			for c := 0; c < v; c++ {
+				f, ok := r.subOut[row][col][j][c].Peek()
+				req[c] = ok && (f.Head && r.owner.freeVC(o, c) || !f.Head)
+				has = has || req[c]
+			}
+			if !has {
+				continue
+			}
+			c := r.subOutVC[o][row].Arbitrate(req)
+			r.rowCand[row] = true
+			r.rowVC[row] = c
+			any = true
+		}
+		if !any {
+			continue
+		}
+		row := r.colArb[o].Arbitrate(r.rowCand)
+		c := r.rowVC[row]
+		f := r.subOut[row][col][j][c].MustPop()
+		r.cfg.observe(Event{Cycle: now, Kind: EvGrant, Flit: f, Input: f.Src, Output: o, VC: c, Note: "column"})
+		if f.Head {
+			r.owner.acquire(o, c, f.PacketID)
+		}
+		r.subOutCred[row][col][j][c]++
+		r.outFree[o].reserve(now, r.cfg.STCycles)
+		r.ej.push(now+st, o, f)
+	}
+}
+
+// internalStage moves flits across each p x p subswitch crossbar from
+// input buffers to output buffers, performing the local VC allocation.
+func (r *hierarchical) internalStage(now int64) {
+	v, p := r.cfg.VCs, r.p
+	req := make([]bool, v)
+	cand := make([]bool, p)
+	candVC := make([]int, p)
+	for row := 0; row < r.g; row++ {
+		for col := 0; col < r.g; col++ {
+			ownerT := r.subOutOwner[row][col]
+			for j := 0; j < p; j++ {
+				if !r.intOutFree[row][col][j].free(now) {
+					continue
+				}
+				any := false
+				for q := 0; q < p; q++ {
+					cand[q] = false
+					candVC[q] = -1
+					if !r.intInFree[row][col][q].free(now) {
+						continue
+					}
+					has := false
+					for c := 0; c < v; c++ {
+						f, ok := r.subIn[row][col][q][c].Peek()
+						eligible := ok && f.Dst%p == j &&
+							r.subOutCred[row][col][j][c] > 0 &&
+							(f.Head && ownerT.freeVC(j, c) || !f.Head && ownerT.ownedBy(j, c, f.PacketID))
+						req[c] = eligible
+						has = has || eligible
+					}
+					if !has {
+						continue
+					}
+					c := r.subInArb[row][col][q].Arbitrate(req)
+					cand[q] = true
+					candVC[q] = c
+					any = true
+				}
+				if !any {
+					continue
+				}
+				q := r.intArb[row][col][j].Arbitrate(cand)
+				c := candVC[q]
+				f := r.subIn[row][col][q][c].MustPop()
+				if f.Head {
+					ownerT.acquire(j, c, f.PacketID)
+				}
+				if f.Tail {
+					ownerT.release(j, c, f.PacketID)
+				}
+				r.subOutCred[row][col][j][c]--
+				r.intInFree[row][col][q].reserve(now, r.cfg.STCycles)
+				r.intOutFree[row][col][j].reserve(now, r.cfg.STCycles)
+				r.cfg.observe(Event{Cycle: now, Kind: EvGrant, Flit: f, Input: row*r.p + q, Output: f.Dst, VC: c, Note: "subswitch"})
+				r.toSubOut.Push(now, f)
+				// Freed subswitch input slot: return a credit to the
+				// router input that feeds local port q of this row.
+				r.creditWire.Push(now, flit.Credit{Input: row*p + q, Output: col, VC: c})
+			}
+		}
+	}
+}
+
+// inputStage forwards at most one flit per router input onto its row
+// bus, towards the subswitch serving the flit's destination column,
+// subject to subswitch input buffer credits.
+func (r *hierarchical) inputStage(now int64) {
+	k, v := r.cfg.Radix, r.cfg.VCs
+	req := make([]bool, v)
+	for i := 0; i < k; i++ {
+		if !r.inFree[i].free(now) {
+			continue
+		}
+		any := false
+		for c := 0; c < v; c++ {
+			f, ok := r.in[i][c].front()
+			req[c] = ok && now > f.InjectedAt && r.creditIn[i][f.Dst/r.p][c] > 0
+			any = any || req[c]
+		}
+		if !any {
+			continue
+		}
+		c := r.inputArb[i].Arbitrate(req)
+		f := r.in[i][c].q.MustPop()
+		r.creditIn[i][f.Dst/r.p][c]--
+		r.inFree[i].reserve(now, r.cfg.STCycles)
+		r.cfg.observe(Event{Cycle: now, Kind: EvGrant, Flit: f, Input: i, Output: f.Dst, VC: c, Note: "row-bus"})
+		r.toSubIn.Push(now, f)
+	}
+}

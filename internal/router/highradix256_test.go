@@ -1,0 +1,29 @@
+package router_test
+
+import (
+	"testing"
+
+	"highradix/internal/router"
+)
+
+// TestVeryHighRadixTreeArbitration exercises the >2-stage output
+// arbiter path: at radix 256 with m=8 local groups the output arbiters
+// are three-stage trees (the extension Section 4.1 sketches for very
+// high radices). The full invariant battery must still hold.
+func TestVeryHighRadixTreeArbitration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("radix-256 drive skipped in short mode")
+	}
+	cfgs := map[string]router.Config{
+		"baseline-256": {Arch: router.ArchBaseline, Radix: 256, VCs: 2, InputBufDepth: 8, LocalGroup: 8},
+		"hier-256":     {Arch: router.ArchHierarchical, Radix: 256, VCs: 2, SubSize: 16, InputBufDepth: 8, LocalGroup: 8},
+	}
+	for name, cfg := range cfgs {
+		cfg := cfg
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			drive(t, cfg, 600, 1, 21)
+			drive(t, cfg, 150, 4, 22)
+		})
+	}
+}

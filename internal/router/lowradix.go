@@ -1,0 +1,243 @@
+package router
+
+import (
+	"highradix/internal/arb"
+	"highradix/internal/flit"
+)
+
+// lowRadix is the conventional input-queued virtual-channel router of
+// Section 3 (Figure 4) with centralized allocation and the short
+// pipeline of Figure 5(b): RC, VA, SA each take one cycle and switch
+// traversal takes STCycles. Virtual-channel allocation is
+// nonspeculative — the centralized allocator sees the status of every
+// output VC — and switch allocation is a single-iteration separable
+// input-first match. The paper uses this design at radix 16 as the
+// comparison point in Figure 9, noting that the centralized single-cycle
+// allocation "does not scale" to high radix.
+type lowRadix struct {
+	cfg Config
+
+	in       [][]*inputVC // [input][vc]
+	owner    *vcOwnerTable
+	inFree   []serializer
+	outFree  []serializer
+	inputArb []*arb.RoundRobin // per input, over VCs
+	outArb   []*arb.RoundRobin // per output, over inputs
+	vaPtr    [][]int           // [output][outVC] rotating pointer over input-VC flat index
+
+	ej      *ejectQueue
+	ejected []*flit.Flit
+
+	// scratch
+	saReqOut []int // per input: requested output this cycle (-1 none)
+	saReqVC  []int // per input: requesting VC
+	outReq   []bool
+}
+
+func newLowRadix(cfg Config) *lowRadix {
+	k, v := cfg.Radix, cfg.VCs
+	r := &lowRadix{
+		cfg:      cfg,
+		in:       make([][]*inputVC, k),
+		owner:    newVCOwnerTable(k, v),
+		inFree:   make([]serializer, k),
+		outFree:  make([]serializer, k),
+		inputArb: make([]*arb.RoundRobin, k),
+		outArb:   make([]*arb.RoundRobin, k),
+		vaPtr:    make([][]int, k),
+		ej:       newEjectQueue(),
+		saReqOut: make([]int, k),
+		saReqVC:  make([]int, k),
+		outReq:   make([]bool, k),
+	}
+	for i := 0; i < k; i++ {
+		r.in[i] = make([]*inputVC, v)
+		for c := 0; c < v; c++ {
+			r.in[i][c] = newInputVC(cfg.InputBufDepth)
+		}
+		r.inputArb[i] = arb.NewRoundRobin(v)
+		r.outArb[i] = arb.NewRoundRobin(k)
+		r.vaPtr[i] = make([]int, v)
+	}
+	return r
+}
+
+func (r *lowRadix) Config() Config { return r.cfg }
+
+func (r *lowRadix) CanAccept(input, vc int) bool { return !r.in[input][vc].q.Full() }
+
+func (r *lowRadix) Accept(now int64, f *flit.Flit) {
+	f.InjectedAt = now
+	r.in[f.Src][f.VC].q.MustPush(f)
+	r.cfg.observe(Event{Cycle: now, Kind: EvAccept, Flit: f, Input: f.Src, Output: f.Dst, VC: f.VC})
+}
+
+func (r *lowRadix) Ejected() []*flit.Flit { return r.ejected }
+
+func (r *lowRadix) InFlight() int {
+	n := r.ej.len()
+	for _, vcs := range r.in {
+		for _, v := range vcs {
+			n += v.q.Len()
+		}
+	}
+	return n
+}
+
+func (r *lowRadix) Step(now int64) {
+	r.ejected = r.ejected[:0]
+	r.ej.drain(now, func(e ejection) {
+		if e.f.Tail {
+			r.owner.release(e.port, e.f.VC, e.f.PacketID)
+		}
+		r.cfg.observe(Event{Cycle: now, Kind: EvEject, Flit: e.f, Input: e.f.Src, Output: e.port, VC: e.f.VC})
+		r.ejected = append(r.ejected, e.f)
+	})
+	r.switchAllocate(now)
+	r.vcAllocate(now)
+}
+
+// vcAllocate is the centralized separable VC allocator: each input VC
+// whose head packet lacks an output VC requests one free VC on its
+// output (rotating choice), and a per-output-VC arbiter grants one
+// requester. Runs after switch allocation within the cycle so a newly
+// allocated packet first traverses in the next cycle (VA and SA are
+// distinct pipeline stages, Figure 5(b)).
+func (r *lowRadix) vcAllocate(now int64) {
+	k, v := r.cfg.Radix, r.cfg.VCs
+	// requests[o][ov] collects flat input-VC indices.
+	type reqList struct{ reqs []int }
+	var table map[int]*reqList // key o*v+ov
+	for i := 0; i < k; i++ {
+		for c := 0; c < v; c++ {
+			ivc := r.in[i][c]
+			f, ok := ivc.front()
+			if !ok || !f.Head || ivc.outVC >= 0 || now <= f.InjectedAt {
+				continue
+			}
+			o := f.Dst
+			// Rotating scan for a free output VC; the centralized
+			// allocator sees VC status, so only free VCs are requested.
+			cand := -1
+			for s := 0; s < v; s++ {
+				ov := (ivc.reqRotate + s) % v
+				if r.owner.freeVC(o, ov) {
+					cand = ov
+					break
+				}
+			}
+			if cand < 0 {
+				ivc.reqRotate = (ivc.reqRotate + 1) % v
+				continue
+			}
+			if table == nil {
+				table = make(map[int]*reqList)
+			}
+			key := o*v + cand
+			l := table[key]
+			if l == nil {
+				l = &reqList{}
+				table[key] = l
+			}
+			l.reqs = append(l.reqs, i*v+c)
+		}
+	}
+	for key, l := range table {
+		o, ov := key/v, key%v
+		// Rotating-priority grant over flat input-VC index.
+		ptr := r.vaPtr[o][ov]
+		best, bestRank := -1, 1<<62
+		for _, fi := range l.reqs {
+			rank := (fi - ptr + k*v) % (k * v)
+			if rank < bestRank {
+				bestRank, best = rank, fi
+			}
+		}
+		r.vaPtr[o][ov] = (best + 1) % (k * v)
+		i, c := best/v, best%v
+		ivc := r.in[i][c]
+		f, _ := ivc.front()
+		r.owner.acquire(o, ov, f.PacketID)
+		ivc.outVC = ov
+	}
+}
+
+// switchAllocate is the single-cycle separable input-first switch
+// allocator: each idle input picks one ready VC, then each output
+// grants one requesting input. With Config.AllocIters > 1 the match is
+// refined iSLIP-style: unmatched inputs re-bid, avoiding outputs that
+// already matched — the centralized luxury the paper's reference design
+// enjoys and the distributed design cannot afford.
+func (r *lowRadix) switchAllocate(now int64) {
+	k, v := r.cfg.Radix, r.cfg.VCs
+	st := r.cfg.STCycles
+	req := make([]bool, v)
+	inputMatched := make([]bool, k)
+	for iter := 0; iter < r.cfg.AllocIters; iter++ {
+		for i := range r.saReqOut {
+			r.saReqOut[i] = -1
+		}
+		anyReq := false
+		for i := 0; i < k; i++ {
+			if inputMatched[i] || !r.inFree[i].free(now) {
+				continue
+			}
+			any := false
+			for c := 0; c < v; c++ {
+				ivc := r.in[i][c]
+				f, ok := ivc.front()
+				// On the first iteration the input stage is blind to
+				// output status (a busy-output bid wastes the input's
+				// cycle — the head-of-line behavior that caps
+				// input-queued switches near 60%, Section 4.3). Later
+				// iterations only re-bid toward outputs that can still
+				// be granted, which is what the refinement is for.
+				eligible := ok && now > f.InjectedAt && ivc.outVC >= 0
+				if eligible && iter > 0 && !r.outFree[f.Dst].free(now) {
+					eligible = false
+				}
+				req[c] = eligible
+				any = any || eligible
+			}
+			if !any {
+				continue
+			}
+			c := r.inputArb[i].Arbitrate(req)
+			f, _ := r.in[i][c].front()
+			r.saReqOut[i] = f.Dst
+			r.saReqVC[i] = c
+			anyReq = true
+		}
+		if !anyReq {
+			break
+		}
+		for o := 0; o < k; o++ {
+			if !r.outFree[o].free(now) {
+				continue
+			}
+			any := false
+			for i := 0; i < k; i++ {
+				r.outReq[i] = r.saReqOut[i] == o
+				any = any || r.outReq[i]
+			}
+			if !any {
+				continue
+			}
+			win := r.outArb[o].Arbitrate(r.outReq)
+			c := r.saReqVC[win]
+			ivc := r.in[win][c]
+			f := ivc.q.MustPop()
+			f.VC = ivc.outVC
+			if f.Tail {
+				ivc.outVC = -1
+			}
+			// Traversal occupies cycles now+1 .. now+STCycles; the flit
+			// ejects on the final traversal cycle.
+			r.inFree[win].reserve(now, st)
+			r.outFree[o].reserve(now, st)
+			r.cfg.observe(Event{Cycle: now, Kind: EvGrant, Flit: f, Input: win, Output: o, VC: f.VC, Note: "switch"})
+			r.ej.push(now+int64(st), o, f)
+			inputMatched[win] = true
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package router
+
+import "highradix/internal/flit"
+
+// EventKind classifies observable microarchitectural events.
+type EventKind int
+
+// Event kinds, in rough pipeline order.
+const (
+	// EvAccept: a flit entered an input buffer.
+	EvAccept EventKind = iota
+	// EvGrant: a flit won switch allocation and started moving toward
+	// (or onto) an output; for multi-stage architectures one flit emits
+	// a grant per stage with Note identifying the stage.
+	EvGrant
+	// EvNack: a speculative request or retained flit was rejected and
+	// must re-bid (baseline VC-allocation failure, shared-crosspoint
+	// NACK).
+	EvNack
+	// EvEject: a flit left an output port.
+	EvEject
+)
+
+// String names the kind.
+func (k EventKind) String() string {
+	switch k {
+	case EvAccept:
+		return "accept"
+	case EvGrant:
+		return "grant"
+	case EvNack:
+		return "nack"
+	case EvEject:
+		return "eject"
+	default:
+		return "event"
+	}
+}
+
+// Event is one observable occurrence inside a router. Flit may be nil
+// for events that concern a request rather than a moving flit.
+type Event struct {
+	Cycle  int64
+	Kind   EventKind
+	Flit   *flit.Flit
+	Input  int
+	Output int
+	VC     int
+	// Note identifies the pipeline location for multi-stage events
+	// ("input", "xpoint", "subswitch", "column", ...).
+	Note string
+}
+
+// Observer receives events from a router whose Config.Observer is set.
+// Observation is strictly passive; observers must not mutate flits.
+// Simulation hot paths check for a nil observer, so tracing costs
+// nothing when disabled.
+type Observer interface {
+	Observe(Event)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(Event)
+
+// Observe implements Observer.
+func (f ObserverFunc) Observe(e Event) { f(e) }
+
+// observe emits an event if an observer is attached.
+func (c *Config) observe(e Event) {
+	if c.Observer != nil {
+		c.Observer.Observe(e)
+	}
+}

@@ -1,0 +1,137 @@
+package router
+
+import (
+	"highradix/internal/flit"
+	"highradix/internal/sim"
+)
+
+// Router is the external contract shared by every architecture. A
+// router is advanced one cycle at a time; the caller injects flits into
+// input virtual channels subject to CanAccept (the upstream side of
+// credit flow control) and collects ejected flits after each Step.
+type Router interface {
+	// Config returns the (defaulted) configuration the router was built
+	// with.
+	Config() Config
+	// CanAccept reports whether input buffer (input, vc) has a free slot.
+	CanAccept(input, vc int) bool
+	// Accept places f into input buffer (input, f.VC). The caller must
+	// have checked CanAccept; violating flow control panics, because it
+	// indicates a credit-accounting bug, never a recoverable condition.
+	Accept(now int64, f *flit.Flit)
+	// Step advances the router one cycle.
+	Step(now int64)
+	// Ejected returns the flits that left output ports during the last
+	// Step. The slice is reused; callers must not retain it across
+	// steps.
+	Ejected() []*flit.Flit
+	// InFlight reports the number of flits inside the router (input
+	// buffers, intermediate buffers and traversal pipelines). Draining
+	// testbenches run until this reaches zero.
+	InFlight() int
+}
+
+// serializer models a port that carries one flit every STCycles cycles:
+// input rows, output columns, subswitch ports.
+type serializer struct{ freeAt int64 }
+
+func (s *serializer) free(now int64) bool { return s.freeAt <= now }
+
+func (s *serializer) reserve(now int64, cycles int) { s.freeAt = now + int64(cycles) }
+
+// vcOwnerTable tracks which packet currently owns each output virtual
+// channel. A packet acquires the VC with its head flit and releases it
+// when the tail departs — the per-packet VC allocation of Section 3.
+type vcOwnerTable struct {
+	owner [][]uint64 // [port][vc]; 0 = free
+}
+
+func newVCOwnerTable(ports, vcs int) *vcOwnerTable {
+	t := &vcOwnerTable{owner: make([][]uint64, ports)}
+	for i := range t.owner {
+		t.owner[i] = make([]uint64, vcs)
+	}
+	return t
+}
+
+func (t *vcOwnerTable) freeVC(port, vc int) bool { return t.owner[port][vc] == 0 }
+
+func (t *vcOwnerTable) ownedBy(port, vc int, pkt uint64) bool { return t.owner[port][vc] == pkt }
+
+func (t *vcOwnerTable) acquire(port, vc int, pkt uint64) {
+	if t.owner[port][vc] != 0 {
+		panic("router: output VC double allocation")
+	}
+	t.owner[port][vc] = pkt
+}
+
+func (t *vcOwnerTable) release(port, vc int, pkt uint64) {
+	if t.owner[port][vc] != pkt {
+		panic("router: output VC released by non-owner")
+	}
+	t.owner[port][vc] = 0
+}
+
+// ejection is a flit scheduled to leave an output port at a future
+// cycle (the end of its switch traversal).
+type ejection struct {
+	at   int64
+	port int
+	f    *flit.Flit
+}
+
+// ejectQueue orders scheduled ejections. Pushes happen with
+// nondecreasing grant cycles and a bounded traversal time, so a simple
+// FIFO with an insertion sort window suffices; in practice pushes are
+// already nearly sorted and the queue stays short (at most one flit in
+// flight per output port).
+type ejectQueue struct {
+	q *sim.Queue[ejection]
+}
+
+func newEjectQueue() *ejectQueue { return &ejectQueue{q: sim.NewQueue[ejection](0)} }
+
+func (e *ejectQueue) push(at int64, port int, f *flit.Flit) {
+	e.q.MustPush(ejection{at: at, port: port, f: f})
+}
+
+func (e *ejectQueue) len() int { return e.q.Len() }
+
+// drain appends flits whose time has come to out, removing them.
+// Ejections for distinct ports may be recorded out of order; drain scans
+// the whole queue. The queue length is bounded by the port count, so
+// the scan is cheap.
+func (e *ejectQueue) drain(now int64, fn func(ejection)) {
+	n := e.q.Len()
+	for i := 0; i < n; i++ {
+		ej := e.q.MustPop()
+		if ej.at <= now {
+			fn(ej)
+		} else {
+			e.q.MustPush(ej)
+		}
+	}
+}
+
+// inputVC is one virtual-channel buffer at a router input, shared by
+// every architecture. Route state lives with the VC because per-packet
+// steps (route computation, VC allocation) are performed once per
+// packet at the head flit.
+type inputVC struct {
+	q *sim.Queue[*flit.Flit]
+	// outVC is the allocated output virtual channel of the packet whose
+	// flits currently occupy the front of the queue; -1 when the head
+	// packet has not completed VC allocation.
+	outVC int
+	// reqRotate rotates the speculative output-VC choice across
+	// allocation attempts so a failed speculation eventually finds a
+	// free VC (Section 4.4's re-bidding).
+	reqRotate int
+}
+
+func newInputVC(depth int) *inputVC {
+	return &inputVC{q: sim.NewQueue[*flit.Flit](depth), outVC: -1}
+}
+
+// front returns the flit at the head of the buffer.
+func (v *inputVC) front() (*flit.Flit, bool) { return v.q.Peek() }

@@ -1,0 +1,257 @@
+package router
+
+import (
+	"highradix/internal/arb"
+	"highradix/internal/flit"
+	"highradix/internal/sim"
+)
+
+// sharedXpoint is the Section 5.4 variant of the buffered crossbar: one
+// buffer per crosspoint shared by all virtual channels, cutting
+// crosspoint storage by a factor of v. Because a speculative head flit
+// cannot be allowed to wait in the shared buffer for output VC
+// allocation (it would block every VC and risk deadlock), a flit sent
+// to the crosspoint is retained in the input buffer until the
+// crosspoint returns an ACK; a head flit whose output VC is busy when
+// it reaches the buffer front is dropped from the crosspoint and NACKed,
+// and the input re-sends it later.
+type sharedXpoint struct {
+	cfg Config
+
+	in       [][]*inputVC
+	awaiting [][]bool // [input][vc]: sent speculatively, ACK/NACK pending
+	inFree   []serializer
+	inputArb []*arb.RoundRobin
+
+	credit  [][]int                    // [input][output] shared-buffer credits
+	xp      [][]*sim.Queue[*flit.Flit] // [input][output] shared FIFO
+	outLG   []arb.Arbiter
+	owner   *vcOwnerTable
+	outFree []serializer
+
+	toXp *sim.DelayLine[*flit.Flit]
+	ack  *sim.DelayLine[xpAck]
+	bus  []*creditBus
+
+	ej      *ejectQueue
+	ejected []*flit.Flit
+
+	candidates []bool
+}
+
+type xpAck struct {
+	input, vc int
+	ack       bool // false = NACK
+}
+
+func newSharedXpoint(cfg Config) *sharedXpoint {
+	k, v := cfg.Radix, cfg.VCs
+	r := &sharedXpoint{
+		cfg:        cfg,
+		in:         make([][]*inputVC, k),
+		awaiting:   make([][]bool, k),
+		inFree:     make([]serializer, k),
+		inputArb:   make([]*arb.RoundRobin, k),
+		credit:     make([][]int, k),
+		xp:         make([][]*sim.Queue[*flit.Flit], k),
+		outLG:      make([]arb.Arbiter, k),
+		owner:      newVCOwnerTable(k, v),
+		outFree:    make([]serializer, k),
+		toXp:       sim.NewDelayLine[*flit.Flit](cfg.STCycles),
+		ack:        sim.NewDelayLine[xpAck](1),
+		bus:        make([]*creditBus, k),
+		ej:         newEjectQueue(),
+		candidates: make([]bool, k),
+	}
+	for i := 0; i < k; i++ {
+		r.in[i] = make([]*inputVC, v)
+		for c := 0; c < v; c++ {
+			r.in[i][c] = newInputVC(cfg.InputBufDepth)
+		}
+		r.awaiting[i] = make([]bool, v)
+		r.inputArb[i] = arb.NewRoundRobin(v)
+		r.credit[i] = make([]int, k)
+		r.xp[i] = make([]*sim.Queue[*flit.Flit], k)
+		for o := 0; o < k; o++ {
+			r.credit[i][o] = cfg.XpointBufDepth
+			r.xp[i][o] = sim.NewQueue[*flit.Flit](cfg.XpointBufDepth)
+		}
+		r.outLG[i] = arb.NewOutputArbiter(k, cfg.LocalGroup)
+		r.bus[i] = newCreditBus(k, cfg.LocalGroup)
+	}
+	return r
+}
+
+func (r *sharedXpoint) Config() Config { return r.cfg }
+
+func (r *sharedXpoint) CanAccept(input, vc int) bool { return !r.in[input][vc].q.Full() }
+
+func (r *sharedXpoint) Accept(now int64, f *flit.Flit) {
+	f.InjectedAt = now
+	r.in[f.Src][f.VC].q.MustPush(f)
+	r.cfg.observe(Event{Cycle: now, Kind: EvAccept, Flit: f, Input: f.Src, Output: f.Dst, VC: f.VC})
+}
+
+func (r *sharedXpoint) Ejected() []*flit.Flit { return r.ejected }
+
+func (r *sharedXpoint) InFlight() int {
+	// A flit awaiting ACK exists both input-side (retained copy) and
+	// crosspoint-side, so this is an upper bound rather than an exact
+	// occupancy; it is zero exactly when the router is empty, which is
+	// the property drain loops rely on.
+	n := r.ej.len() + r.toXp.Len() + r.inflightXpOnly()
+	for i := range r.in {
+		for _, v := range r.in[i] {
+			n += v.q.Len()
+		}
+	}
+	return n
+}
+
+// inflightXpOnly counts flits that live only in crosspoint buffers (body
+// flits, which are ACKed on arrival and popped from the input).
+func (r *sharedXpoint) inflightXpOnly() int {
+	n := 0
+	for i := range r.xp {
+		for o := range r.xp[i] {
+			q := r.xp[i][o]
+			for idx := 0; idx < q.Len(); idx++ {
+				f, _ := q.PeekAt(idx)
+				if !f.Head {
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
+func (r *sharedXpoint) Step(now int64) {
+	r.ejected = r.ejected[:0]
+	r.ej.drain(now, func(e ejection) {
+		if e.f.Tail {
+			r.owner.release(e.port, e.f.VC, e.f.PacketID)
+		}
+		r.cfg.observe(Event{Cycle: now, Kind: EvEject, Flit: e.f, Input: e.f.Src, Output: e.port, VC: e.f.VC})
+		r.ejected = append(r.ejected, e.f)
+	})
+	r.ack.DrainReady(now, func(a xpAck) {
+		r.awaiting[a.input][a.vc] = false
+		if a.ack {
+			r.in[a.input][a.vc].q.MustPop()
+		}
+	})
+	r.toXp.DrainReady(now, func(f *flit.Flit) {
+		r.xp[f.Src][f.Dst].MustPush(f)
+		if !f.Head {
+			// Body and tail flits cannot fail VC allocation; ACK on
+			// arrival so the input can proceed.
+			r.ack.Push(now, xpAck{input: f.Src, vc: f.VC, ack: true})
+		}
+	})
+	r.nackBlockedHeads(now)
+	r.outputStage(now)
+	r.inputStage(now)
+	if !r.cfg.IdealCredit {
+		for i := range r.bus {
+			i := i
+			r.bus[i].step(now, func(output, vc int) { r.credit[i][output]++ })
+		}
+	}
+}
+
+// nackBlockedHeads removes head flits that reached the front of a shared
+// crosspoint buffer while their output VC is busy — the flit must not
+// wait there (Section 5.4), so it is dropped and the input re-sends.
+func (r *sharedXpoint) nackBlockedHeads(now int64) {
+	k := r.cfg.Radix
+	for i := 0; i < k; i++ {
+		for o := 0; o < k; o++ {
+			f, ok := r.xp[i][o].Peek()
+			if !ok || !f.Head {
+				continue
+			}
+			if !r.owner.freeVC(o, f.VC) {
+				r.xp[i][o].MustPop()
+				r.cfg.observe(Event{Cycle: now, Kind: EvNack, Flit: f, Input: i, Output: o, VC: f.VC, Note: "xpoint-vc-busy"})
+				r.ack.Push(now, xpAck{input: i, vc: f.VC, ack: false})
+				r.returnCredit(i, o)
+			}
+		}
+	}
+}
+
+func (r *sharedXpoint) returnCredit(i, o int) {
+	if r.cfg.IdealCredit {
+		r.credit[i][o]++
+	} else {
+		r.bus[i].enqueue(o, 0)
+	}
+}
+
+func (r *sharedXpoint) outputStage(now int64) {
+	k := r.cfg.Radix
+	st := int64(r.cfg.STCycles)
+	for o := 0; o < k; o++ {
+		if !r.outFree[o].free(now) {
+			continue
+		}
+		any := false
+		for i := 0; i < k; i++ {
+			f, ok := r.xp[i][o].Peek()
+			eligible := ok && (!f.Head && r.owner.ownedBy(o, f.VC, f.PacketID) ||
+				f.Head && r.owner.freeVC(o, f.VC))
+			r.candidates[i] = eligible
+			any = any || eligible
+		}
+		if !any {
+			continue
+		}
+		win := r.outLG[o].Arbitrate(r.candidates)
+		f := r.xp[win][o].MustPop()
+		r.cfg.observe(Event{Cycle: now, Kind: EvGrant, Flit: f, Input: win, Output: o, VC: f.VC, Note: "output"})
+		if f.Head {
+			r.owner.acquire(o, f.VC, f.PacketID)
+			// Successful VC allocation: ACK so the input releases its
+			// retained copy.
+			r.ack.Push(now, xpAck{input: win, vc: f.VC, ack: true})
+		}
+		r.outFree[o].reserve(now, r.cfg.STCycles)
+		r.ej.push(now+st, o, f)
+		r.returnCredit(win, o)
+	}
+}
+
+func (r *sharedXpoint) inputStage(now int64) {
+	k, v := r.cfg.Radix, r.cfg.VCs
+	req := make([]bool, v)
+	for i := 0; i < k; i++ {
+		if !r.inFree[i].free(now) {
+			continue
+		}
+		any := false
+		for c := 0; c < v; c++ {
+			f, ok := r.in[i][c].front()
+			req[c] = ok && !r.awaiting[i][c] && now > f.InjectedAt && r.credit[i][f.Dst] > 0
+			any = any || req[c]
+		}
+		if !any {
+			continue
+		}
+		c := r.inputArb[i].Arbitrate(req)
+		f, _ := r.in[i][c].front()
+		r.credit[i][f.Dst]--
+		r.inFree[i].reserve(now, r.cfg.STCycles)
+		r.cfg.observe(Event{Cycle: now, Kind: EvGrant, Flit: f, Input: i, Output: f.Dst, VC: c, Note: "input-row"})
+		if f.Head {
+			// Speculative: retain in the input buffer until ACK/NACK.
+			r.awaiting[i][c] = true
+			r.toXp.Push(now, f)
+		} else {
+			// Nonspeculative body flits are ACKed on arrival; mark the
+			// VC awaiting so the same flit is not re-sent meanwhile.
+			r.awaiting[i][c] = true
+			r.toXp.Push(now, f)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package sim
+
+// Queue is a bounded FIFO implemented as a ring buffer. A capacity of
+// zero means unbounded (the ring grows on demand); simulated hardware
+// buffers always use a positive capacity while source queues are
+// unbounded.
+type Queue[T any] struct {
+	buf   []T
+	head  int
+	size  int
+	cap   int // 0 = unbounded
+	zeroT T
+}
+
+// NewQueue returns a queue with the given capacity. capacity <= 0 makes
+// the queue unbounded.
+func NewQueue[T any](capacity int) *Queue[T] {
+	initial := capacity
+	if initial <= 0 {
+		initial = 8
+	}
+	c := capacity
+	if c < 0 {
+		c = 0
+	}
+	return &Queue[T]{buf: make([]T, initial), cap: c}
+}
+
+// Len reports the number of queued items.
+func (q *Queue[T]) Len() int { return q.size }
+
+// Cap reports the configured capacity (0 = unbounded).
+func (q *Queue[T]) Cap() int { return q.cap }
+
+// Empty reports whether the queue holds no items.
+func (q *Queue[T]) Empty() bool { return q.size == 0 }
+
+// Full reports whether a bounded queue is at capacity. Unbounded queues
+// are never full.
+func (q *Queue[T]) Full() bool { return q.cap > 0 && q.size >= q.cap }
+
+// Free reports remaining slots in a bounded queue; for unbounded queues
+// it returns a large positive number.
+func (q *Queue[T]) Free() int {
+	if q.cap == 0 {
+		return int(^uint(0) >> 1)
+	}
+	return q.cap - q.size
+}
+
+// Push appends v. It returns false (and drops nothing) when the queue is
+// full — hardware models treat that as a flow-control violation and panic
+// at the call site where it indicates a credit-accounting bug.
+func (q *Queue[T]) Push(v T) bool {
+	if q.Full() {
+		return false
+	}
+	if q.size == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.size)%len(q.buf)] = v
+	q.size++
+	return true
+}
+
+// MustPush pushes v and panics if the queue is full. Use where flow
+// control guarantees space and overflow indicates a simulator bug.
+func (q *Queue[T]) MustPush(v T) {
+	if !q.Push(v) {
+		panic("sim: queue overflow (credit accounting bug)")
+	}
+}
+
+// Peek returns the item at the front without removing it. ok is false
+// when the queue is empty.
+func (q *Queue[T]) Peek() (v T, ok bool) {
+	if q.size == 0 {
+		return q.zeroT, false
+	}
+	return q.buf[q.head], true
+}
+
+// PeekAt returns the i-th item from the front (0 = front) without
+// removing it.
+func (q *Queue[T]) PeekAt(i int) (v T, ok bool) {
+	if i < 0 || i >= q.size {
+		return q.zeroT, false
+	}
+	return q.buf[(q.head+i)%len(q.buf)], true
+}
+
+// Pop removes and returns the front item. ok is false when empty.
+func (q *Queue[T]) Pop() (v T, ok bool) {
+	if q.size == 0 {
+		return q.zeroT, false
+	}
+	v = q.buf[q.head]
+	q.buf[q.head] = q.zeroT
+	q.head = (q.head + 1) % len(q.buf)
+	q.size--
+	return v, true
+}
+
+// MustPop pops and panics if the queue is empty.
+func (q *Queue[T]) MustPop() T {
+	v, ok := q.Pop()
+	if !ok {
+		panic("sim: pop from empty queue")
+	}
+	return v
+}
+
+func (q *Queue[T]) grow() {
+	nbuf := make([]T, 2*len(q.buf))
+	for i := 0; i < q.size; i++ {
+		nbuf[i] = q.buf[(q.head+i)%len(q.buf)]
+	}
+	q.buf = nbuf
+	q.head = 0
+}

@@ -1,0 +1,140 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical draws", same)
+	}
+}
+
+func TestRNGZeroSeedWorks(t *testing.T) {
+	r := NewRNG(0)
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		seen[r.Uint64()] = true
+	}
+	if len(seen) < 100 {
+		t.Fatalf("zero-seeded RNG produced duplicates in 100 draws: %d unique", len(seen))
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRNG(7)
+	err := quick.Check(func(n uint16) bool {
+		bound := int(n%1000) + 1
+		v := r.Intn(bound)
+		return v >= 0 && v < bound
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := NewRNG(99)
+	const n, draws = 8, 80000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d: %d draws, want ~%.0f", i, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	r := NewRNG(5)
+	const p, draws = 0.3, 100000
+	hits := 0
+	for i := 0; i < draws; i++ {
+		if r.Bernoulli(p) {
+			hits++
+		}
+	}
+	got := float64(hits) / draws
+	if math.Abs(got-p) > 0.01 {
+		t.Fatalf("Bernoulli(%v) rate %v", p, got)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(11)
+	err := quick.Check(func(n uint8) bool {
+		size := int(n%50) + 1
+		p := r.Perm(size)
+		if len(p) != size {
+			return false
+		}
+		seen := make([]bool, size)
+		for _, v := range p {
+			if v < 0 || v >= size || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := NewRNG(13)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if c1.Uint64() == c2.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("split streams overlapped in %d of 100 draws", same)
+	}
+}

@@ -1,0 +1,84 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func renderFixture() *Table {
+	tab := &Table{Title: "Fig", XLabel: "load", YLabel: "latency"}
+	a := &Series{Name: "alpha"}
+	a.Add(0.2, 10, false)
+	a.Add(0.4, 20, false)
+	a.Add(0.6, 400, true)
+	b := &Series{Name: "beta,quoted"}
+	b.Add(0.2, 12, false)
+	b.Add(0.4, 14, false)
+	tab.AddSeries(a)
+	tab.AddSeries(b)
+	return tab
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	out := renderFixture().CSV()
+	lines := strings.Split(strings.TrimSpace(out), "\r\n")
+	if len(lines) != 4 {
+		t.Fatalf("CSV has %d lines, want 4:\n%s", len(lines), out)
+	}
+	if lines[0] != `load,alpha,"beta,quoted"` {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "0.2,10,12" {
+		t.Fatalf("row 1 = %q", lines[1])
+	}
+	if !strings.Contains(lines[3], "400*") {
+		t.Fatalf("saturated marker missing: %q", lines[3])
+	}
+	if !strings.HasSuffix(lines[3], ",") {
+		t.Fatalf("missing empty cell for short series: %q", lines[3])
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	if got := csvEscape(`a"b`); got != `"a""b"` {
+		t.Fatalf("escape = %q", got)
+	}
+	if got := csvEscape("plain"); got != "plain" {
+		t.Fatalf("plain escaped: %q", got)
+	}
+}
+
+func TestPlotRenders(t *testing.T) {
+	out := renderFixture().Plot(40, 10)
+	for _, want := range []string{"a = alpha", "b = beta,quoted", "+", "|"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("plot missing %q:\n%s", want, out)
+		}
+	}
+	// Marker 'a' must appear in the grid.
+	gridPart := out[:strings.Index(out, "a = alpha")]
+	if !strings.Contains(gridPart, "a") {
+		t.Fatalf("no series marker plotted:\n%s", out)
+	}
+}
+
+func TestPlotEmpty(t *testing.T) {
+	tab := &Table{Title: "empty"}
+	if out := tab.Plot(40, 10); !strings.Contains(out, "no data") {
+		t.Fatalf("empty plot: %q", out)
+	}
+}
+
+func TestPlotClampsOutliers(t *testing.T) {
+	tab := &Table{Title: "clamp", XLabel: "x", YLabel: "y"}
+	s := &Series{Name: "s"}
+	for i := 0; i < 99; i++ {
+		s.Add(float64(i), 10, false)
+	}
+	s.Add(99, 1e9, true) // diverging tail
+	tab.AddSeries(s)
+	out := tab.Plot(40, 10)
+	if strings.Contains(out, "1e+09") {
+		t.Fatalf("outlier not clamped:\n%s", out)
+	}
+}

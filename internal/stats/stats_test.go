@@ -1,0 +1,141 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSampleMoments(t *testing.T) {
+	s := NewSample(0)
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if got := s.Mean(); got != 5 {
+		t.Fatalf("mean = %v, want 5", got)
+	}
+	// Unbiased variance of the classic dataset: sum sq dev = 32, /7.
+	if got := s.Variance(); math.Abs(got-32.0/7) > 1e-12 {
+		t.Fatalf("variance = %v, want %v", got, 32.0/7)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestSampleEmpty(t *testing.T) {
+	s := NewSample(0)
+	if s.Mean() != 0 || s.Variance() != 0 || s.Quantile(0.5) != 0 {
+		t.Fatal("empty sample should report zeros")
+	}
+	if !math.IsInf(s.HalfWidth99(), 1) {
+		t.Fatal("empty sample CI should be infinite")
+	}
+}
+
+func TestQuantiles(t *testing.T) {
+	s := NewSample(0)
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	cases := map[float64]float64{0: 1, 1: 100, 0.5: 50.5}
+	for q, want := range cases {
+		if got := s.Quantile(q); math.Abs(got-want) > 1e-9 {
+			t.Errorf("quantile %v = %v, want %v", q, got, want)
+		}
+	}
+	if p99 := s.Quantile(0.99); p99 < 98 || p99 > 100 {
+		t.Errorf("p99 = %v", p99)
+	}
+}
+
+func TestReservoirBoundsMemory(t *testing.T) {
+	s := NewSample(100)
+	for i := 0; i < 10000; i++ {
+		s.Add(float64(i % 1000))
+	}
+	if len(s.values) != 100 {
+		t.Fatalf("reservoir holds %d values, want 100", len(s.values))
+	}
+	// The reservoir median should still approximate the true median.
+	if m := s.Quantile(0.5); m < 300 || m > 700 {
+		t.Fatalf("reservoir median %v far from 499.5", m)
+	}
+	// Exact moments are unaffected by the reservoir.
+	if s.N() != 10000 {
+		t.Fatalf("N = %d", s.N())
+	}
+}
+
+func TestConfidenceShrinks(t *testing.T) {
+	small := NewSample(0)
+	large := NewSample(0)
+	seq := func(s *Sample, n int) {
+		x := 1.0
+		for i := 0; i < n; i++ {
+			x = math.Mod(x*1.618033988749895+0.3, 1)
+			s.Add(10 + x)
+		}
+	}
+	seq(small, 50)
+	seq(large, 5000)
+	if small.HalfWidth99() <= large.HalfWidth99() {
+		t.Fatalf("CI did not shrink with samples: %v vs %v", small.HalfWidth99(), large.HalfWidth99())
+	}
+	if !large.MeetsPaperAccuracy() {
+		t.Fatalf("5000 low-variance samples fail the 3%%/99%% criterion (rel err %v)", large.RelativeError99())
+	}
+}
+
+func TestVarianceNonNegativeProperty(t *testing.T) {
+	err := quick.Check(func(vals []float64) bool {
+		s := NewSample(0)
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e12 {
+				continue
+			}
+			s.Add(v)
+		}
+		return s.Variance() >= 0
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeriesSaturation(t *testing.T) {
+	s := &Series{Name: "x"}
+	s.Add(0.2, 10, false)
+	s.Add(0.4, 12, false)
+	s.Add(0.6, 500, true)
+	if got := s.SaturationX(); got != 0.6 {
+		t.Fatalf("SaturationX = %v, want 0.6", got)
+	}
+	empty := &Series{Name: "e"}
+	if empty.SaturationX() != 0 {
+		t.Fatal("empty series saturation not 0")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{Title: "T", XLabel: "load", YLabel: "latency"}
+	a := &Series{Name: "a"}
+	a.Add(0.2, 10, false)
+	a.Add(0.4, 20, true)
+	b := &Series{Name: "b"}
+	b.Add(0.2, 11, false)
+	tab.AddSeries(a)
+	tab.AddSeries(b)
+	tab.AddScalar("sat", 0.5, "frac")
+	tab.AddNote("hello %d", 7)
+	out := tab.String()
+	for _, want := range []string{"== T ==", "load", "a", "b", "20*", "sat: 0.5 frac", "hello 7", "-"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,309 @@
+// Package testbench drives a single router with synthetic traffic using
+// the methodology of the paper's Section 4.3: Bernoulli (or Markov
+// ON/OFF) injection, a warm-up period without measurement, a labeled
+// sample of packets injected during a measurement interval, and a drain
+// phase that runs until every labeled packet has been delivered. It
+// reports mean packet latency, accepted throughput and saturation.
+package testbench
+
+import (
+	"errors"
+	"fmt"
+
+	"highradix/internal/flit"
+	"highradix/internal/router"
+	"highradix/internal/sim"
+	"highradix/internal/stats"
+	"highradix/internal/traffic"
+)
+
+// Options parameterizes one simulation run.
+type Options struct {
+	// Router is the configuration of the device under test.
+	Router router.Config
+	// Pattern supplies destinations; nil means uniform random.
+	Pattern traffic.Pattern
+	// Trace, when non-nil, replaces synthetic generation entirely: the
+	// recorded packets are injected at their recorded cycles (Load,
+	// PktLen, Pattern and Bursty are ignored). Entries must fit the
+	// router's port range.
+	Trace *traffic.Trace
+	// Bursty switches injection from Bernoulli to Markov ON/OFF with
+	// BurstLen average packets per burst; burst packets share a
+	// destination (Table 1).
+	Bursty   bool
+	BurstLen float64
+	// Load is offered load as a fraction of switch capacity
+	// (capacity = one flit per port per STCycles cycles).
+	Load float64
+	// PktLen is packet length in flits (the paper uses 1 and 10).
+	PktLen int
+	// WarmupCycles, MeasureCycles and DrainCycles size the three phases.
+	// DrainCycles bounds the drain; exceeding it marks the run
+	// saturated. Zero values take defaults.
+	WarmupCycles  int64
+	MeasureCycles int64
+	DrainCycles   int64
+	// SatLatency marks the run saturated when the mean latency of
+	// delivered labeled packets exceeds it (cycles). Zero = default.
+	SatLatency float64
+	// Seed makes the run reproducible.
+	Seed uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.PktLen == 0 {
+		o.PktLen = 1
+	}
+	if o.WarmupCycles == 0 {
+		o.WarmupCycles = 3000
+	}
+	if o.MeasureCycles == 0 {
+		o.MeasureCycles = 8000
+	}
+	if o.DrainCycles == 0 {
+		o.DrainCycles = 4 * (o.WarmupCycles + o.MeasureCycles)
+	}
+	if o.SatLatency == 0 {
+		o.SatLatency = 1000
+	}
+	if o.BurstLen == 0 {
+		o.BurstLen = 8
+	}
+	return o
+}
+
+// Result summarizes one run.
+type Result struct {
+	// Load echoes the offered load.
+	Load float64
+	// AvgLatency is the mean labeled-packet latency in cycles, from
+	// generation (including source queueing) to tail ejection.
+	AvgLatency float64
+	// P50 and P99 are latency quantiles of the labeled sample.
+	P50, P99 float64
+	// Throughput is accepted throughput during the measurement window
+	// as a fraction of capacity.
+	Throughput float64
+	// Packets is the number of labeled packets delivered.
+	Packets int64
+	// Saturated reports that the run did not reach steady state: the
+	// drain did not complete or the mean latency diverged.
+	Saturated bool
+	// RelErr99 is the 99%-confidence relative half-width of the mean
+	// latency (the paper keeps this under 3%).
+	RelErr99 float64
+	// Cycles is the total simulated cycle count.
+	Cycles int64
+}
+
+// source is the injection machinery in front of one router input: an
+// unbounded generation queue, a flit-serialized injection channel, and
+// per-packet VC assignment.
+type source struct {
+	q       *sim.Queue[*flit.Flit]
+	injFree int64 // cycle the injection channel frees
+	curVC   int   // VC of the packet currently crossing the channel
+	vcPtr   int   // rotating VC assignment pointer
+	proc    traffic.Process
+	rng     *sim.RNG
+}
+
+// Run executes one simulation and returns its measurements.
+func Run(o Options) (Result, error) {
+	o = o.withDefaults()
+	r, err := router.New(o.Router)
+	if err != nil {
+		return Result{}, err
+	}
+	cfg := r.Config()
+	k, v, st := cfg.Radix, cfg.VCs, cfg.STCycles
+	if o.Trace == nil {
+		if o.Load < 0 {
+			return Result{}, errors.New("testbench: negative load")
+		}
+		if o.Load/float64(st*o.PktLen) > 1 {
+			return Result{}, fmt.Errorf("testbench: load %.3g needs more than one packet per cycle per source", o.Load)
+		}
+	} else {
+		for _, e := range o.Trace.Entries() {
+			if e.Src < 0 || e.Src >= k || e.Dst < 0 || e.Dst >= k {
+				return Result{}, fmt.Errorf("testbench: trace entry %+v outside radix %d", e, k)
+			}
+		}
+		o.Trace.Reset()
+	}
+	pktRate := o.Load / float64(st*o.PktLen)
+
+	master := sim.NewRNG(o.Seed ^ 0x685a2d9cb9a5d1f3)
+	pattern := o.Pattern
+	srcs := make([]*source, k)
+	var markovs []*traffic.MarkovOnOff
+	for i := range srcs {
+		s := &source{q: sim.NewQueue[*flit.Flit](0), curVC: -1, rng: master.Split()}
+		if o.Bursty {
+			m := traffic.NewMarkovOnOff(pktRate, o.BurstLen)
+			markovs = append(markovs, m)
+			s.proc = m
+		} else {
+			s.proc = traffic.NewBernoulli(pktRate)
+		}
+		srcs[i] = s
+	}
+	if pattern == nil {
+		pattern = traffic.NewUniform(k)
+	}
+	if o.Bursty {
+		pattern = traffic.NewBurstPattern(pattern, markovs)
+	}
+
+	lat := stats.NewSample(8192)
+	var (
+		pktID            uint64
+		injectedLabeled  int64
+		deliveredLabeled int64
+		measFlitsOut     int64
+		now              int64
+	)
+	measStart := o.WarmupCycles
+	measEnd := o.WarmupCycles + o.MeasureCycles
+	maxCycles := measEnd + o.DrainCycles
+	if o.Trace != nil && o.Trace.Duration()+o.DrainCycles > maxCycles {
+		maxCycles = o.Trace.Duration() + o.DrainCycles
+	}
+
+	for now = 0; now < maxCycles; now++ {
+		measuring := now >= measStart && now < measEnd
+		// Generate packets.
+		if o.Trace != nil {
+			for _, e := range o.Trace.Due(now) {
+				pktID++
+				for _, f := range flit.MakePacket(pktID, e.Src, e.Dst, 0, e.Len, now, measuring) {
+					srcs[e.Src].q.MustPush(f)
+				}
+				if measuring {
+					injectedLabeled++
+				}
+			}
+		} else {
+			for i, s := range srcs {
+				if !s.proc.Inject(s.rng) {
+					continue
+				}
+				dst := pattern.Dest(i, s.rng)
+				pktID++
+				for _, f := range flit.MakePacket(pktID, i, dst, 0, o.PktLen, now, measuring) {
+					s.q.MustPush(f)
+				}
+				if measuring {
+					injectedLabeled++
+				}
+			}
+		}
+		// Move flits across the injection channels into input buffers.
+		for i, s := range srcs {
+			if s.injFree > now {
+				continue
+			}
+			f, ok := s.q.Peek()
+			if !ok {
+				continue
+			}
+			if f.Head {
+				if s.curVC < 0 {
+					for t := 0; t < v; t++ {
+						vc := (s.vcPtr + t) % v
+						if r.CanAccept(i, vc) {
+							s.curVC = vc
+							break
+						}
+					}
+				}
+				if s.curVC < 0 {
+					continue
+				}
+			} else if !r.CanAccept(i, s.curVC) {
+				continue
+			}
+			if f.Head && !r.CanAccept(i, s.curVC) {
+				continue
+			}
+			s.q.MustPop()
+			f.VC = s.curVC
+			r.Accept(now, f)
+			s.injFree = now + int64(st)
+			if f.Tail {
+				s.vcPtr = (s.curVC + 1) % v
+				s.curVC = -1
+			}
+		}
+		// Advance the router and collect ejections.
+		r.Step(now)
+		for _, f := range r.Ejected() {
+			if measuring {
+				measFlitsOut++
+			}
+			if f.Tail && f.Measured {
+				lat.Add(float64(now - f.CreatedAt))
+				deliveredLabeled++
+			}
+		}
+		if now >= measEnd && deliveredLabeled >= injectedLabeled {
+			now++
+			break
+		}
+	}
+
+	res := Result{
+		Load:       o.Load,
+		AvgLatency: lat.Mean(),
+		P50:        lat.Quantile(0.5),
+		P99:        lat.Quantile(0.99),
+		Throughput: float64(measFlitsOut) * float64(st) / (float64(k) * float64(o.MeasureCycles)),
+		Packets:    deliveredLabeled,
+		RelErr99:   lat.RelativeError99(),
+		Cycles:     now,
+	}
+	// A run is saturated when it fails to reach steady state: the drain
+	// did not complete, the mean latency diverged, or the accepted
+	// throughput fell measurably short of the offered load (the standard
+	// criterion — beyond saturation a router accepts less than offered).
+	if deliveredLabeled < injectedLabeled || res.AvgLatency > o.SatLatency ||
+		res.Throughput < 0.9*o.Load-0.01 {
+		res.Saturated = true
+	}
+	return res, nil
+}
+
+// Sweep runs the simulation across the supplied offered loads and
+// returns a latency-versus-load series named name. Sweeping stops after
+// the first saturated point (matching how the paper's curves end at
+// saturation), which also keeps sweeps fast.
+func Sweep(name string, loads []float64, base Options) (*stats.Series, error) {
+	s := &stats.Series{Name: name}
+	for _, load := range loads {
+		o := base
+		o.Load = load
+		res, err := Run(o)
+		if err != nil {
+			return nil, err
+		}
+		s.Add(load, res.AvgLatency, res.Saturated)
+		if res.Saturated {
+			break
+		}
+	}
+	return s, nil
+}
+
+// SaturationThroughput measures accepted throughput at an offered load
+// of 1.0 — the scalar the paper quotes as "saturation throughput".
+func SaturationThroughput(base Options) (float64, error) {
+	o := base
+	o.Load = 1.0
+	res, err := Run(o)
+	if err != nil {
+		return 0, err
+	}
+	return res.Throughput, nil
+}

@@ -1,0 +1,127 @@
+package traffic
+
+import "highradix/internal/sim"
+
+// Process decides, cycle by cycle, whether a source injects a packet.
+// Rates are expressed in packets per cycle per source; the testbench
+// converts an offered load (fraction of port capacity) into that rate.
+type Process interface {
+	// Inject reports whether a packet is generated this cycle.
+	Inject(rng *sim.RNG) bool
+	// Name identifies the process in reports.
+	Name() string
+}
+
+// Bernoulli injects independently each cycle with probability Rate — the
+// paper's default injection process (Section 4.3).
+type Bernoulli struct{ Rate float64 }
+
+// NewBernoulli returns a Bernoulli process with the given packet rate
+// per cycle.
+func NewBernoulli(rate float64) *Bernoulli { return &Bernoulli{Rate: rate} }
+
+// Inject implements Process.
+func (b *Bernoulli) Inject(rng *sim.RNG) bool { return rng.Bernoulli(b.Rate) }
+
+// Name implements Process.
+func (b *Bernoulli) Name() string { return "bernoulli" }
+
+// MarkovOnOff is Table 1's bursty injection: a two-state Markov process.
+// In the ON state the source injects one packet per cycle; in the OFF
+// state it is silent. The ON->OFF probability beta = 1/avgBurst gives an
+// average burst length of avgBurst packets; the OFF->ON probability
+// alpha is solved so the long-run rate matches the requested rate:
+//
+//	rate = alpha / (alpha + beta)  =>  alpha = rate*beta / (1 - rate)
+//
+// Rates at or above 1 packet/cycle pin the process ON.
+type MarkovOnOff struct {
+	alpha, beta float64
+	on          bool
+	burst       int
+	avgBurst    float64
+	rate        float64
+}
+
+// NewMarkovOnOff returns a bursty process with the given long-run packet
+// rate per cycle and average burst length in packets (the paper uses 8).
+func NewMarkovOnOff(rate, avgBurst float64) *MarkovOnOff {
+	if avgBurst < 1 {
+		panic("traffic: average burst length must be >= 1")
+	}
+	beta := 1.0 / avgBurst
+	var alpha float64
+	if rate >= 1 {
+		alpha = 1
+		beta = 0
+	} else {
+		alpha = rate * beta / (1 - rate)
+		if alpha > 1 {
+			alpha = 1
+		}
+	}
+	return &MarkovOnOff{alpha: alpha, beta: beta, avgBurst: avgBurst, rate: rate}
+}
+
+// Inject implements Process. State transitions are evaluated before the
+// injection decision so a fresh ON state injects immediately.
+func (m *MarkovOnOff) Inject(rng *sim.RNG) bool {
+	if m.on {
+		if rng.Bernoulli(m.beta) {
+			m.on = false
+			m.burst = 0
+		}
+	} else if rng.Bernoulli(m.alpha) {
+		m.on = true
+	}
+	if m.on {
+		m.burst++
+		return true
+	}
+	return false
+}
+
+// InBurst reports whether the process is currently in the ON state with
+// at least one packet already injected this burst. Sources use it to
+// keep a common destination for all packets of one burst, which is what
+// makes bursty traffic stress switch buffering.
+func (m *MarkovOnOff) InBurst() bool { return m.on && m.burst > 1 }
+
+// Name implements Process.
+func (m *MarkovOnOff) Name() string { return "markov" }
+
+// BurstPattern wraps a base pattern so that all packets of one burst
+// from a source share a destination, re-drawn at the start of each
+// burst. For non-bursty processes it behaves exactly like the base
+// pattern. The paper's Table 1 describes bursty traffic as "uniform
+// traffic pattern ... with a bursty injection"; holding the destination
+// for a burst is the standard switch-evaluation reading (it is what
+// exercises intermediate buffering, the effect Figure 18(c) reports).
+type BurstPattern struct {
+	Base  Pattern
+	procs []*MarkovOnOff
+	dests []int
+}
+
+// NewBurstPattern couples a base pattern with the per-source Markov
+// processes so destinations persist per burst.
+func NewBurstPattern(base Pattern, procs []*MarkovOnOff) *BurstPattern {
+	dests := make([]int, len(procs))
+	for i := range dests {
+		dests[i] = -1
+	}
+	return &BurstPattern{Base: base, procs: procs, dests: dests}
+}
+
+// Dest implements Pattern.
+func (b *BurstPattern) Dest(src int, rng *sim.RNG) int {
+	if b.procs[src].InBurst() && b.dests[src] >= 0 {
+		return b.dests[src]
+	}
+	d := b.Base.Dest(src, rng)
+	b.dests[src] = d
+	return d
+}
+
+// Name implements Pattern.
+func (b *BurstPattern) Name() string { return "bursty-" + b.Base.Name() }

@@ -1,0 +1,32 @@
+package traffic
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzLoadTrace ensures the trace parser never panics and that any
+// successfully parsed trace round-trips through WriteTo/LoadTrace.
+func FuzzLoadTrace(f *testing.F) {
+	f.Add("0,1,2\n5,3,4,2\n# comment\n")
+	f.Add("")
+	f.Add("x,y,z")
+	f.Add("9999999999999,0,0,1")
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := LoadTrace(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var b strings.Builder
+		if _, err := tr.WriteTo(&b); err != nil {
+			t.Fatalf("WriteTo failed on parsed trace: %v", err)
+		}
+		back, err := LoadTrace(strings.NewReader(b.String()))
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if back.Len() != tr.Len() {
+			t.Fatalf("round trip lost entries: %d vs %d", back.Len(), tr.Len())
+		}
+	})
+}
