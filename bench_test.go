@@ -21,6 +21,7 @@ import (
 // reports its first few scalar headlines as metrics.
 func benchExperiment(b *testing.B, name string) {
 	b.Helper()
+	b.ReportAllocs()
 	var last *highradix.Table
 	for i := 0; i < b.N; i++ {
 		t, err := highradix.Experiment(name, highradix.QuickScale)
@@ -97,6 +98,7 @@ func BenchmarkExtRadixSweep(b *testing.B)   { benchExperiment(b, "radixsweep") }
 // 60% uniform load for each architecture.
 func benchRouterStep(b *testing.B, cfg highradix.RouterConfig) {
 	b.Helper()
+	b.ReportAllocs()
 	res, err := highradix.Simulate(highradix.SimOptions{
 		Router:        cfg,
 		Load:          0.6,

@@ -4,16 +4,26 @@
 //
 // Examples:
 //
-//	hrnet -radix 64 -digits 2 -load 0.6   # 4096 nodes, 3 stages
-//	hrnet -radix 16 -digits 3 -load 0.6   # 4096 nodes, 5 stages
+//	hrnet -radix 64 -digits 2 -load 0.6        # 4096 nodes, 3 stages
+//	hrnet -radix 16 -digits 3 -load 0.6        # 4096 nodes, 5 stages
+//	hrnet -radix 64 -loads 0.1,0.3,0.5,0.7,0.9 # latency-load sweep
+//
+// With -loads, the listed offered-load points run in parallel on a
+// worker pool (-j workers, default GOMAXPROCS; each run owns its RNG,
+// so the table is identical at every -j) and the sweep stops at the
+// first saturated point, like the paper's curves.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
+	"strconv"
+	"strings"
 
 	"highradix/internal/network"
+	"highradix/internal/sweep"
 )
 
 func main() {
@@ -21,27 +31,54 @@ func main() {
 		radix   = flag.Int("radix", 64, "router radix k")
 		digits  = flag.Int("digits", 0, "d with N=k^d terminals (0 = paper default)")
 		load    = flag.Float64("load", 0.5, "offered load (fraction of terminal capacity)")
+		loads   = flag.String("loads", "", "comma-separated loads to sweep in parallel (overrides -load)")
 		warmup  = flag.Int64("warmup", 1500, "warmup cycles")
 		measure = flag.Int64("measure", 3000, "measurement cycles")
 		seed    = flag.Uint64("seed", 1, "random seed")
+		jobs    = flag.Int("j", 0, "sweep pool workers (0 = GOMAXPROCS, 1 = serial)")
+		profile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	)
 	flag.Parse()
 
+	if *profile != "" {
+		f, err := os.Create(*profile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hrnet:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "hrnet:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	cfg := network.Config{Radix: *radix, Digits: *digits, Seed: *seed}
-	res, err := network.Run(network.Options{
+	base := network.Options{
 		Net:           cfg,
-		Load:          *load,
 		WarmupCycles:  *warmup,
 		MeasureCycles: *measure,
 		Seed:          *seed,
-	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "hrnet:", err)
-		os.Exit(1)
 	}
 	full := cfg.WithDefaults()
 	fmt.Printf("clos: radix=%d stages=%d terminals=%d router-delay=%d ser=%d\n",
 		full.Radix, full.Stages(), full.Terminals(), full.RouterDelay(), full.SerCycles)
+
+	if *loads != "" {
+		if err := sweepLoads(base, *loads, *jobs); err != nil {
+			fmt.Fprintln(os.Stderr, "hrnet:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	base.Load = *load
+	res, err := network.Run(base)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hrnet:", err)
+		os.Exit(1)
+	}
 	fmt.Printf("  load             %.3f of capacity\n", res.Load)
 	fmt.Printf("  avg latency      %.2f cycles (p99 %.1f)\n", res.AvgLatency, res.P99)
 	fmt.Printf("  avg router hops  %.2f\n", res.AvgHops)
@@ -50,4 +87,50 @@ func main() {
 	if res.Saturated {
 		fmt.Println("  SATURATED")
 	}
+}
+
+// sweepLoads fans the listed offered-load points out on the worker pool
+// and prints one line per point, truncated at the first saturation.
+func sweepLoads(base network.Options, list string, jobs int) error {
+	var xs []float64
+	for _, s := range strings.Split(list, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			return fmt.Errorf("bad -loads entry %q: %v", s, err)
+		}
+		xs = append(xs, v)
+	}
+	p := sweep.New(jobs)
+	results := make([]network.Result, len(xs))
+	// Sweep over point indices so each parallel run writes its own
+	// results slot; Curve truncates at the first saturated point.
+	idxs := make([]float64, len(xs))
+	for i := range idxs {
+		idxs[i] = float64(i)
+	}
+	series, err := sweep.Curve(p, "sweep", idxs, func(idx float64) (sweep.Point, error) {
+		i := int(idx)
+		o := base
+		o.Load = xs[i]
+		res, err := network.Run(o)
+		if err != nil {
+			return sweep.Point{}, err
+		}
+		results[i] = res
+		return sweep.Point{Y: res.AvgLatency, Saturated: res.Saturated}, nil
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  %-8s %12s %12s %10s\n", "load", "latency", "throughput", "hops")
+	for i := range series.Points {
+		res := results[i]
+		sat := ""
+		if res.Saturated {
+			sat = "  SATURATED"
+		}
+		fmt.Printf("  %-8.3f %12.2f %12.4f %10.2f%s\n",
+			res.Load, res.AvgLatency, res.Throughput, res.AvgHops, sat)
+	}
+	return nil
 }

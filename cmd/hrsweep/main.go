@@ -6,17 +6,23 @@
 //
 //	hrsweep -list
 //	hrsweep -exp fig9
-//	hrsweep -exp all [-quick] [-seed N]
+//	hrsweep -exp all [-quick] [-seed N] [-j N]
 //
 // -quick runs reduced simulation windows (the scale used by the test
 // suite and benchmarks); the default is publication scale, which takes
 // minutes for the simulation-heavy figures.
+//
+// -j sizes the parallel sweep pool the per-figure (arch, load, pattern)
+// points fan out on (default: GOMAXPROCS; -j 1 runs serially). Every
+// run owns its RNG, so the output is byte-identical at every -j.
+// -cpuprofile writes a pprof CPU profile of the whole invocation.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"time"
 
 	"highradix/internal/experiments"
@@ -24,14 +30,30 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "experiment to run (see -list), or 'all'")
-		quick = flag.Bool("quick", false, "reduced simulation windows")
-		seed  = flag.Uint64("seed", 1, "random seed")
-		list  = flag.Bool("list", false, "list available experiments")
-		csv   = flag.Bool("csv", false, "emit CSV instead of the text table")
-		plot  = flag.Bool("plot", false, "append an ASCII plot of the series")
+		exp     = flag.String("exp", "", "experiment to run (see -list), or 'all'")
+		quick   = flag.Bool("quick", false, "reduced simulation windows")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		list    = flag.Bool("list", false, "list available experiments")
+		csv     = flag.Bool("csv", false, "emit CSV instead of the text table")
+		plot    = flag.Bool("plot", false, "append an ASCII plot of the series")
+		jobs    = flag.Int("j", 0, "sweep pool workers (0 = GOMAXPROCS, 1 = serial)")
+		profile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	)
 	flag.Parse()
+
+	if *profile != "" {
+		f, err := os.Create(*profile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hrsweep:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "hrsweep:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	if *list || *exp == "" {
 		fmt.Println("experiments:")
@@ -50,6 +72,7 @@ func main() {
 		scale = experiments.Quick
 	}
 	scale.Seed = *seed
+	scale.Workers = *jobs
 
 	run := func(name string, gen experiments.Generator) {
 		t0 := time.Now()

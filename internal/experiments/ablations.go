@@ -18,22 +18,12 @@ func AblCreditBus(s Scale) (*stats.Table, error) {
 		XLabel: "offered load",
 		YLabel: "latency (cycles)",
 	}
-	for _, ideal := range []bool{false, true} {
-		name := "shared-bus"
-		if ideal {
-			name = "ideal-credits"
-		}
-		cfg := router.Config{Arch: router.ArchBuffered, IdealCredit: ideal}
-		series, err := s.sweep(name, cfg, nil)
-		if err != nil {
-			return nil, err
-		}
-		t.AddSeries(series)
-		thr, err := s.satThroughput(cfg, nil)
-		if err != nil {
-			return nil, err
-		}
-		t.AddScalar("saturation throughput "+name, thr, "fraction of capacity")
+	cases := []latencyCase{
+		{name: "shared-bus", cfg: router.Config{Arch: router.ArchBuffered}},
+		{name: "ideal-credits", cfg: router.Config{Arch: router.ArchBuffered, IdealCredit: true}},
+	}
+	if err := s.latencyFigure(t, cases); err != nil {
+		return nil, err
 	}
 	t.AddNote("paper: simulations show minimal difference between the ideal scheme and the shared bus")
 	return t, nil
@@ -49,25 +39,13 @@ func AblSharedXpoint(s Scale) (*stats.Table, error) {
 		XLabel: "offered load",
 		YLabel: "latency (cycles)",
 	}
-	cases := []struct {
-		name string
-		cfg  router.Config
-	}{
-		{"per-VC-buffers", router.Config{Arch: router.ArchBuffered}},
-		{"shared-ACK/NACK", router.Config{Arch: router.ArchSharedXpoint}},
-		{"baseline(no-buffers)", router.Config{Arch: router.ArchBaseline, VA: router.CVA}},
+	cases := []latencyCase{
+		{name: "per-VC-buffers", cfg: router.Config{Arch: router.ArchBuffered}},
+		{name: "shared-ACK/NACK", cfg: router.Config{Arch: router.ArchSharedXpoint}},
+		{name: "baseline(no-buffers)", cfg: router.Config{Arch: router.ArchBaseline, VA: router.CVA}},
 	}
-	for _, c := range cases {
-		series, err := s.sweep(c.name, c.cfg, nil)
-		if err != nil {
-			return nil, err
-		}
-		t.AddSeries(series)
-		thr, err := s.satThroughput(c.cfg, nil)
-		if err != nil {
-			return nil, err
-		}
-		t.AddScalar("saturation throughput "+c.name, thr, "fraction of capacity")
+	if err := s.latencyFigure(t, cases); err != nil {
+		return nil, err
 	}
 	t.AddNote("shared buffers land between the unbuffered baseline and the fully buffered crossbar at 1/v of its crosspoint storage")
 	return t, nil
@@ -83,19 +61,15 @@ func AblSpecPolicy(s Scale) (*stats.Table, error) {
 		XLabel: "offered load",
 		YLabel: "latency (cycles)",
 	}
+	var cases []latencyCase
 	for _, p := range []router.SpecPolicy{router.SpecRotate, router.SpecHash, router.SpecFixed} {
-		name := "bid-" + p.String()
-		cfg := router.Config{Arch: router.ArchBaseline, VA: router.CVA, SpecPolicy: p}
-		series, err := s.sweep(name, cfg, nil)
-		if err != nil {
-			return nil, err
-		}
-		t.AddSeries(series)
-		thr, err := s.satThroughput(cfg, nil)
-		if err != nil {
-			return nil, err
-		}
-		t.AddScalar("saturation throughput "+name, thr, "fraction of capacity")
+		cases = append(cases, latencyCase{
+			name: "bid-" + p.String(),
+			cfg:  router.Config{Arch: router.ArchBaseline, VA: router.CVA, SpecPolicy: p},
+		})
+	}
+	if err := s.latencyFigure(t, cases); err != nil {
+		return nil, err
 	}
 	t.AddNote("rotating the bid after each failed speculation recovers the bandwidth the naive policies waste")
 	return t, nil
@@ -113,19 +87,15 @@ func AblAllocIters(s Scale) (*stats.Table, error) {
 		XLabel: "offered load",
 		YLabel: "latency (cycles)",
 	}
+	var cases []latencyCase
 	for _, iters := range []int{1, 2, 4} {
-		name := "iters=" + strconv.Itoa(iters)
-		cfg := router.Config{Arch: router.ArchLowRadix, Radix: 16, AllocIters: iters}
-		series, err := s.sweep(name, cfg, nil)
-		if err != nil {
-			return nil, err
-		}
-		t.AddSeries(series)
-		thr, err := s.satThroughput(cfg, nil)
-		if err != nil {
-			return nil, err
-		}
-		t.AddScalar("saturation throughput "+name, thr, "fraction of capacity")
+		cases = append(cases, latencyCase{
+			name: "iters=" + strconv.Itoa(iters),
+			cfg:  router.Config{Arch: router.ArchLowRadix, Radix: 16, AllocIters: iters},
+		})
+	}
+	if err := s.latencyFigure(t, cases); err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -140,19 +110,15 @@ func AblLocalGroup(s Scale) (*stats.Table, error) {
 		XLabel: "offered load",
 		YLabel: "latency (cycles)",
 	}
+	var cases []latencyCase
 	for _, m := range []int{4, 8, 16, 64} {
-		name := "m=" + strconv.Itoa(m)
-		cfg := router.Config{Arch: router.ArchBaseline, VA: router.CVA, LocalGroup: m}
-		series, err := s.sweep(name, cfg, nil)
-		if err != nil {
-			return nil, err
-		}
-		t.AddSeries(series)
-		thr, err := s.satThroughput(cfg, nil)
-		if err != nil {
-			return nil, err
-		}
-		t.AddScalar("saturation throughput "+name, thr, "fraction of capacity")
+		cases = append(cases, latencyCase{
+			name: "m=" + strconv.Itoa(m),
+			cfg:  router.Config{Arch: router.ArchBaseline, VA: router.CVA, LocalGroup: m},
+		})
+	}
+	if err := s.latencyFigure(t, cases); err != nil {
+		return nil, err
 	}
 	return t, nil
 }

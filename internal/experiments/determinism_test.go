@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestParallelSweepDeterminism is the tentpole guarantee of the sweep
+// engine: a figure generated serially (-j 1) and on a wide pool (-j 8)
+// must produce deeply equal tables, because every run owns its RNG and
+// the pool reassembles results in declaration order. fig9 covers the
+// single-router testbench path, fig19 the Clos network path.
+func TestParallelSweepDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation figures skipped in short mode")
+	}
+	for _, name := range []string{"fig9", "fig19"} {
+		gen, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial := Quick
+		serial.Workers = 1
+		parallel := Quick
+		parallel.Workers = 8
+		t1, err := gen(serial)
+		if err != nil {
+			t.Fatalf("%s -j1: %v", name, err)
+		}
+		t8, err := gen(parallel)
+		if err != nil {
+			t.Fatalf("%s -j8: %v", name, err)
+		}
+		if !reflect.DeepEqual(t1, t8) {
+			t.Errorf("%s differs between -j1 and -j8:\n-- j1 --\n%s\n-- j8 --\n%s",
+				name, t1.String(), t8.String())
+		}
+		if t1.String() != t8.String() {
+			t.Errorf("%s rendering differs between -j1 and -j8", name)
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 
 	"highradix/internal/router"
 	"highradix/internal/stats"
+	"highradix/internal/sweep"
 	"highradix/internal/testbench"
 )
 
@@ -30,6 +31,11 @@ type Scale struct {
 	FullNetwork bool
 	// Seed drives all runs.
 	Seed uint64
+	// Workers sizes the parallel sweep pool the generators fan their
+	// (arch, load, pattern) points out on. 0 selects GOMAXPROCS; 1
+	// forces serial execution. Every run owns its RNG (seeded from
+	// Seed), so the produced tables are identical for every value.
+	Workers int
 }
 
 // Full is the publication-quality scale.
@@ -66,16 +72,12 @@ func (s Scale) opts(cfg router.Config) testbench.Options {
 	}
 }
 
-// sweep is a helper running one latency-load curve.
-func (s Scale) sweep(name string, cfg router.Config, mutate func(*testbench.Options)) (*stats.Series, error) {
-	o := s.opts(cfg)
-	if mutate != nil {
-		mutate(&o)
-	}
-	return testbench.Sweep(name, s.Loads, o)
-}
+// pool builds the sweep pool the generators submit their points to.
+func (s Scale) pool() *sweep.Pool { return sweep.New(s.Workers) }
 
-// satThroughput measures accepted throughput at offered load 1.0.
+// satThroughput measures accepted throughput at offered load 1.0. It is
+// the leaf job the generators submit to the pool for their
+// saturation-throughput scalars.
 func (s Scale) satThroughput(cfg router.Config, mutate func(*testbench.Options)) (float64, error) {
 	o := s.opts(cfg)
 	o.DrainCycles = 1 // no need to drain a deliberately saturated run
@@ -83,6 +85,61 @@ func (s Scale) satThroughput(cfg router.Config, mutate func(*testbench.Options))
 		mutate(&o)
 	}
 	return testbench.SaturationThroughput(o)
+}
+
+// latencyCase declares one line of a latency-versus-load figure: a
+// named router configuration plus an optional Options mutation
+// (pattern, packet length, burstiness).
+type latencyCase struct {
+	name   string
+	cfg    router.Config
+	mutate func(*testbench.Options)
+}
+
+// latencyFigure runs the declared cases on the sweep pool. Each case
+// contributes a latency-load curve (truncated at its first saturated
+// point, like the paper's figures) and a saturation-throughput scalar;
+// series and scalars are appended to t in declaration order, so the
+// table is identical at every pool size.
+func (s Scale) latencyFigure(t *stats.Table, cases []latencyCase) error {
+	p := s.pool()
+	type caseOut struct {
+		series *stats.Series
+		thr    float64
+	}
+	outs, err := sweep.Gather(cases, func(c latencyCase) (caseOut, error) {
+		base := s.opts(c.cfg)
+		if c.mutate != nil {
+			c.mutate(&base)
+		}
+		series, err := sweep.Curve(p, c.name, s.Loads, func(load float64) (sweep.Point, error) {
+			o := base
+			o.Load = load
+			res, err := testbench.Run(o)
+			if err != nil {
+				return sweep.Point{}, err
+			}
+			return sweep.Point{Y: res.AvgLatency, Saturated: res.Saturated}, nil
+		})
+		if err != nil {
+			return caseOut{}, err
+		}
+		thr, err := sweep.Do(p, func() (float64, error) {
+			return s.satThroughput(c.cfg, c.mutate)
+		})
+		if err != nil {
+			return caseOut{}, err
+		}
+		return caseOut{series: series, thr: thr}, nil
+	})
+	if err != nil {
+		return err
+	}
+	for i, out := range outs {
+		t.AddSeries(out.series)
+		t.AddScalar("saturation throughput "+cases[i].name, out.thr, "fraction of capacity")
+	}
+	return nil
 }
 
 // Registry maps experiment names (as accepted by cmd/hrsweep -exp) to

@@ -3,6 +3,7 @@ package experiments
 import (
 	"highradix/internal/network"
 	"highradix/internal/stats"
+	"highradix/internal/sweep"
 )
 
 // Fig19 reproduces Figure 19: latency versus offered load for a
@@ -11,7 +12,9 @@ import (
 // terminals), with oblivious routing (random middle stages) and uniform
 // random traffic. At Quick scale the network is shrunk to 256 nodes
 // (16^2 vs 4^4), preserving the high-vs-low-radix stage contrast while
-// keeping test and benchmark runtimes reasonable.
+// keeping test and benchmark runtimes reasonable. Network runs are the
+// most expensive points in the repository, so both networks and all
+// their per-load points go through the sweep pool.
 func Fig19(s Scale) (*stats.Table, error) {
 	t := &stats.Table{
 		Title:  "Figure 19: 4096-node Clos, radix-64 (3 stages) vs radix-16 (5 stages)",
@@ -35,28 +38,47 @@ func Fig19(s Scale) (*stats.Table, error) {
 			{"radix-4 (7 stages)", network.Config{Radix: 4, Digits: 4}},
 		}
 	}
-	for _, c := range cases {
+	p := s.pool()
+	type caseOut struct {
+		series *stats.Series
+		zero   network.Result
+	}
+	outs, err := sweep.Gather(cases, func(c netCase) (caseOut, error) {
 		base := network.Options{
 			Net:           c.cfg,
 			WarmupCycles:  s.NetWarmup,
 			MeasureCycles: s.NetMeasure,
 			Seed:          s.Seed,
 		}
-		series, err := network.Sweep(c.name, s.NetLoads, base)
+		series, err := sweep.Curve(p, c.name, s.NetLoads, func(load float64) (sweep.Point, error) {
+			o := base
+			o.Load = load
+			res, err := network.Run(o)
+			if err != nil {
+				return sweep.Point{}, err
+			}
+			return sweep.Point{Y: res.AvgLatency, Saturated: res.Saturated}, nil
+		})
 		if err != nil {
-			return nil, err
+			return caseOut{}, err
 		}
-		t.AddSeries(series)
-		zero, err := network.Run(func() network.Options {
+		zero, err := sweep.Do(p, func() (network.Result, error) {
 			o := base
 			o.Load = 0.05
-			return o
-		}())
+			return network.Run(o)
+		})
 		if err != nil {
-			return nil, err
+			return caseOut{}, err
 		}
-		t.AddScalar("zero-load latency "+c.name, zero.AvgLatency, "cycles")
-		t.AddScalar("avg hops "+c.name, zero.AvgHops, "router traversals")
+		return caseOut{series: series, zero: zero}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, out := range outs {
+		t.AddSeries(out.series)
+		t.AddScalar("zero-load latency "+cases[i].name, out.zero.AvgLatency, "cycles")
+		t.AddScalar("avg hops "+cases[i].name, out.zero.AvgHops, "router traversals")
 	}
 	t.AddNote("paper: the high-radix network has lower zero-load latency network-wide despite the higher per-router latency, because hop count falls")
 	return t, nil

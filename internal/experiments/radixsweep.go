@@ -3,6 +3,7 @@ package experiments
 import (
 	"highradix/internal/router"
 	"highradix/internal/stats"
+	"highradix/internal/sweep"
 )
 
 // RadixSweep is an extension beyond the paper's figures: saturation
@@ -13,7 +14,8 @@ import (
 // hierarchical organizations stay near full throughput as the switch
 // grows; meanwhile (Figure 17(d)) the fully buffered crossbar's storage
 // grows quadratically, which is exactly why the hierarchical design is
-// the one that scales.
+// the one that scales. The (organization, radix) grid is flattened into
+// one job list for the pool.
 func RadixSweep(s Scale) (*stats.Table, error) {
 	t := &stats.Table{
 		Title:  "Extension: saturation throughput vs radix (uniform random)",
@@ -35,14 +37,22 @@ func RadixSweep(s Scale) (*stats.Table, error) {
 			return router.Config{Arch: router.ArchBuffered, Radix: k}
 		}},
 	}
+	var jobs []router.Config
 	for _, c := range cases {
-		series := &stats.Series{Name: c.name}
 		for _, k := range radices {
-			thr, err := s.satThroughput(c.cfg(k), nil)
-			if err != nil {
-				return nil, err
-			}
-			series.Add(float64(k), thr, false)
+			jobs = append(jobs, c.cfg(k))
+		}
+	}
+	thrs, err := sweep.Map(s.pool(), jobs, func(cfg router.Config) (float64, error) {
+		return s.satThroughput(cfg, nil)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ci, c := range cases {
+		series := &stats.Series{Name: c.name}
+		for ki, k := range radices {
+			series.Add(float64(k), thrs[ci*len(radices)+ki], false)
 		}
 		t.AddSeries(series)
 	}

@@ -6,6 +6,7 @@ import (
 	"highradix/internal/area"
 	"highradix/internal/router"
 	"highradix/internal/stats"
+	"highradix/internal/sweep"
 	"highradix/internal/testbench"
 	"highradix/internal/traffic"
 )
@@ -21,25 +22,13 @@ func Fig9(s Scale) (*stats.Table, error) {
 		XLabel: "offered load",
 		YLabel: "latency (cycles)",
 	}
-	cases := []struct {
-		name string
-		cfg  router.Config
-	}{
-		{"low-radix(k=16)", router.Config{Arch: router.ArchLowRadix, Radix: 16}},
-		{"high-radix CVA", router.Config{Arch: router.ArchBaseline, VA: router.CVA}},
-		{"high-radix OVA", router.Config{Arch: router.ArchBaseline, VA: router.OVA}},
+	cases := []latencyCase{
+		{name: "low-radix(k=16)", cfg: router.Config{Arch: router.ArchLowRadix, Radix: 16}},
+		{name: "high-radix CVA", cfg: router.Config{Arch: router.ArchBaseline, VA: router.CVA}},
+		{name: "high-radix OVA", cfg: router.Config{Arch: router.ArchBaseline, VA: router.OVA}},
 	}
-	for _, c := range cases {
-		series, err := s.sweep(c.name, c.cfg, nil)
-		if err != nil {
-			return nil, err
-		}
-		t.AddSeries(series)
-		thr, err := s.satThroughput(c.cfg, nil)
-		if err != nil {
-			return nil, err
-		}
-		t.AddScalar("saturation throughput "+c.name, thr, "fraction of capacity")
+	if err := s.latencyFigure(t, cases); err != nil {
+		return nil, err
 	}
 	t.AddNote("paper: low-radix ~60%%; high-radix ~50%% with CVA (12%% lower), ~45%% with OVA")
 	return t, nil
@@ -56,6 +45,7 @@ func Fig11(s Scale) (*stats.Table, error) {
 		YLabel: "latency (cycles)",
 	}
 	long := func(o *testbench.Options) { o.PktLen = 10 }
+	var cases []latencyCase
 	for _, vcs := range []int{1, 4} {
 		for _, prio := range []bool{false, true} {
 			name := strconv.Itoa(vcs) + "VC-"
@@ -64,18 +54,15 @@ func Fig11(s Scale) (*stats.Table, error) {
 			} else {
 				name += "one-arbiter"
 			}
-			cfg := router.Config{Arch: router.ArchBaseline, VA: router.CVA, VCs: vcs, Prioritized: prio}
-			series, err := s.sweep(name, cfg, long)
-			if err != nil {
-				return nil, err
-			}
-			t.AddSeries(series)
-			thr, err := s.satThroughput(cfg, long)
-			if err != nil {
-				return nil, err
-			}
-			t.AddScalar("saturation throughput "+name, thr, "fraction of capacity")
+			cases = append(cases, latencyCase{
+				name:   name,
+				cfg:    router.Config{Arch: router.ArchBaseline, VA: router.CVA, VCs: vcs, Prioritized: prio},
+				mutate: long,
+			})
 		}
+	}
+	if err := s.latencyFigure(t, cases); err != nil {
+		return nil, err
 	}
 	t.AddNote("paper: prioritization buys ~10%% throughput with 1 VC and little with 4 VCs")
 	return t, nil
@@ -89,25 +76,13 @@ func Fig13(s Scale) (*stats.Table, error) {
 		XLabel: "offered load",
 		YLabel: "latency (cycles)",
 	}
-	cases := []struct {
-		name string
-		cfg  router.Config
-	}{
-		{"low-radix(k=16)", router.Config{Arch: router.ArchLowRadix, Radix: 16}},
-		{"baseline", router.Config{Arch: router.ArchBaseline, VA: router.CVA}},
-		{"fully-buffered", router.Config{Arch: router.ArchBuffered}},
+	cases := []latencyCase{
+		{name: "low-radix(k=16)", cfg: router.Config{Arch: router.ArchLowRadix, Radix: 16}},
+		{name: "baseline", cfg: router.Config{Arch: router.ArchBaseline, VA: router.CVA}},
+		{name: "fully-buffered", cfg: router.Config{Arch: router.ArchBuffered}},
 	}
-	for _, c := range cases {
-		series, err := s.sweep(c.name, c.cfg, nil)
-		if err != nil {
-			return nil, err
-		}
-		t.AddSeries(series)
-		thr, err := s.satThroughput(c.cfg, nil)
-		if err != nil {
-			return nil, err
-		}
-		t.AddScalar("saturation throughput "+c.name, thr, "fraction of capacity")
+	if err := s.latencyFigure(t, cases); err != nil {
+		return nil, err
 	}
 	t.AddNote("paper: crosspoint buffers remove head-of-line blocking; saturation approaches 100%% of capacity")
 	return t, nil
@@ -122,25 +97,22 @@ func Fig14(s Scale) (*stats.Table, error) {
 		XLabel: "offered load",
 		YLabel: "latency (cycles)",
 	}
+	var cases []latencyCase
 	for _, pkt := range []int{1, 10} {
 		for _, depth := range []int{1, 4, 16, 64} {
 			if pkt == 1 && depth > 16 {
 				continue // the paper sweeps 1-16 for short packets
 			}
-			name := strconv.Itoa(pkt) + "flit-" + strconv.Itoa(depth) + "buf"
-			cfg := router.Config{Arch: router.ArchBuffered, XpointBufDepth: depth}
-			mut := func(o *testbench.Options) { o.PktLen = pkt }
-			series, err := s.sweep(name, cfg, mut)
-			if err != nil {
-				return nil, err
-			}
-			t.AddSeries(series)
-			thr, err := s.satThroughput(cfg, mut)
-			if err != nil {
-				return nil, err
-			}
-			t.AddScalar("saturation throughput "+name, thr, "fraction of capacity")
+			pkt := pkt
+			cases = append(cases, latencyCase{
+				name:   strconv.Itoa(pkt) + "flit-" + strconv.Itoa(depth) + "buf",
+				cfg:    router.Config{Arch: router.ArchBuffered, XpointBufDepth: depth},
+				mutate: func(o *testbench.Options) { o.PktLen = pkt },
+			})
 		}
+	}
+	if err := s.latencyFigure(t, cases); err != nil {
+		return nil, err
 	}
 	t.AddNote("paper: 4-flit buffers suffice for short packets; long packets need larger buffers to clear input-buffer HoL blocking")
 	return t, nil
@@ -166,32 +138,24 @@ func Fig17b(s Scale) (*stats.Table, error) {
 
 func hierSweep(s Scale, title string, mutate func(*testbench.Options), depths map[int]int) (*stats.Table, error) {
 	t := &stats.Table{Title: title, XLabel: "offered load", YLabel: "latency (cycles)"}
-	cases := []struct {
-		name string
-		cfg  router.Config
-	}{
-		{"baseline", router.Config{Arch: router.ArchBaseline, VA: router.CVA}},
-		{"subswitch-32", router.Config{Arch: router.ArchHierarchical, SubSize: 32}},
-		{"subswitch-16", router.Config{Arch: router.ArchHierarchical, SubSize: 16}},
-		{"subswitch-8", router.Config{Arch: router.ArchHierarchical, SubSize: 8}},
-		{"subswitch-4", router.Config{Arch: router.ArchHierarchical, SubSize: 4}},
-		{"fully-buffered", router.Config{Arch: router.ArchBuffered}},
+	base := []latencyCase{
+		{name: "baseline", cfg: router.Config{Arch: router.ArchBaseline, VA: router.CVA}},
+		{name: "subswitch-32", cfg: router.Config{Arch: router.ArchHierarchical, SubSize: 32}},
+		{name: "subswitch-16", cfg: router.Config{Arch: router.ArchHierarchical, SubSize: 16}},
+		{name: "subswitch-8", cfg: router.Config{Arch: router.ArchHierarchical, SubSize: 8}},
+		{name: "subswitch-4", cfg: router.Config{Arch: router.ArchHierarchical, SubSize: 4}},
+		{name: "fully-buffered", cfg: router.Config{Arch: router.ArchBuffered}},
 	}
-	for _, c := range cases {
-		cfg := c.cfg
-		if d, ok := depths[cfg.SubSize]; ok && cfg.Arch == router.ArchHierarchical {
-			cfg.SubInDepth, cfg.SubOutDepth = d, d
+	cases := make([]latencyCase, 0, len(base))
+	for _, c := range base {
+		if d, ok := depths[c.cfg.SubSize]; ok && c.cfg.Arch == router.ArchHierarchical {
+			c.cfg.SubInDepth, c.cfg.SubOutDepth = d, d
 		}
-		series, err := s.sweep(c.name, cfg, mutate)
-		if err != nil {
-			return nil, err
-		}
-		t.AddSeries(series)
-		thr, err := s.satThroughput(cfg, mutate)
-		if err != nil {
-			return nil, err
-		}
-		t.AddScalar("saturation throughput "+c.name, thr, "fraction of capacity")
+		c.mutate = mutate
+		cases = append(cases, c)
+	}
+	if err := s.latencyFigure(t, cases); err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -209,25 +173,16 @@ func Fig17c(s Scale) (*stats.Table, error) {
 	m := area.Default()
 	depth := m.EqualBufferHierDepth(8)
 	long := func(o *testbench.Options) { o.PktLen = 10 }
-	cases := []struct {
-		name string
-		cfg  router.Config
-	}{
-		{"fully-buffered(4/xp)", router.Config{Arch: router.ArchBuffered, XpointBufDepth: 4}},
-		{"hierarchical-p8(" + strconv.Itoa(depth) + "/buf)", router.Config{
-			Arch: router.ArchHierarchical, SubSize: 8, SubInDepth: depth, SubOutDepth: depth}},
+	cases := []latencyCase{
+		{name: "fully-buffered(4/xp)",
+			cfg: router.Config{Arch: router.ArchBuffered, XpointBufDepth: 4}, mutate: long},
+		{name: "hierarchical-p8(" + strconv.Itoa(depth) + "/buf)",
+			cfg: router.Config{
+				Arch: router.ArchHierarchical, SubSize: 8, SubInDepth: depth, SubOutDepth: depth},
+			mutate: long},
 	}
-	for _, c := range cases {
-		series, err := s.sweep(c.name, c.cfg, long)
-		if err != nil {
-			return nil, err
-		}
-		t.AddSeries(series)
-		thr, err := s.satThroughput(c.cfg, long)
-		if err != nil {
-			return nil, err
-		}
-		t.AddScalar("saturation throughput "+c.name, thr, "fraction of capacity")
+	if err := s.latencyFigure(t, cases); err != nil {
+		return nil, err
 	}
 	t.AddScalar("hier buffer entries for equal storage", float64(depth), "flits")
 	t.AddNote("paper: at equal storage the hierarchical crossbar beats the fully buffered crossbar on long packets")
@@ -260,20 +215,14 @@ func Fig18(s Scale) (*stats.Table, error) {
 		{"hot", func(o *testbench.Options) { o.Pattern = traffic.NewHotspot(64, 8) }},
 		{"burst", func(o *testbench.Options) { o.Bursty = true; o.BurstLen = 8 }},
 	}
+	var cases []latencyCase
 	for _, p := range pats {
 		for _, a := range archs {
-			name := p.name + "/" + a.name
-			series, err := s.sweep(name, a.cfg, p.mutate)
-			if err != nil {
-				return nil, err
-			}
-			t.AddSeries(series)
-			thr, err := s.satThroughput(a.cfg, p.mutate)
-			if err != nil {
-				return nil, err
-			}
-			t.AddScalar("saturation throughput "+name, thr, "fraction of capacity")
+			cases = append(cases, latencyCase{name: p.name + "/" + a.name, cfg: a.cfg, mutate: p.mutate})
 		}
+	}
+	if err := s.latencyFigure(t, cases); err != nil {
+		return nil, err
 	}
 	t.AddNote("paper: diagonal, hierarchical exceeds baseline by ~10%%; hotspot limits all to <40%%; bursty, buffered architectures reach ~100%% vs baseline ~50%%")
 	return t, nil
@@ -282,6 +231,8 @@ func Fig18(s Scale) (*stats.Table, error) {
 // TableT1 measures saturation throughput of every architecture on every
 // Table 1 traffic pattern plus uniform random — a compact summary that
 // subsumes the throughput claims scattered through the paper's text.
+// The full architecture-by-pattern grid is flattened into one job list
+// and submitted to the pool at once.
 func TableT1(s Scale) (*stats.Table, error) {
 	t := &stats.Table{
 		Title:  "Table 1 summary: saturation throughput by architecture and pattern",
@@ -307,14 +258,26 @@ func TableT1(s Scale) (*stats.Table, error) {
 		{"sharedxp", router.Config{Arch: router.ArchSharedXpoint}},
 		{"hier-p8", router.Config{Arch: router.ArchHierarchical, SubSize: 8}},
 	}
+	type cell struct {
+		cfg    router.Config
+		mutate func(*testbench.Options)
+	}
+	var jobs []cell
 	for _, a := range archs {
+		for _, p := range pats {
+			jobs = append(jobs, cell{cfg: a.cfg, mutate: p.mutate})
+		}
+	}
+	thrs, err := sweep.Map(s.pool(), jobs, func(j cell) (float64, error) {
+		return s.satThroughput(j.cfg, j.mutate)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ai, a := range archs {
 		series := &stats.Series{Name: a.name}
-		for pi, p := range pats {
-			thr, err := s.satThroughput(a.cfg, p.mutate)
-			if err != nil {
-				return nil, err
-			}
-			series.Add(float64(pi), thr, false)
+		for pi := range pats {
+			series.Add(float64(pi), thrs[ai*len(pats)+pi], false)
 		}
 		t.AddSeries(series)
 	}

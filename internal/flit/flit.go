@@ -95,6 +95,23 @@ type Credit struct {
 	VC int
 }
 
+// reset overwrites every field of f with flit i of a fresh packet, so
+// a recycled flit carries no state from its previous life.
+func reset(f *Flit, id uint64, i int, src, dst, vc, length int, createdAt int64, measured bool) {
+	*f = Flit{
+		PacketID:  id,
+		Seq:       i,
+		Src:       src,
+		Dst:       dst,
+		VC:        vc,
+		Head:      i == 0,
+		Tail:      i == length-1,
+		PacketLen: length,
+		CreatedAt: createdAt,
+		Measured:  measured,
+	}
+}
+
 // MakePacket allocates the flits of one packet. The head flit carries the
 // routing information; every flit carries the measurement label.
 func MakePacket(id uint64, src, dst, vc, length int, createdAt int64, measured bool) []*Flit {
@@ -103,18 +120,60 @@ func MakePacket(id uint64, src, dst, vc, length int, createdAt int64, measured b
 	}
 	flits := make([]*Flit, length)
 	for i := range flits {
-		flits[i] = &Flit{
-			PacketID:  id,
-			Seq:       i,
-			Src:       src,
-			Dst:       dst,
-			VC:        vc,
-			Head:      i == 0,
-			Tail:      i == length-1,
-			PacketLen: length,
-			CreatedAt: createdAt,
-			Measured:  measured,
-		}
+		flits[i] = &Flit{}
+		reset(flits[i], id, i, src, dst, vc, length, createdAt, measured)
 	}
 	return flits
+}
+
+// FreeList recycles dead flits within one simulation run, keeping the
+// flit hot path off the garbage collector: at steady state a run
+// allocates no flits at all, because every ejected flit is reborn as a
+// later packet.
+//
+// Recycling contract (see also router.Router.Ejected): a flit may be
+// Put back only after it has left the router — i.e. it appeared in an
+// Ejected() slice and the caller has finished reading its fields — at
+// which point nothing inside the router references it. Putting a flit
+// that is still in flight aliases two logical flits onto one struct
+// and corrupts the simulation; testbench carries a test asserting this
+// never happens.
+//
+// A FreeList is not safe for concurrent use. Each simulation run owns
+// its own, which is exactly what keeps parallel sweeps race-free.
+type FreeList struct {
+	free    []*Flit
+	scratch []*Flit
+}
+
+// NewFreeList returns an empty free list.
+func NewFreeList() *FreeList { return &FreeList{} }
+
+// Put returns a dead flit to the list for reuse.
+func (l *FreeList) Put(f *Flit) { l.free = append(l.free, f) }
+
+// MakePacket is the recycling counterpart of the package-level
+// MakePacket: flits come from the free list when available, and the
+// returned slice is internal scratch, valid only until the next
+// MakePacket call (callers hand the flits off to queues immediately).
+func (l *FreeList) MakePacket(id uint64, src, dst, vc, length int, createdAt int64, measured bool) []*Flit {
+	if length < 1 {
+		panic("flit: packet length must be >= 1")
+	}
+	if cap(l.scratch) < length {
+		l.scratch = make([]*Flit, length)
+	}
+	l.scratch = l.scratch[:length]
+	for i := range l.scratch {
+		var f *Flit
+		if n := len(l.free); n > 0 {
+			f = l.free[n-1]
+			l.free = l.free[:n-1]
+		} else {
+			f = &Flit{}
+		}
+		reset(f, id, i, src, dst, vc, length, createdAt, measured)
+		l.scratch[i] = f
+	}
+	return l.scratch
 }

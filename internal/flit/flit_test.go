@@ -44,6 +44,60 @@ func TestMakePacketPanicsOnZeroLength(t *testing.T) {
 	MakePacket(1, 0, 1, 0, 0, 0, false)
 }
 
+// TestFreeListMatchesMakePacket checks that recycled packets are
+// field-for-field identical to freshly allocated ones, even when the
+// recycled flits carry stale state from a previous, longer life.
+func TestFreeListMatchesMakePacket(t *testing.T) {
+	l := NewFreeList()
+	// Give the list dirty flits: a long packet with every mutable field
+	// touched the way a router would.
+	for _, f := range MakePacket(99, 5, 6, 3, 8, 42, true) {
+		f.VC = 3
+		f.Route = 11
+		f.Hops = 4
+		f.InjectedAt = 77
+		l.Put(f)
+	}
+	got := l.MakePacket(7, 3, 9, 2, 5, 100, true)
+	want := MakePacket(7, 3, 9, 2, 5, 100, true)
+	if len(got) != len(want) {
+		t.Fatalf("recycled packet has %d flits, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if *got[i] != *want[i] {
+			t.Errorf("flit %d: recycled %+v != fresh %+v", i, *got[i], *want[i])
+		}
+	}
+}
+
+func TestFreeListRecycles(t *testing.T) {
+	l := NewFreeList()
+	first := l.MakePacket(1, 0, 1, 0, 3, 0, false)
+	ptrs := map[*Flit]bool{}
+	for _, f := range first {
+		ptrs[f] = true
+		l.Put(f)
+	}
+	second := l.MakePacket(2, 1, 2, 0, 3, 5, true)
+	for _, f := range second {
+		if !ptrs[f] {
+			t.Errorf("flit %p was freshly allocated despite %d free flits", f, len(ptrs))
+		}
+		if f.PacketID != 2 || f.CreatedAt != 5 || !f.Measured {
+			t.Errorf("recycled flit carries stale identity: %+v", f)
+		}
+	}
+}
+
+func TestFreeListPanicsOnZeroLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-length packet did not panic")
+		}
+	}()
+	NewFreeList().MakePacket(1, 0, 1, 0, 0, 0, false)
+}
+
 func TestFlitString(t *testing.T) {
 	cases := []struct {
 		f    *Flit

@@ -72,6 +72,10 @@ func Run(o Options) (Result, error) {
 
 	master := sim.NewRNG(o.Seed ^ 0x51b0944ffb2c1d85)
 	genRng := master.Split()
+	// Flits delivered at terminals are dead (see router.Router.Ejected's
+	// recycling contract, which Network.Ejected shares) and are recycled
+	// into later packets through a per-run free list.
+	fl := flit.NewFreeList()
 	srcQ := make([]*sim.Queue[*flit.Flit], n)
 	injFree := make([]int64, n)
 	vcPtr := make([]int, n)
@@ -100,7 +104,7 @@ func Run(o Options) (Result, error) {
 			if genRng.Bernoulli(rate) {
 				dst := genRng.Intn(n)
 				pktID++
-				for _, f := range flit.MakePacket(pktID, t, dst, 0, o.PktLen, now, measuring) {
+				for _, f := range fl.MakePacket(pktID, t, dst, 0, o.PktLen, now, measuring) {
 					srcQ[t].MustPush(f)
 				}
 				if measuring {
@@ -151,6 +155,7 @@ func Run(o Options) (Result, error) {
 				hops.Add(float64(f.Hops))
 				deliveredLabeled++
 			}
+			fl.Put(f)
 		}
 		if now >= measEnd && deliveredLabeled >= injectedLabeled {
 			now++

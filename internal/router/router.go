@@ -24,6 +24,18 @@ type Router interface {
 	// Ejected returns the flits that left output ports during the last
 	// Step. The slice is reused; callers must not retain it across
 	// steps.
+	//
+	// Recycling contract: once a flit has appeared in an Ejected()
+	// slice, the router holds no reference to it — it has been popped
+	// from every buffer, arbiter and traversal pipeline on its way out.
+	// The caller (and only the caller) may therefore recycle it, e.g.
+	// via flit.FreeList, after reading the fields it needs and before
+	// the next Step. A flit must never be recycled while still in
+	// flight (injected but not yet ejected): every architecture mutates
+	// flits in place, so recycling a live flit aliases two packets onto
+	// one struct. Observers (Config.Observer) receive flit pointers in
+	// their events and must not retain them past the Step that emitted
+	// the event, for the same reason.
 	Ejected() []*flit.Flit
 	// InFlight reports the number of flits inside the router (input
 	// buffers, intermediate buffers and traversal pipelines). Draining

@@ -1,0 +1,147 @@
+// Package sweep is the parallel sweep engine behind the experiment
+// generators: it fans fully independent simulation runs — the (arch,
+// load, pattern) points of one figure — out across a fixed pool of
+// workers and reassembles their results in declaration order.
+//
+// Determinism is the design constraint. Every run in this repository
+// owns its randomness (testbench.Options.Seed / network.Options.Seed
+// seed a per-run RNG), so a run's result depends only on its options,
+// never on when or where it executes. The pool therefore guarantees
+// that parallel and serial execution produce byte-identical output:
+// results are returned in submission order, curve truncation at
+// saturation follows declaration order, and errors are reported for
+// the lowest-index failing job.
+//
+// Two fan-out primitives compose without deadlock:
+//
+//   - Map / Do submit leaf jobs. Leaf jobs occupy one of the pool's
+//     worker slots while they run, bounding concurrent simulations at
+//     the pool size no matter how many jobs are in flight.
+//   - Gather runs composite tasks (one figure line = a latency curve
+//     plus a saturation run) on plain goroutines that hold no slot, so
+//     the leaf jobs they submit can always make progress.
+package sweep
+
+import (
+	"runtime"
+	"sync"
+
+	"highradix/internal/stats"
+)
+
+// Pool bounds the number of simulation runs executing concurrently.
+// A Pool may be shared by any number of goroutines; submitting a job
+// never requires holding another job's slot, so nested fan-out through
+// Gather cannot deadlock.
+type Pool struct {
+	workers int
+	sem     chan struct{}
+}
+
+// New returns a pool of the given size. workers <= 0 selects
+// runtime.GOMAXPROCS(0); workers == 1 reproduces serial execution: at
+// most one run in flight at any moment.
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers, sem: make(chan struct{}, workers)}
+}
+
+// Workers reports the pool size.
+func (p *Pool) Workers() int { return p.workers }
+
+// Map runs fn over every item on the pool's workers and returns the
+// results in item order. All jobs are attempted; if any fail, the
+// error of the lowest-index failing item is returned (the one serial
+// iteration would have hit first), making error reporting as
+// deterministic as the results.
+func Map[In, Out any](p *Pool, items []In, fn func(In) (Out, error)) ([]Out, error) {
+	outs := make([]Out, len(items))
+	errs := make([]error, len(items))
+	var wg sync.WaitGroup
+	for i := range items {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p.sem <- struct{}{}
+			defer func() { <-p.sem }()
+			outs[i], errs[i] = fn(items[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return outs, nil
+}
+
+// Do runs one job on the pool, blocking until a worker slot frees.
+func Do[Out any](p *Pool, fn func() (Out, error)) (Out, error) {
+	p.sem <- struct{}{}
+	defer func() { <-p.sem }()
+	return fn()
+}
+
+// Gather runs fn for every item on its own goroutine without occupying
+// a worker slot and returns the results in item order. It is the
+// composite-task primitive: each fn typically submits several leaf
+// jobs through Map or Do on a shared pool, which is what bounds the
+// actual simulation concurrency. Like Map, it runs everything and
+// reports the lowest-index error.
+func Gather[In, Out any](items []In, fn func(In) (Out, error)) ([]Out, error) {
+	outs := make([]Out, len(items))
+	errs := make([]error, len(items))
+	var wg sync.WaitGroup
+	for i := range items {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outs[i], errs[i] = fn(items[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return outs, nil
+}
+
+// Point is the outcome of one sweep point: the y value plotted against
+// the swept x, plus the saturation flag that terminates the curve.
+type Point struct {
+	Y         float64
+	Saturated bool
+}
+
+// Curve sweeps run over xs and returns the series named name,
+// truncated after the first saturated point — the exact contract of
+// the serial testbench.Sweep / network.Sweep loops, which stop where
+// the paper's curves end. Points are submitted to the pool in waves of
+// the pool size so that work past an already-saturated point is
+// bounded by one wave instead of the whole load list; with a pool of
+// one this degenerates to the serial early-stopping loop.
+func Curve(p *Pool, name string, xs []float64, run func(x float64) (Point, error)) (*stats.Series, error) {
+	s := &stats.Series{Name: name}
+	for start := 0; start < len(xs); start += p.workers {
+		end := start + p.workers
+		if end > len(xs) {
+			end = len(xs)
+		}
+		pts, err := Map(p, xs[start:end], run)
+		if err != nil {
+			return nil, err
+		}
+		for i, pt := range pts {
+			s.Add(xs[start+i], pt.Y, pt.Saturated)
+			if pt.Saturated {
+				return s, nil
+			}
+		}
+	}
+	return s, nil
+}

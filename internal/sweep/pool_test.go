@@ -1,0 +1,178 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapPreservesOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 32} {
+		p := New(workers)
+		items := make([]int, 100)
+		for i := range items {
+			items[i] = i
+		}
+		outs, err := Map(p, items, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, o := range outs {
+			if o != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, o, i*i)
+			}
+		}
+	}
+}
+
+func TestMapBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	p := New(workers)
+	var inFlight, peak atomic.Int64
+	_, err := Map(p, make([]int, 64), func(int) (int, error) {
+		n := inFlight.Add(1)
+		defer inFlight.Add(-1)
+		for {
+			old := peak.Load()
+			if n <= old || peak.CompareAndSwap(old, n) {
+				break
+			}
+		}
+		return 0, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := peak.Load(); got > workers {
+		t.Fatalf("observed %d concurrent jobs, pool size %d", got, workers)
+	}
+}
+
+func TestMapReturnsLowestIndexError(t *testing.T) {
+	p := New(8)
+	items := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	_, err := Map(p, items, func(i int) (int, error) {
+		if i >= 3 {
+			return 0, fmt.Errorf("job %d failed", i)
+		}
+		return i, nil
+	})
+	if err == nil || err.Error() != "job 3 failed" {
+		t.Fatalf("want the lowest-index error (job 3), got %v", err)
+	}
+}
+
+func TestDo(t *testing.T) {
+	p := New(2)
+	v, err := Do(p, func() (string, error) { return "ok", nil })
+	if err != nil || v != "ok" {
+		t.Fatalf("Do = %q, %v", v, err)
+	}
+	wantErr := errors.New("boom")
+	if _, err := Do(p, func() (string, error) { return "", wantErr }); err != wantErr {
+		t.Fatalf("Do error = %v, want %v", err, wantErr)
+	}
+}
+
+// TestGatherNestsWithoutDeadlock is the composition the experiments
+// package relies on: many composite tasks, each submitting leaf jobs
+// to a pool of one. If composite tasks held worker slots this would
+// deadlock immediately.
+func TestGatherNestsWithoutDeadlock(t *testing.T) {
+	p := New(1)
+	cases := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	outs, err := Gather(cases, func(c int) (int, error) {
+		sum := 0
+		leaf, err := Map(p, []int{1, 2, 3}, func(x int) (int, error) { return c * x, nil })
+		if err != nil {
+			return 0, err
+		}
+		for _, v := range leaf {
+			sum += v
+		}
+		extra, err := Do(p, func() (int, error) { return c, nil })
+		if err != nil {
+			return 0, err
+		}
+		return sum + extra, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c, o := range outs {
+		if want := 6*c + c; o != want {
+			t.Fatalf("case %d = %d, want %d", c, o, want)
+		}
+	}
+}
+
+// TestCurveMatchesSerial checks the tentpole guarantee: the curve a
+// parallel pool produces is byte-identical to the serial early-stopping
+// sweep, for every pool size and every saturation position.
+func TestCurveMatchesSerial(t *testing.T) {
+	xs := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+	for satAt := 0; satAt <= len(xs); satAt++ {
+		run := func(x float64) (Point, error) {
+			return Point{Y: 100 * x, Saturated: x >= xs[0]+float64(satAt)*0.1-1e-9 && satAt < len(xs)}, nil
+		}
+		serial, err := Curve(New(1), "s", xs, run)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 4, 16} {
+			par, err := Curve(New(workers), "s", xs, run)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(serial, par) {
+				t.Fatalf("satAt=%d workers=%d: parallel curve %+v != serial %+v", satAt, workers, par, serial)
+			}
+		}
+		wantLen := satAt + 1
+		if satAt == len(xs) {
+			wantLen = len(xs)
+		}
+		if len(serial.Points) != wantLen {
+			t.Fatalf("satAt=%d: %d points, want truncation at %d", satAt, len(serial.Points), wantLen)
+		}
+	}
+}
+
+// TestCurveBoundsWaste verifies wave scheduling: once a wave contains a
+// saturated point, no later wave runs.
+func TestCurveBoundsWaste(t *testing.T) {
+	const workers = 4
+	p := New(workers)
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}
+	var mu sync.Mutex
+	ran := map[float64]bool{}
+	_, err := Curve(p, "w", xs, func(x float64) (Point, error) {
+		mu.Lock()
+		ran[x] = true
+		mu.Unlock()
+		return Point{Y: x, Saturated: x >= 2}, nil // saturates in the first wave
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ran) != workers {
+		t.Fatalf("%d points ran, want exactly the first wave of %d", len(ran), workers)
+	}
+	for _, x := range xs[workers:] {
+		if ran[x] {
+			t.Fatalf("point %v ran after saturation wave", x)
+		}
+	}
+}
+
+func TestNewDefaultsToGOMAXPROCS(t *testing.T) {
+	if New(0).Workers() < 1 {
+		t.Fatal("default pool has no workers")
+	}
+	if got := New(7).Workers(); got != 7 {
+		t.Fatalf("Workers() = %d, want 7", got)
+	}
+}

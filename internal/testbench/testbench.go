@@ -136,6 +136,10 @@ func Run(o Options) (Result, error) {
 	pktRate := o.Load / float64(st*o.PktLen)
 
 	master := sim.NewRNG(o.Seed ^ 0x685a2d9cb9a5d1f3)
+	// Every packet's flits come from a per-run free list; ejected flits
+	// are recycled (see the contract on router.Router.Ejected), so the
+	// steady-state hot path allocates nothing.
+	fl := flit.NewFreeList()
 	pattern := o.Pattern
 	srcs := make([]*source, k)
 	var markovs []*traffic.MarkovOnOff
@@ -178,7 +182,7 @@ func Run(o Options) (Result, error) {
 		if o.Trace != nil {
 			for _, e := range o.Trace.Due(now) {
 				pktID++
-				for _, f := range flit.MakePacket(pktID, e.Src, e.Dst, 0, e.Len, now, measuring) {
+				for _, f := range fl.MakePacket(pktID, e.Src, e.Dst, 0, e.Len, now, measuring) {
 					srcs[e.Src].q.MustPush(f)
 				}
 				if measuring {
@@ -192,7 +196,7 @@ func Run(o Options) (Result, error) {
 				}
 				dst := pattern.Dest(i, s.rng)
 				pktID++
-				for _, f := range flit.MakePacket(pktID, i, dst, 0, o.PktLen, now, measuring) {
+				for _, f := range fl.MakePacket(pktID, i, dst, 0, o.PktLen, now, measuring) {
 					s.q.MustPush(f)
 				}
 				if measuring {
@@ -247,6 +251,7 @@ func Run(o Options) (Result, error) {
 				lat.Add(float64(now - f.CreatedAt))
 				deliveredLabeled++
 			}
+			fl.Put(f)
 		}
 		if now >= measEnd && deliveredLabeled >= injectedLabeled {
 			now++
