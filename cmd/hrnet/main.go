@@ -22,6 +22,7 @@ import (
 	"strconv"
 	"strings"
 
+	"highradix/internal/check"
 	"highradix/internal/network"
 	"highradix/internal/sweep"
 )
@@ -37,6 +38,7 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "random seed")
 		jobs    = flag.Int("j", 0, "sweep pool workers (0 = GOMAXPROCS, 1 = serial)")
 		profile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		chk     = flag.Bool("check", false, "arm the end-to-end network auditor (drains each run to empty and fails on any violation)")
 	)
 	flag.Parse()
 
@@ -66,7 +68,7 @@ func main() {
 		full.Radix, full.Stages(), full.Terminals(), full.RouterDelay(), full.SerCycles)
 
 	if *loads != "" {
-		if err := sweepLoads(base, *loads, *jobs); err != nil {
+		if err := sweepLoads(base, *loads, *jobs, *chk); err != nil {
 			fmt.Fprintln(os.Stderr, "hrnet:", err)
 			os.Exit(1)
 		}
@@ -74,7 +76,18 @@ func main() {
 	}
 
 	base.Load = *load
+	var aud *check.NetAuditor
+	if *chk {
+		aud = check.NewNetAuditor(full.Terminals(), full.SerCycles, check.Options{})
+		base.Hooks = aud
+	}
 	res, err := network.Run(base)
+	if err == nil && aud != nil && !res.Saturated {
+		// A saturated run legitimately fails to drain inside the cycle
+		// budget; only a completed drain is held to the empty-network
+		// postcondition.
+		err = aud.Final(res.Cycles)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hrnet:", err)
 		os.Exit(1)
@@ -84,6 +97,9 @@ func main() {
 	fmt.Printf("  avg router hops  %.2f\n", res.AvgHops)
 	fmt.Printf("  throughput       %.4f of capacity\n", res.Throughput)
 	fmt.Printf("  labeled packets  %d over %d cycles\n", res.Packets, res.Cycles)
+	if aud != nil && !res.Saturated {
+		fmt.Println("  invariants       ok (conservation, in-order delivery, serializer spacing, progress)")
+	}
 	if res.Saturated {
 		fmt.Println("  SATURATED")
 	}
@@ -91,7 +107,7 @@ func main() {
 
 // sweepLoads fans the listed offered-load points out on the worker pool
 // and prints one line per point, truncated at the first saturation.
-func sweepLoads(base network.Options, list string, jobs int) error {
+func sweepLoads(base network.Options, list string, jobs int, chk bool) error {
 	var xs []float64
 	for _, s := range strings.Split(list, ",") {
 		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
@@ -112,7 +128,18 @@ func sweepLoads(base network.Options, list string, jobs int) error {
 		i := int(idx)
 		o := base
 		o.Load = xs[i]
+		var aud *check.NetAuditor
+		if chk {
+			// Each point runs on its own goroutine, so each needs its
+			// own auditor; a shared one would race.
+			full := o.Net.WithDefaults()
+			aud = check.NewNetAuditor(full.Terminals(), full.SerCycles, check.Options{})
+			o.Hooks = aud
+		}
 		res, err := network.Run(o)
+		if err == nil && aud != nil && !res.Saturated {
+			err = aud.Final(res.Cycles)
+		}
 		if err != nil {
 			return sweep.Point{}, err
 		}

@@ -38,6 +38,7 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "random seed")
 		trace   = flag.String("trace", "", "replay a trace file (cycle,src,dst[,len] lines) instead of synthetic traffic")
 		events  = flag.Int("events", 0, "print the first N microarchitectural events (accept/grant/nack/eject)")
+		chk     = flag.Bool("check", false, "arm the cycle-level invariant checker (drains the run to empty and fails on any violation)")
 	)
 	flag.Parse()
 
@@ -94,6 +95,7 @@ func main() {
 		WarmupCycles:  *warmup,
 		MeasureCycles: *measure,
 		Seed:          *seed,
+		Check:         *chk,
 	}
 	if *trace != "" {
 		f, err := os.Open(*trace)
@@ -119,6 +121,9 @@ func main() {
 	fmt.Printf("  throughput       %.4f of capacity\n", res.Throughput)
 	fmt.Printf("  labeled packets  %d (99%% CI half-width %.2f%% of mean)\n", res.Packets, 100*res.RelErr99)
 	fmt.Printf("  simulated cycles %d\n", res.Cycles)
+	if *chk {
+		fmt.Println("  invariants       ok (conservation, credits, ordering, VC ownership, progress)")
+	}
 	if res.Saturated {
 		fmt.Println("  SATURATED: offered load exceeds sustainable throughput at this configuration")
 	}

@@ -95,6 +95,7 @@ const (
 	EvGrant  = router.EvGrant
 	EvNack   = router.EvNack
 	EvEject  = router.EvEject
+	EvCredit = router.EvCredit
 )
 
 // NewRouter constructs a router from a configuration.

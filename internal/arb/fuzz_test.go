@@ -1,0 +1,148 @@
+package arb_test
+
+import (
+	"testing"
+
+	"highradix/internal/arb"
+	"highradix/internal/sim"
+)
+
+// Fuzz targets for the hierarchical arbiters. Each derives a stream of
+// random request vectors from the fuzzed seed and checks, on every
+// invocation, the single-winner contract:
+//
+//   - the grant is one of the requesting lines (grants ⊆ requests),
+//   - exactly one index is granted per invocation — an Arbitrate call
+//     models one output port's cycle, so a second simultaneous grant
+//     cannot exist by construction, and -1 is returned iff no line
+//     requests,
+//
+// and, over a window, strong fairness: a line that requests on every
+// invocation is granted within the structural bound of the arbiter
+// (size of the rotation at each stage, multiplied along the path).
+
+// checkRound validates one arbitration against its request vector and
+// returns the winner.
+func checkRound(t *testing.T, a arb.Arbiter, req []bool) int {
+	t.Helper()
+	any := false
+	for _, r := range req {
+		any = any || r
+	}
+	w := a.Arbitrate(req)
+	if !any {
+		if w != -1 {
+			t.Fatalf("granted line %d from an empty request vector", w)
+		}
+		return w
+	}
+	if w < 0 || w >= len(req) {
+		t.Fatalf("winner %d out of range [0,%d)", w, len(req))
+	}
+	if !req[w] {
+		t.Fatalf("granted line %d which was not requesting", w)
+	}
+	return w
+}
+
+// runFairness drives the arbiter with random vectors in which target
+// always requests, and fails if target is not granted within bound
+// invocations.
+func runFairness(t *testing.T, a arb.Arbiter, rng *sim.RNG, target, bound int) {
+	t.Helper()
+	n := a.Size()
+	req := make([]bool, n)
+	// Exercise the empty vector between fairness windows too.
+	for i := range req {
+		req[i] = false
+	}
+	checkRound(t, a, req)
+	for window := 0; window < 4; window++ {
+		granted := -1
+		for round := 0; round < bound; round++ {
+			for i := range req {
+				req[i] = rng.Bernoulli(0.5)
+			}
+			req[target] = true
+			if w := checkRound(t, a, req); w == target {
+				granted = round
+				break
+			}
+		}
+		if granted < 0 {
+			t.Fatalf("line %d requested on every one of %d consecutive invocations without a grant (size %d)",
+				target, bound, n)
+		}
+	}
+}
+
+func FuzzLocalGlobal(f *testing.F) {
+	f.Add(uint64(1), uint8(64), uint8(8), uint8(0))
+	f.Add(uint64(2), uint8(16), uint8(4), uint8(15))
+	f.Add(uint64(3), uint8(9), uint8(3), uint8(8))
+	f.Add(uint64(0xfeedface), uint8(7), uint8(16), uint8(3)) // m > n degenerates to flat
+	f.Add(uint64(42), uint8(1), uint8(1), uint8(0))
+	f.Fuzz(func(t *testing.T, seed uint64, nRaw, mRaw, targetRaw uint8) {
+		n := 1 + int(nRaw)%64
+		m := 1 + int(mRaw)%16
+		a := arb.NewLocalGlobal(n, m)
+		if a.Size() != n {
+			t.Fatalf("Size() = %d, want %d", a.Size(), n)
+		}
+		target := int(targetRaw) % n
+		// A continuously requesting line wins its local rotation (at
+		// most m commits) once per global win of its group (at most
+		// Groups() rounds each, since the group keeps requesting).
+		bound := m * a.Groups()
+		runFairness(t, a, sim.NewRNG(seed^0x9e3779b97f4a7c15), target, bound)
+	})
+}
+
+func FuzzTree(f *testing.F) {
+	f.Add(uint64(1), uint8(64), uint8(8), uint8(0))
+	f.Add(uint64(2), uint8(64), uint8(2), uint8(63))
+	f.Add(uint64(3), uint8(27), uint8(3), uint8(13))
+	f.Add(uint64(0xabad1dea), uint8(5), uint8(9), uint8(4))
+	f.Fuzz(func(t *testing.T, seed uint64, nRaw, mRaw, targetRaw uint8) {
+		n := 1 + int(nRaw)%64
+		m := 2 + int(mRaw)%15 // tree fan-in must be >= 2
+		a := arb.NewTree(n, m)
+		if a.Size() != n {
+			t.Fatalf("Size() = %d, want %d", a.Size(), n)
+		}
+		target := int(targetRaw) % n
+		// Pointers commit only along the winning path, so the worst
+		// case multiplies the rotation size at every stage.
+		bound := 1
+		for s := 0; s < a.Stages(); s++ {
+			bound *= m
+		}
+		if bound > 1<<20 {
+			bound = 1 << 20
+		}
+		runFairness(t, a, sim.NewRNG(seed^0x517cc1b727220a95), target, bound)
+	})
+}
+
+// FuzzOutputArbiter covers the selection logic that picks flat,
+// local-global or tree structures depending on (n, m), ensuring the
+// single-winner contract holds across the whole family exactly as the
+// routers construct them.
+func FuzzOutputArbiter(f *testing.F) {
+	f.Add(uint64(1), uint8(64), uint8(8))
+	f.Add(uint64(2), uint8(8), uint8(8))
+	f.Add(uint64(3), uint8(64), uint8(2))
+	f.Fuzz(func(t *testing.T, seed uint64, nRaw, mRaw uint8) {
+		n := 1 + int(nRaw)%64
+		m := 2 + int(mRaw)%15
+		a := arb.NewOutputArbiter(n, m)
+		rng := sim.NewRNG(seed ^ 0x2545f4914f6cdd1d)
+		req := make([]bool, n)
+		for round := 0; round < 256; round++ {
+			for i := range req {
+				req[i] = rng.Bernoulli(0.3)
+			}
+			checkRound(t, a, req)
+		}
+	})
+}

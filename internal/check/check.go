@@ -1,0 +1,472 @@
+// Package check is a cycle-level invariant checker for the router
+// architectures and the Clos network. It consumes the router.Observer
+// event stream plus the router's own occupancy counter and validates,
+// every cycle, the properties any correct implementation must hold:
+//
+//   - Flit conservation: every flit accepted is eventually ejected,
+//     exactly once, with no duplication, loss, or free-list aliasing
+//     (a *flit.Flit recycled while still logically in flight).
+//   - Credit conservation: every credit-counted buffer pool
+//     (crosspoint buffers, subswitch input/output buffers) never
+//     exceeds its depth, never returns a credit it does not owe, and
+//     owes nothing once the router drains.
+//   - In-order delivery: within a packet, flits are accepted and
+//     ejected in seq order (head, bodies, tail) — the wormhole
+//     contract.
+//   - Single-owner VCs: at most one packet occupies an output virtual
+//     channel at a time, and only its owner's flits leave on it.
+//   - Grant legality: no grant for a flit that is not buffered in the
+//     router, and no output serializer granted (or ejecting) more
+//     often than once per STCycles.
+//   - Progress: if flits are in flight, some flit must eject within
+//     the watchdog window; otherwise the checker reports a bounded
+//     deadlock/livelock certificate naming the oldest stuck flit.
+//
+// Arm it with Wrap (drop-in router.Router) or feed events to a Checker
+// directly. The checker is strictly passive and allocation-free on the
+// router's hot path when not attached: routers emit events through a
+// nil-guarded observer hook.
+package check
+
+import (
+	"fmt"
+	"sort"
+
+	"highradix/internal/flit"
+	"highradix/internal/router"
+)
+
+// Violation describes one invariant breach: the cycle it was detected,
+// a stable machine-readable rule name, and a human-readable detail.
+type Violation struct {
+	Cycle  int64
+	Rule   string
+	Detail string
+}
+
+// Error implements the error interface.
+func (v *Violation) Error() string {
+	return fmt.Sprintf("cycle %d: %s: %s", v.Cycle, v.Rule, v.Detail)
+}
+
+func vio(cycle int64, rule, format string, args ...any) *Violation {
+	return &Violation{Cycle: cycle, Rule: rule, Detail: fmt.Sprintf(format, args...)}
+}
+
+// Options tunes the checker.
+type Options struct {
+	// WatchdogCycles is how long the checker tolerates in-flight flits
+	// without a single ejection before declaring a progress violation.
+	// Zero selects the default (10000), generous for every architecture
+	// at any load below saturation.
+	WatchdogCycles int64
+}
+
+const defaultWatchdog = 10000
+
+// poolKey identifies one credit-counted buffer pool. Routers name the
+// pool kind in Event.Note and address it with the event's port fields,
+// so the checker needs no architecture knowledge.
+type poolKey struct {
+	note          string
+	input, output int
+	vc            int
+}
+
+func (k poolKey) String() string {
+	return fmt.Sprintf("%s[in=%d out=%d vc=%d]", k.note, k.input, k.output, k.vc)
+}
+
+type pool struct {
+	outstanding int // credits spent and not yet returned
+	depth       int
+}
+
+// Stats counts what the checker observed; useful for reporting and for
+// watchdog certificates.
+type Stats struct {
+	Events  uint64
+	Accepts uint64
+	Grants  uint64
+	Nacks   uint64
+	Ejects  uint64
+	Credits uint64
+	Packets uint64 // fully delivered packets
+}
+
+// Checker validates a single router's event stream. It implements
+// router.Observer; feed it via Config.Observer or use Wrap.
+type Checker struct {
+	cfg router.Config
+	opt Options
+
+	fl    *flow
+	stats Stats
+	err   *Violation
+
+	// exact is false for the shared-crosspoint router, whose InFlight
+	// is documented as an upper bound (retained input copies double-
+	// count); there the per-cycle conservation check degrades to
+	// inFlight >= live, plus the exact empty <=> empty equivalence.
+	exact bool
+	// termNote is the Note of the grant stage that seizes the output
+	// serializer in this architecture; those grants (and all ejects)
+	// must respect the STCycles spacing per output.
+	termNote string
+
+	liveIn    []int    // live flits per input port (for flit-less grants)
+	vcOwner   []uint64 // [output*VCs+vc] packet owning the eject stream, 0 = free
+	lastEject []int64  // per output
+	lastGrant []int64  // per output, terminal-stage grants
+
+	pools map[poolKey]*pool
+
+	lastProgress int64
+	grantsSince  uint64
+	nacksSince   uint64
+}
+
+// New builds a checker for a router with the given configuration. The
+// configuration is normalized with WithDefaults, so pass the same
+// Config the router was (or will be) built from.
+func New(cfg router.Config, opt Options) *Checker {
+	cfg = cfg.WithDefaults()
+	if opt.WatchdogCycles <= 0 {
+		opt.WatchdogCycles = defaultWatchdog
+	}
+	c := &Checker{
+		cfg:       cfg,
+		opt:       opt,
+		fl:        newFlow(),
+		exact:     cfg.Arch != router.ArchSharedXpoint,
+		liveIn:    make([]int, cfg.Radix),
+		vcOwner:   make([]uint64, cfg.Radix*cfg.VCs),
+		lastEject: make([]int64, cfg.Radix),
+		lastGrant: make([]int64, cfg.Radix),
+		pools:     make(map[poolKey]*pool),
+	}
+	switch cfg.Arch {
+	case router.ArchBuffered, router.ArchSharedXpoint:
+		c.termNote = "output"
+	case router.ArchHierarchical:
+		c.termNote = "column"
+	default: // lowradix, baseline
+		c.termNote = "switch"
+	}
+	const never = -1 << 40
+	for i := range c.lastEject {
+		c.lastEject[i] = never
+		c.lastGrant[i] = never
+	}
+	return c
+}
+
+// Err returns the first violation detected, or nil. Once a violation
+// is recorded the checker stops evaluating further events, so the
+// report always points at the root cause rather than at fallout.
+func (c *Checker) Err() error {
+	if c.err == nil {
+		return nil
+	}
+	return c.err
+}
+
+// Stats returns event counters accumulated so far.
+func (c *Checker) Stats() Stats {
+	s := c.stats
+	s.Packets = c.fl.delivered
+	return s
+}
+
+// Live returns the number of flits currently in flight according to
+// the event stream.
+func (c *Checker) Live() int { return c.fl.liveCount }
+
+// Observe implements router.Observer.
+func (c *Checker) Observe(e router.Event) {
+	if c.err != nil {
+		return
+	}
+	c.stats.Events++
+	switch e.Kind {
+	case router.EvAccept:
+		c.stats.Accepts++
+		c.accept(e)
+	case router.EvGrant:
+		c.stats.Grants++
+		c.grantsSince++
+		c.grant(e)
+	case router.EvNack:
+		c.stats.Nacks++
+		c.nacksSince++
+	case router.EvEject:
+		c.stats.Ejects++
+		c.eject(e)
+	case router.EvCredit:
+		c.stats.Credits++
+		c.credit(e)
+	}
+}
+
+func (c *Checker) accept(e router.Event) {
+	if c.fl.liveCount == 0 {
+		// Arrival into an idle router restarts the progress clock; the
+		// watchdog should time ejections against work being present.
+		c.progress(e.Cycle)
+	}
+	if c.err = c.fl.accept(e.Cycle, e.Flit); c.err != nil {
+		return
+	}
+	if src := e.Flit.Src; src < 0 || src >= c.cfg.Radix {
+		c.err = vio(e.Cycle, "flit.shape", "%v: source port out of range", e.Flit)
+		return
+	}
+	c.liveIn[e.Flit.Src]++
+}
+
+func (c *Checker) grant(e router.Event) {
+	if f := e.Flit; f != nil {
+		// A grant that names a flit must name a live one: granting a
+		// flit never accepted, already ejected, or recycled means the
+		// allocator is working from stale buffer state.
+		key, ok := c.fl.byPtr[f]
+		if !ok || key.pkt != f.PacketID || key.seq != f.Seq {
+			c.err = vio(e.Cycle, "grant.stale", "%s grant at output %d for %v, which is not in flight",
+				e.Note, e.Output, f)
+			return
+		}
+	} else if e.Input >= 0 && e.Input < len(c.liveIn) && c.liveIn[e.Input] == 0 {
+		// Speculative grants (baseline) carry no flit; the input they
+		// name must at least hold one.
+		c.err = vio(e.Cycle, "grant.empty", "%s grant to input %d, which holds no flits",
+			e.Note, e.Input)
+		return
+	}
+	if e.Note != c.termNote {
+		return
+	}
+	// Terminal-stage grants seize the output serializer, which needs
+	// STCycles per flit: two grants closer together would mean two
+	// flits multiplexed onto one serializer at once.
+	if e.Output < 0 || e.Output >= c.cfg.Radix {
+		c.err = vio(e.Cycle, "grant.serializer", "%s grant at out-of-range output %d", e.Note, e.Output)
+		return
+	}
+	if since := e.Cycle - c.lastGrant[e.Output]; since < int64(c.cfg.STCycles) {
+		c.err = vio(e.Cycle, "grant.serializer",
+			"output %d granted twice within %d cycles (serializer needs %d)", e.Output, since, c.cfg.STCycles)
+		return
+	}
+	c.lastGrant[e.Output] = e.Cycle
+}
+
+func (c *Checker) eject(e router.Event) {
+	f := e.Flit
+	if c.err = c.fl.eject(e.Cycle, f); c.err != nil {
+		return
+	}
+	if e.Output != f.Dst {
+		c.err = vio(e.Cycle, "flow.misroute", "%v ejected at output %d", f, e.Output)
+		return
+	}
+	if e.VC != f.VC {
+		c.err = vio(e.Cycle, "flow.misroute", "%v ejected on VC %d", f, e.VC)
+		return
+	}
+	if since := e.Cycle - c.lastEject[e.Output]; since < int64(c.cfg.STCycles) {
+		c.err = vio(e.Cycle, "eject.serializer",
+			"output %d ejected twice within %d cycles (serializer needs %d)", e.Output, since, c.cfg.STCycles)
+		return
+	}
+	c.lastEject[e.Output] = e.Cycle
+	// Output VC single-ownership: a packet's head claims the (output,
+	// VC) eject stream and holds it until its tail leaves; any other
+	// packet's flit appearing on it means interleaved wormholes.
+	slot := e.Output*c.cfg.VCs + f.VC
+	owner := c.vcOwner[slot]
+	if f.Head {
+		if owner != 0 {
+			c.err = vio(e.Cycle, "vc.busy",
+				"%v ejected on output %d VC %d still owned by packet %d", f, e.Output, f.VC, owner)
+			return
+		}
+		if !f.Tail {
+			c.vcOwner[slot] = f.PacketID
+		}
+	} else {
+		if owner != f.PacketID {
+			c.err = vio(e.Cycle, "vc.owner",
+				"%v ejected on output %d VC %d owned by packet %d", f, e.Output, f.VC, owner)
+			return
+		}
+		if f.Tail {
+			c.vcOwner[slot] = 0
+		}
+	}
+	if f.Src >= 0 && f.Src < len(c.liveIn) {
+		c.liveIn[f.Src]--
+	}
+	c.progress(e.Cycle)
+}
+
+func (c *Checker) credit(e router.Event) {
+	key := poolKey{note: e.Note, input: e.Input, output: e.Output, vc: e.VC}
+	p := c.pools[key]
+	if p == nil {
+		p = &pool{depth: e.Depth}
+		c.pools[key] = p
+	}
+	if p.depth != e.Depth {
+		c.err = vio(e.Cycle, "credit.depth", "pool %v reported depth %d, previously %d", key, e.Depth, p.depth)
+		return
+	}
+	switch e.Delta {
+	case -1:
+		p.outstanding++
+		if p.outstanding > p.depth {
+			c.err = vio(e.Cycle, "credit.overcommit",
+				"pool %v has %d credits outstanding, depth %d — a buffer must have overflowed",
+				key, p.outstanding, p.depth)
+		}
+	case +1:
+		p.outstanding--
+		if p.outstanding < 0 {
+			c.err = vio(e.Cycle, "credit.overflow",
+				"pool %v returned a credit it never spent", key)
+		}
+	default:
+		c.err = vio(e.Cycle, "credit.delta", "pool %v: credit delta %d is not ±1", key, e.Delta)
+	}
+}
+
+func (c *Checker) progress(cycle int64) {
+	c.lastProgress = cycle
+	c.grantsSince = 0
+	c.nacksSince = 0
+}
+
+// EndCycle closes the cycle: it reconciles the router's own occupancy
+// counter against the event-derived live set and runs the progress
+// watchdog. Call it after every Step with the router's InFlight().
+func (c *Checker) EndCycle(now int64, inFlight int) error {
+	if c.err != nil {
+		return c.err
+	}
+	live := c.fl.liveCount
+	if c.exact {
+		if inFlight != live {
+			c.err = vio(now, "conservation.count",
+				"router reports %d flits in flight, events account for %d", inFlight, live)
+		}
+	} else {
+		// Shared-crosspoint InFlight double-counts flits retained at
+		// the input while awaiting ACK, so it is an upper bound — but
+		// it is exactly zero iff the router is empty.
+		if inFlight < live {
+			c.err = vio(now, "conservation.count",
+				"router reports %d flits in flight, fewer than the %d events account for", inFlight, live)
+		} else if live == 0 && inFlight != 0 {
+			c.err = vio(now, "conservation.count",
+				"router reports %d flits in flight while events account for none", inFlight)
+		}
+	}
+	if c.err != nil {
+		return c.err
+	}
+	if live > 0 && now-c.lastProgress > c.opt.WatchdogCycles {
+		f := c.fl.oldestLive()
+		c.err = vio(now, "progress.watchdog",
+			"no ejection for %d cycles with %d flits in flight; oldest is %v (injected cycle %d); "+
+				"%d grants and %d nacks since last progress — deadlock if 0 grants, livelock otherwise",
+			now-c.lastProgress, live, f, f.InjectedAt, c.grantsSince, c.nacksSince)
+		return c.err
+	}
+	return nil
+}
+
+// Final closes the run: the router must have drained (no live flits)
+// and every credit pool must have all its credits home. Call it after
+// injection has stopped and InFlight has reached zero.
+func (c *Checker) Final(now int64) error {
+	if c.err != nil {
+		return c.err
+	}
+	if c.err = c.fl.drained(now); c.err != nil {
+		return c.err
+	}
+	var leaked []poolKey
+	for key, p := range c.pools {
+		if p.outstanding != 0 {
+			leaked = append(leaked, key)
+		}
+	}
+	if len(leaked) > 0 {
+		sort.Slice(leaked, func(a, b int) bool {
+			x, y := leaked[a], leaked[b]
+			if x.note != y.note {
+				return x.note < y.note
+			}
+			if x.input != y.input {
+				return x.input < y.input
+			}
+			if x.output != y.output {
+				return x.output < y.output
+			}
+			return x.vc < y.vc
+		})
+		detail := fmt.Sprintf("%d pools did not return all credits after drain; first %v is short %d",
+			len(leaked), leaked[0], c.pools[leaked[0]].outstanding)
+		c.err = vio(now, "credit.leak", "%s", detail)
+		return c.err
+	}
+	return nil
+}
+
+// Checked wraps a router with an armed Checker. It satisfies
+// router.Router; Step additionally reconciles occupancy each cycle.
+type Checked struct {
+	router.Router
+	chk *Checker
+}
+
+// Checker exposes the underlying checker for Err/Final/Stats.
+func (w *Checked) Checker() *Checker { return w.chk }
+
+// Accept validates that the testbench honored CanAccept before
+// forwarding; routers MustPush and would panic on an overfull buffer,
+// which the checker turns into a reportable violation instead.
+func (w *Checked) Accept(now int64, f *flit.Flit) {
+	if w.chk.err == nil && !w.Router.CanAccept(f.Src, f.VC) {
+		w.chk.err = vio(now, "flow.accept", "%v accepted while input %d VC %d is full", f, f.Src, f.VC)
+		return
+	}
+	w.Router.Accept(now, f)
+}
+
+// Step advances the wrapped router and then closes the checker's
+// cycle against the router's occupancy counter.
+func (w *Checked) Step(now int64) {
+	w.Router.Step(now)
+	w.chk.EndCycle(now, w.Router.InFlight())
+}
+
+// Wrap builds the configured router with a Checker spliced into its
+// observer chain (the checker sees every event first; a previously
+// configured observer still receives them all).
+func Wrap(cfg router.Config, opt Options) (*Checked, error) {
+	cfg = cfg.WithDefaults()
+	chk := New(cfg, opt)
+	if prior := cfg.Observer; prior != nil {
+		cfg.Observer = router.ObserverFunc(func(e router.Event) {
+			chk.Observe(e)
+			prior.Observe(e)
+		})
+	} else {
+		cfg.Observer = chk
+	}
+	r, err := router.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Checked{Router: r, chk: chk}, nil
+}

@@ -1,0 +1,149 @@
+package check_test
+
+import (
+	"fmt"
+	"testing"
+
+	"highradix/internal/check"
+	"highradix/internal/network"
+	"highradix/internal/router"
+	"highradix/internal/testbench"
+	"highradix/internal/traffic"
+)
+
+// conformanceConfigs is every router variant the suite holds to the
+// invariants: all five architectures plus the option axes that change
+// allocator behavior (OVA speculation, prioritized arbiters, ideal
+// credit return).
+func conformanceConfigs() map[string]router.Config {
+	return map[string]router.Config{
+		"lowradix": {Arch: router.ArchLowRadix, Radix: 16, VCs: 2},
+		"baseline-cva": {Arch: router.ArchBaseline, Radix: 16, VCs: 2, VA: router.CVA},
+		"baseline-ova": {Arch: router.ArchBaseline, Radix: 16, VCs: 2, VA: router.OVA},
+		"baseline-prioritized": {Arch: router.ArchBaseline, Radix: 16, VCs: 2, VA: router.OVA,
+			Prioritized: true},
+		"buffered": {Arch: router.ArchBuffered, Radix: 16, VCs: 2, LocalGroup: 4},
+		"buffered-ideal": {Arch: router.ArchBuffered, Radix: 16, VCs: 2, LocalGroup: 4,
+			IdealCredit: true},
+		"sharedxp":     {Arch: router.ArchSharedXpoint, Radix: 16, VCs: 2, LocalGroup: 4},
+		"hierarchical": {Arch: router.ArchHierarchical, Radix: 16, VCs: 2, SubSize: 4, LocalGroup: 4},
+	}
+}
+
+var conformancePatterns = []string{
+	"uniform", "diagonal", "hotspot", "worstcase", "bitcomp", "bitrev", "transpose", "shuffle",
+}
+
+// TestConformance runs every architecture variant under every traffic
+// pattern with the invariant checker armed, requiring each run to
+// drain to empty with no violation. This is the cross-architecture
+// behavioral contract: whatever the allocator microarchitecture, no
+// configuration may lose, duplicate, reorder or interleave flits,
+// overrun a buffer, or stall without progress.
+func TestConformance(t *testing.T) {
+	for name, cfg := range conformanceConfigs() {
+		for _, pat := range conformancePatterns {
+			name, cfg, pat := name, cfg, pat
+			t.Run(fmt.Sprintf("%s/%s", name, pat), func(t *testing.T) {
+				t.Parallel()
+				p, err := traffic.ByName(pat, 16, 4, 4)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := testbench.Run(testbench.Options{
+					Router:        cfg,
+					Pattern:       p,
+					Load:          0.25,
+					PktLen:        2,
+					WarmupCycles:  300,
+					MeasureCycles: 700,
+					Seed:          7,
+					Check:         true,
+				})
+				if err != nil {
+					t.Fatalf("invariant violation: %v", err)
+				}
+				if res.Saturated {
+					t.Fatalf("saturated at load 0.25 — the conformance load must be sustainable")
+				}
+				if res.Packets == 0 {
+					t.Fatal("no labeled packets delivered; the run was vacuous")
+				}
+			})
+		}
+	}
+}
+
+// TestConformanceBursty repeats the sweep's stress axis: Markov ON/OFF
+// bursty injection, which drives buffers much closer to full than
+// Bernoulli at the same average load.
+func TestConformanceBursty(t *testing.T) {
+	for name, cfg := range conformanceConfigs() {
+		name, cfg := name, cfg
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			res, err := testbench.Run(testbench.Options{
+				Router:        cfg,
+				Bursty:        true,
+				Load:          0.3,
+				PktLen:        3,
+				WarmupCycles:  300,
+				MeasureCycles: 700,
+				Seed:          11,
+				Check:         true,
+			})
+			if err != nil {
+				t.Fatalf("invariant violation: %v", err)
+			}
+			if res.Packets == 0 {
+				t.Fatal("no labeled packets delivered; the run was vacuous")
+			}
+		})
+	}
+}
+
+// TestClosConformance audits the Clos network end to end under every
+// traffic pattern valid for its terminal count: injection/delivery
+// conservation, per-packet in-order delivery, terminal serializer
+// spacing and progress, with the run drained to empty.
+func TestClosConformance(t *testing.T) {
+	// radix 4, 2 digits: 16 terminals (a power of two with an even bit
+	// count, so every deterministic pattern is well formed).
+	cfg := network.Config{Radix: 4, Digits: 2, Seed: 3}
+	full := cfg.WithDefaults()
+	for _, pat := range conformancePatterns {
+		for _, pktLen := range []int{1, 3} {
+			pat, pktLen := pat, pktLen
+			t.Run(fmt.Sprintf("%s/pkt%d", pat, pktLen), func(t *testing.T) {
+				t.Parallel()
+				p, err := traffic.ByName(pat, full.Terminals(), 4, 4)
+				if err != nil {
+					t.Fatal(err)
+				}
+				aud := check.NewNetAuditor(full.Terminals(), full.SerCycles, check.Options{})
+				res, err := network.Run(network.Options{
+					Net:           cfg,
+					Load:          0.3,
+					PktLen:        pktLen,
+					WarmupCycles:  300,
+					MeasureCycles: 700,
+					Seed:          5,
+					Pattern:       p,
+					Hooks:         aud,
+				})
+				if err != nil {
+					t.Fatalf("invariant violation: %v", err)
+				}
+				if res.Saturated {
+					t.Fatal("saturated at load 0.3 — the conformance load must be sustainable")
+				}
+				if err := aud.Final(res.Cycles); err != nil {
+					t.Fatalf("final audit: %v", err)
+				}
+				if aud.DeliveredPackets() == 0 {
+					t.Fatal("no packets delivered; the run was vacuous")
+				}
+			})
+		}
+	}
+}

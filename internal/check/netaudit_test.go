@@ -1,0 +1,81 @@
+package check_test
+
+import (
+	"testing"
+
+	"highradix/internal/check"
+	"highradix/internal/network"
+)
+
+// Compile-time proof the auditor satisfies the netbench hook contract.
+var _ network.Hooks = (*check.NetAuditor)(nil)
+
+func TestNetAuditorCleanRun(t *testing.T) {
+	a := check.NewNetAuditor(4, 2, check.Options{})
+	f0, f1 := mkflit(1, 0, 2, 0, 3, 0), mkflit(1, 1, 2, 0, 3, 0)
+	a.Injected(0, f0)
+	a.Injected(2, f1)
+	if err := a.EndCycle(2, 2); err != nil {
+		t.Fatal(err)
+	}
+	a.Delivered(10, f0)
+	a.Delivered(12, f1)
+	if err := a.EndCycle(12, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Final(13); err != nil {
+		t.Fatal(err)
+	}
+	if a.DeliveredPackets() != 1 {
+		t.Fatalf("delivered packets = %d, want 1", a.DeliveredPackets())
+	}
+}
+
+func TestNetAuditorCatchesLoss(t *testing.T) {
+	a := check.NewNetAuditor(4, 2, check.Options{})
+	a.Delivered(0, mkflit(1, 0, 1, 0, 3, 0))
+	err := a.Err()
+	if err == nil {
+		t.Fatal("expected a conservation.loss violation")
+	}
+	if v := err.(*check.Violation); v.Rule != "conservation.loss" {
+		t.Fatalf("expected conservation.loss, got %q", v.Rule)
+	}
+}
+
+func TestNetAuditorCatchesSerializerOverlap(t *testing.T) {
+	a := check.NewNetAuditor(4, 4, check.Options{})
+	f0, f1 := mkflit(1, 0, 1, 0, 3, 0), mkflit(2, 0, 1, 2, 3, 1)
+	a.Injected(0, f0)
+	a.Injected(0, f1)
+	a.Delivered(8, f0)
+	a.Delivered(10, f1) // 2 < SerCycles apart at the same terminal
+	err := a.Err()
+	if err == nil {
+		t.Fatal("expected an eject.serializer violation")
+	}
+	if v := err.(*check.Violation); v.Rule != "eject.serializer" {
+		t.Fatalf("expected eject.serializer, got %q", v.Rule)
+	}
+}
+
+func TestNetAuditorCatchesCountMismatch(t *testing.T) {
+	a := check.NewNetAuditor(4, 2, check.Options{})
+	a.Injected(0, mkflit(1, 0, 1, 0, 3, 0))
+	if err := a.EndCycle(0, 0); err == nil {
+		t.Fatal("expected a conservation.count violation")
+	}
+}
+
+func TestNetAuditorWatchdog(t *testing.T) {
+	a := check.NewNetAuditor(4, 2, check.Options{WatchdogCycles: 50})
+	a.Injected(0, mkflit(1, 0, 1, 0, 3, 0))
+	for now := int64(0); now <= 50; now++ {
+		if err := a.EndCycle(now, 1); err != nil {
+			t.Fatalf("watchdog fired early at %d: %v", now, err)
+		}
+	}
+	if err := a.EndCycle(51, 1); err == nil {
+		t.Fatal("expected the watchdog to fire")
+	}
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"highradix/internal/stats"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/ with freshly generated tables")
+
+// golden compares a generated Quick-scale table against its recorded
+// rendering. The experiment generators are deterministic at every
+// worker count (see TestParallelSweepDeterminism), so these files pin
+// the numeric output of the whole simulation stack — any change to
+// routing, arbitration, RNG streams or statistics shows up as a diff
+// here, and intentional changes are recorded with -update.
+func golden(t *testing.T, name string, gen func() (*stats.Table, error)) {
+	t.Helper()
+	tab, err := gen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := tab.String()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with: go test ./internal/experiments -run TestGolden -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s output diverged from its golden file.\nIf the change is intentional, regenerate with:\n"+
+			"  go test ./internal/experiments -run TestGolden -update\n--- got ---\n%s\n--- want ---\n%s",
+			name, got, want)
+	}
+}
+
+func TestGoldenFig9(t *testing.T) {
+	golden(t, "fig9", func() (*stats.Table, error) { return Fig9(Quick) })
+}
+
+func TestGoldenTableT1(t *testing.T) {
+	golden(t, "table1", func() (*stats.Table, error) { return TableT1(Quick) })
+}

@@ -4,7 +4,18 @@ import (
 	"highradix/internal/flit"
 	"highradix/internal/sim"
 	"highradix/internal/stats"
+	"highradix/internal/traffic"
 )
+
+// Hooks observes a network run at its terminal boundary. Implemented
+// structurally by check.NewNetAuditor; the network side only defines
+// the contract. EndCycle runs after every Step with the network's
+// in-flight count and may end the run by returning an error.
+type Hooks interface {
+	Injected(now int64, f *flit.Flit)
+	Delivered(now int64, f *flit.Flit)
+	EndCycle(now int64, inFlight int) error
+}
 
 // Options parameterizes one network simulation run (Figure 19 uses
 // uniform random traffic and single-flit packets).
@@ -26,6 +37,15 @@ type Options struct {
 	SatLatency    float64
 	// Seed seeds traffic generation.
 	Seed uint64
+	// Pattern supplies destination terminals; nil means uniform random
+	// (draw-for-draw identical to the historical behavior).
+	Pattern traffic.Pattern
+	// Hooks, when non-nil, observes every injection and delivery and
+	// audits each cycle. Arming hooks also stops generation at the end
+	// of the measurement window and extends the run until every
+	// generated flit has drained, so end-to-end conservation can be
+	// verified; a non-nil EndCycle error aborts the run.
+	Hooks Hooks
 }
 
 func (o Options) withDefaults() Options {
@@ -85,6 +105,10 @@ func Run(o Options) (Result, error) {
 		curVC[t] = -1
 	}
 
+	pattern := o.Pattern
+	if pattern == nil {
+		pattern = traffic.NewUniform(n)
+	}
 	lat := stats.NewSample(8192)
 	hops := stats.NewSample(4096)
 	var (
@@ -92,6 +116,8 @@ func Run(o Options) (Result, error) {
 		injectedLabeled  int64
 		deliveredLabeled int64
 		measFlitsOut     int64
+		genFlits         int64
+		delFlits         int64
 		now              int64
 	)
 	measStart := o.WarmupCycles
@@ -100,13 +126,15 @@ func Run(o Options) (Result, error) {
 
 	for now = 0; now < maxCycles; now++ {
 		measuring := now >= measStart && now < measEnd
+		generating := o.Hooks == nil || now < measEnd
 		for t := 0; t < n; t++ {
-			if genRng.Bernoulli(rate) {
-				dst := genRng.Intn(n)
+			if generating && genRng.Bernoulli(rate) {
+				dst := pattern.Dest(t, genRng)
 				pktID++
 				for _, f := range fl.MakePacket(pktID, t, dst, 0, o.PktLen, now, measuring) {
 					srcQ[t].MustPush(f)
 				}
+				genFlits += int64(o.PktLen)
 				if measuring {
 					injectedLabeled++
 				}
@@ -139,6 +167,9 @@ func Run(o Options) (Result, error) {
 			}
 			srcQ[t].MustPop()
 			nw.Inject(now, f, vc)
+			if o.Hooks != nil {
+				o.Hooks.Injected(now, f)
+			}
 			injFree[t] = now + int64(ser)
 			if f.Tail {
 				vcPtr[t] = (vc + 1) % v
@@ -155,9 +186,23 @@ func Run(o Options) (Result, error) {
 				hops.Add(float64(f.Hops))
 				deliveredLabeled++
 			}
+			delFlits++
+			if o.Hooks != nil {
+				o.Hooks.Delivered(now, f)
+			}
 			fl.Put(f)
 		}
-		if now >= measEnd && deliveredLabeled >= injectedLabeled {
+		if o.Hooks != nil {
+			if err := o.Hooks.EndCycle(now, nw.InFlight()); err != nil {
+				return Result{}, err
+			}
+			// A hooked run drains every generated flit, not just the
+			// labeled sample, so conservation holds over the whole run.
+			if now >= measEnd && delFlits >= genFlits {
+				now++
+				break
+			}
+		} else if now >= measEnd && deliveredLabeled >= injectedLabeled {
 			now++
 			break
 		}

@@ -132,7 +132,11 @@ func (r *buffered) Step(now int64) {
 	if !r.cfg.IdealCredit {
 		for i := range r.bus {
 			i := i
-			r.bus[i].step(now, func(output, vc int) { r.credit[i][output][vc]++ })
+			r.bus[i].step(now, func(output, vc int) {
+				r.credit[i][output][vc]++
+				r.cfg.observe(Event{Cycle: now, Kind: EvCredit, Input: i, Output: output, VC: vc,
+					Note: "xpoint", Delta: +1, Depth: r.cfg.XpointBufDepth})
+			})
 		}
 	}
 }
@@ -179,6 +183,8 @@ func (r *buffered) outputStage(now int64) {
 		r.ej.push(now+st, o, f)
 		if r.cfg.IdealCredit {
 			r.credit[win][o][c]++
+			r.cfg.observe(Event{Cycle: now, Kind: EvCredit, Input: win, Output: o, VC: c,
+				Note: "xpoint", Delta: +1, Depth: r.cfg.XpointBufDepth})
 		} else {
 			r.bus[win].enqueue(o, c)
 		}
@@ -207,6 +213,8 @@ func (r *buffered) inputStage(now int64) {
 		c := r.inputArb[i].Arbitrate(req)
 		f := r.in[i][c].q.MustPop()
 		r.credit[i][f.Dst][c]--
+		r.cfg.observe(Event{Cycle: now, Kind: EvCredit, Input: i, Output: f.Dst, VC: c,
+			Note: "xpoint", Delta: -1, Depth: r.cfg.XpointBufDepth})
 		r.inFree[i].reserve(now, r.cfg.STCycles)
 		r.cfg.observe(Event{Cycle: now, Kind: EvGrant, Flit: f, Input: i, Output: f.Dst, VC: c, Note: "input-row"})
 		r.toXp.Push(now, f)

@@ -209,6 +209,8 @@ func (r *hierarchical) Step(now int64) {
 	})
 	r.creditWire.DrainReady(now, func(c flit.Credit) {
 		r.creditIn[c.Input][c.Output][c.VC]++
+		r.cfg.observe(Event{Cycle: now, Kind: EvCredit, Input: c.Input, Output: c.Output, VC: c.VC,
+			Note: "subin", Delta: +1, Depth: r.cfg.SubInDepth})
 	})
 	r.columnStage(now)
 	r.internalStage(now)
@@ -257,6 +259,8 @@ func (r *hierarchical) columnStage(now int64) {
 			r.owner.acquire(o, c, f.PacketID)
 		}
 		r.subOutCred[row][col][j][c]++
+		r.cfg.observe(Event{Cycle: now, Kind: EvCredit, Input: row, Output: o, VC: c,
+			Note: "subout", Delta: +1, Depth: r.cfg.SubOutDepth})
 		r.outFree[o].reserve(now, r.cfg.STCycles)
 		r.ej.push(now+st, o, f)
 	}
@@ -313,6 +317,8 @@ func (r *hierarchical) internalStage(now int64) {
 					ownerT.release(j, c, f.PacketID)
 				}
 				r.subOutCred[row][col][j][c]--
+				r.cfg.observe(Event{Cycle: now, Kind: EvCredit, Input: row, Output: col*p + j, VC: c,
+					Note: "subout", Delta: -1, Depth: r.cfg.SubOutDepth})
 				r.intInFree[row][col][q].reserve(now, r.cfg.STCycles)
 				r.intOutFree[row][col][j].reserve(now, r.cfg.STCycles)
 				r.cfg.observe(Event{Cycle: now, Kind: EvGrant, Flit: f, Input: row*r.p + q, Output: f.Dst, VC: c, Note: "subswitch"})
@@ -347,6 +353,8 @@ func (r *hierarchical) inputStage(now int64) {
 		c := r.inputArb[i].Arbitrate(req)
 		f := r.in[i][c].q.MustPop()
 		r.creditIn[i][f.Dst/r.p][c]--
+		r.cfg.observe(Event{Cycle: now, Kind: EvCredit, Input: i, Output: f.Dst / r.p, VC: c,
+			Note: "subin", Delta: -1, Depth: r.cfg.SubInDepth})
 		r.inFree[i].reserve(now, r.cfg.STCycles)
 		r.cfg.observe(Event{Cycle: now, Kind: EvGrant, Flit: f, Input: i, Output: f.Dst, VC: c, Note: "row-bus"})
 		r.toSubIn.Push(now, f)

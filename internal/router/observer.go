@@ -19,6 +19,13 @@ const (
 	EvNack
 	// EvEject: a flit left an output port.
 	EvEject
+	// EvCredit: a credit-counted buffer pool changed occupancy. Delta is
+	// -1 when the upstream side spends a credit (a flit was committed
+	// toward the pool) and +1 when the credit returns (the slot freed).
+	// Note names the pool kind ("xpoint", "xp-shared", "subin",
+	// "subout") and Depth carries its total slot count, so an observer
+	// can audit conservation without knowing the architecture.
+	EvCredit
 )
 
 // String names the kind.
@@ -32,6 +39,8 @@ func (k EventKind) String() string {
 		return "nack"
 	case EvEject:
 		return "eject"
+	case EvCredit:
+		return "credit"
 	default:
 		return "event"
 	}
@@ -49,6 +58,10 @@ type Event struct {
 	// Note identifies the pipeline location for multi-stage events
 	// ("input", "xpoint", "subswitch", "column", ...).
 	Note string
+	// Delta and Depth are set on EvCredit only: the occupancy change
+	// (-1 spend, +1 return) and the total depth of the credited pool.
+	Delta int
+	Depth int
 }
 
 // Observer receives events from a router whose Config.Observer is set.

@@ -155,7 +155,11 @@ func (r *sharedXpoint) Step(now int64) {
 	if !r.cfg.IdealCredit {
 		for i := range r.bus {
 			i := i
-			r.bus[i].step(now, func(output, vc int) { r.credit[i][output]++ })
+			r.bus[i].step(now, func(output, vc int) {
+				r.credit[i][output]++
+				r.cfg.observe(Event{Cycle: now, Kind: EvCredit, Input: i, Output: output,
+					Note: "xp-shared", Delta: +1, Depth: r.cfg.XpointBufDepth})
+			})
 		}
 	}
 }
@@ -175,15 +179,17 @@ func (r *sharedXpoint) nackBlockedHeads(now int64) {
 				r.xp[i][o].MustPop()
 				r.cfg.observe(Event{Cycle: now, Kind: EvNack, Flit: f, Input: i, Output: o, VC: f.VC, Note: "xpoint-vc-busy"})
 				r.ack.Push(now, xpAck{input: i, vc: f.VC, ack: false})
-				r.returnCredit(i, o)
+				r.returnCredit(now, i, o)
 			}
 		}
 	}
 }
 
-func (r *sharedXpoint) returnCredit(i, o int) {
+func (r *sharedXpoint) returnCredit(now int64, i, o int) {
 	if r.cfg.IdealCredit {
 		r.credit[i][o]++
+		r.cfg.observe(Event{Cycle: now, Kind: EvCredit, Input: i, Output: o,
+			Note: "xp-shared", Delta: +1, Depth: r.cfg.XpointBufDepth})
 	} else {
 		r.bus[i].enqueue(o, 0)
 	}
@@ -218,7 +224,7 @@ func (r *sharedXpoint) outputStage(now int64) {
 		}
 		r.outFree[o].reserve(now, r.cfg.STCycles)
 		r.ej.push(now+st, o, f)
-		r.returnCredit(win, o)
+		r.returnCredit(now, win, o)
 	}
 }
 
@@ -241,6 +247,8 @@ func (r *sharedXpoint) inputStage(now int64) {
 		c := r.inputArb[i].Arbitrate(req)
 		f, _ := r.in[i][c].front()
 		r.credit[i][f.Dst]--
+		r.cfg.observe(Event{Cycle: now, Kind: EvCredit, Input: i, Output: f.Dst,
+			Note: "xp-shared", Delta: -1, Depth: r.cfg.XpointBufDepth})
 		r.inFree[i].reserve(now, r.cfg.STCycles)
 		r.cfg.observe(Event{Cycle: now, Kind: EvGrant, Flit: f, Input: i, Output: f.Dst, VC: c, Note: "input-row"})
 		if f.Head {

@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 
+	"highradix/internal/check"
 	"highradix/internal/flit"
 	"highradix/internal/router"
 	"highradix/internal/sim"
@@ -49,6 +50,13 @@ type Options struct {
 	SatLatency float64
 	// Seed makes the run reproducible.
 	Seed uint64
+	// Check arms the cycle-level invariant checker (internal/check):
+	// the router is wrapped so every event is audited, synthetic
+	// injection stops at the end of the measurement window, and the run
+	// drains to empty so the checker can verify flit and credit
+	// conservation end to end. Any violation is returned as the run's
+	// error.
+	Check bool
 }
 
 func (o Options) withDefaults() Options {
@@ -112,9 +120,22 @@ type source struct {
 // Run executes one simulation and returns its measurements.
 func Run(o Options) (Result, error) {
 	o = o.withDefaults()
-	r, err := router.New(o.Router)
-	if err != nil {
-		return Result{}, err
+	var (
+		r   router.Router
+		chk *check.Checker
+	)
+	if o.Check {
+		w, err := check.Wrap(o.Router, check.Options{})
+		if err != nil {
+			return Result{}, err
+		}
+		r, chk = w, w.Checker()
+	} else {
+		var err error
+		r, err = router.New(o.Router)
+		if err != nil {
+			return Result{}, err
+		}
 	}
 	cfg := r.Config()
 	k, v, st := cfg.Radix, cfg.VCs, cfg.STCycles
@@ -167,6 +188,8 @@ func Run(o Options) (Result, error) {
 		injectedLabeled  int64
 		deliveredLabeled int64
 		measFlitsOut     int64
+		genFlits         int64
+		delFlits         int64
 		now              int64
 	)
 	measStart := o.WarmupCycles
@@ -185,11 +208,14 @@ func Run(o Options) (Result, error) {
 				for _, f := range fl.MakePacket(pktID, e.Src, e.Dst, 0, e.Len, now, measuring) {
 					srcs[e.Src].q.MustPush(f)
 				}
+				genFlits += int64(e.Len)
 				if measuring {
 					injectedLabeled++
 				}
 			}
-		} else {
+		} else if !o.Check || now < measEnd {
+			// A checked run stops injecting at the end of the window so
+			// the router drains to empty and conservation can be audited.
 			for i, s := range srcs {
 				if !s.proc.Inject(s.rng) {
 					continue
@@ -199,6 +225,7 @@ func Run(o Options) (Result, error) {
 				for _, f := range fl.MakePacket(pktID, i, dst, 0, o.PktLen, now, measuring) {
 					s.q.MustPush(f)
 				}
+				genFlits += int64(o.PktLen)
 				if measuring {
 					injectedLabeled++
 				}
@@ -251,11 +278,27 @@ func Run(o Options) (Result, error) {
 				lat.Add(float64(now - f.CreatedAt))
 				deliveredLabeled++
 			}
+			delFlits++
 			fl.Put(f)
 		}
-		if now >= measEnd && deliveredLabeled >= injectedLabeled {
+		if chk != nil {
+			if err := chk.Err(); err != nil {
+				return Result{}, err
+			}
+			// A checked run drains every flit, not just the labeled
+			// sample, so conservation can be verified over the whole run.
+			if now >= measEnd && delFlits >= genFlits {
+				now++
+				break
+			}
+		} else if now >= measEnd && deliveredLabeled >= injectedLabeled {
 			now++
 			break
+		}
+	}
+	if chk != nil && delFlits >= genFlits {
+		if err := chk.Final(now); err != nil {
+			return Result{}, err
 		}
 	}
 

@@ -1,0 +1,196 @@
+package traffic_test
+
+import (
+	"math"
+	"testing"
+
+	"highradix/internal/sim"
+	"highradix/internal/traffic"
+)
+
+// These tests hold the randomized patterns to their intended
+// destination distributions: we draw a large fixed-seed sample per
+// (pattern, source), build the destination histogram, and run a
+// chi-square goodness-of-fit test against the distribution each
+// pattern documents. Seeds are fixed, so the tests are deterministic —
+// a failure means the pattern (or the RNG underneath it) changed
+// distribution, not bad luck.
+
+const (
+	statK = 64 // ports
+	statP = 8  // subswitch size (worstcase pattern)
+	statH = 8  // hotspot count
+	statN = 20000
+)
+
+// chiSquare returns the statistic over cells with nonzero expected
+// probability and the count of those cells; draws landing in
+// zero-probability cells are reported through the second histogram
+// return so callers can reject them outright.
+func chiSquare(hist []int, probs []float64, n int) (stat float64, cells int, outOfSupport int) {
+	for d, p := range probs {
+		if p == 0 {
+			outOfSupport += hist[d]
+			continue
+		}
+		cells++
+		exp := float64(n) * p
+		diff := float64(hist[d]) - exp
+		stat += diff * diff / exp
+	}
+	return stat, cells, outOfSupport
+}
+
+// critValue approximates the upper chi-square quantile at significance
+// 0.001 with the Wilson–Hilferty transform: with z the standard normal
+// quantile, chi2_crit ≈ df·(1 − 2/(9df) + z·sqrt(2/(9df)))³.
+func critValue(df int) float64 {
+	const z = 3.0902 // Phi^-1(0.999)
+	d := float64(df)
+	t := 1 - 2/(9*d) + z*math.Sqrt(2/(9*d))
+	return d * t * t * t
+}
+
+// expectedProbs returns the documented destination distribution of a
+// randomized pattern, per source.
+func expectedProbs(name string, src int) []float64 {
+	probs := make([]float64, statK)
+	switch name {
+	case "uniform":
+		for d := range probs {
+			probs[d] = 1.0 / statK
+		}
+	case "diagonal":
+		probs[src] = 0.5
+		probs[(src+1)%statK] = 0.5
+	case "hotspot":
+		// 50% uniform over the h hotspots plus 50% uniform over all
+		// ports; the hotspots are the first h ports.
+		for d := range probs {
+			probs[d] = 0.5 / statK
+		}
+		for d := 0; d < statH; d++ {
+			probs[d] += 0.5 / statH
+		}
+	case "worstcase":
+		group := src / statP
+		for d := group * statP; d < (group+1)*statP; d++ {
+			probs[d] = 1.0 / statP
+		}
+	}
+	return probs
+}
+
+func TestRandomPatternDistributions(t *testing.T) {
+	cases := []struct {
+		pattern string
+		sources []int
+		seed    uint64
+	}{
+		{"uniform", []int{0, 21, 63}, 0x5eed0001},
+		{"diagonal", []int{0, 21, 63}, 0x5eed0002},
+		{"hotspot", []int{0, 3, 40}, 0x5eed0003},
+		{"worstcase", []int{0, 21, 63}, 0x5eed0004},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.pattern, func(t *testing.T) {
+			p, err := traffic.ByName(tc.pattern, statK, statP, statH)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, src := range tc.sources {
+				rng := sim.NewRNG(tc.seed ^ uint64(src)<<32)
+				hist := make([]int, statK)
+				for i := 0; i < statN; i++ {
+					d := p.Dest(src, rng)
+					if d < 0 || d >= statK {
+						t.Fatalf("src %d: destination %d out of range", src, d)
+					}
+					hist[d]++
+				}
+				probs := expectedProbs(tc.pattern, src)
+				stat, cells, stray := chiSquare(hist, probs, statN)
+				if stray > 0 {
+					t.Errorf("src %d: %d draws landed outside the pattern's support", src, stray)
+				}
+				if cells < 2 {
+					t.Fatalf("src %d: degenerate expectation (%d support cells)", src, cells)
+				}
+				if crit := critValue(cells - 1); stat > crit {
+					t.Errorf("src %d: chi-square %.1f exceeds the 0.001 critical value %.1f (df %d) — "+
+						"the destination histogram does not match the documented distribution",
+						src, stat, crit, cells-1)
+				}
+			}
+		})
+	}
+}
+
+// TestChiSquareRejectsWrongDistribution is the negative control: the
+// same machinery must reject a sample drawn from a distribution other
+// than the hypothesized one, or the tests above are vacuous.
+func TestChiSquareRejectsWrongDistribution(t *testing.T) {
+	rng := sim.NewRNG(0x5eedbad)
+	u := traffic.NewUniform(statK)
+	hist := make([]int, statK)
+	for i := 0; i < statN; i++ {
+		hist[u.Dest(7, rng)]++
+	}
+	// Hypothesis: hotspot distribution. A uniform sample must fail it.
+	probs := expectedProbs("hotspot", 7)
+	stat, cells, _ := chiSquare(hist, probs, statN)
+	if crit := critValue(cells - 1); stat <= crit {
+		t.Fatalf("uniform sample accepted as hotspot (chi-square %.1f <= crit %.1f); the test has no power",
+			stat, crit)
+	}
+}
+
+// TestDeterministicPatternsArePermutations pins the deterministic
+// patterns: each must be a fixed bijection on the ports, independent
+// of the RNG, with the documented closed form.
+func TestDeterministicPatternsArePermutations(t *testing.T) {
+	closedForms := map[string]func(src int) int{
+		"bitcomp": func(src int) int { return (statK - 1) ^ src },
+		"bitrev": func(src int) int {
+			// 6-bit reversal for k=64.
+			out := 0
+			for b := 0; b < 6; b++ {
+				if src&(1<<b) != 0 {
+					out |= 1 << (5 - b)
+				}
+			}
+			return out
+		},
+		"transpose": func(src int) int { return (src&7)<<3 | src>>3 },
+		"shuffle":   func(src int) int { return (src<<1 | src>>5) & (statK - 1) },
+	}
+	for name, want := range closedForms {
+		name, want := name, want
+		t.Run(name, func(t *testing.T) {
+			p, err := traffic.ByName(name, statK, statP, statH)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rngA := sim.NewRNG(1)
+			rngB := sim.NewRNG(2)
+			seen := make([]bool, statK)
+			for src := 0; src < statK; src++ {
+				d := p.Dest(src, rngA)
+				if d2 := p.Dest(src, rngB); d2 != d {
+					t.Fatalf("src %d: destination depends on the RNG (%d vs %d)", src, d, d2)
+				}
+				if d != want(src) {
+					t.Errorf("src %d: got destination %d, closed form says %d", src, d, want(src))
+				}
+				if d < 0 || d >= statK {
+					t.Fatalf("src %d: destination %d out of range", src, d)
+				}
+				if seen[d] {
+					t.Errorf("destination %d hit twice — not a permutation", d)
+				}
+				seen[d] = true
+			}
+		})
+	}
+}
