@@ -1,0 +1,213 @@
+// Command hrbench measures the per-cycle cost of each router
+// architecture and writes the results as a JSON sweep. Each point runs
+// the same single-router microbenchmark as BenchmarkStep* in the root
+// package: uniform Bernoulli traffic at 60% load, measured with
+// testing.Benchmark so ns/op, B/op and allocs/op come from the standard
+// benchmark machinery.
+//
+// Usage:
+//
+//	hrbench                          # write BENCH_sweep.json
+//	hrbench -out results.json -benchtime 2s   # or -benchtime 50000x
+//	hrbench -check BENCH_sweep.json  # fail if allocs/op regressed
+//
+// The committed BENCH_sweep.json at the repository root records the
+// sweep for the machine that generated it; ns/op is hardware-dependent
+// and only comparable within one file, but allocs/op is deterministic,
+// which is what -check enforces (CI runs it as a smoke test).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	"highradix"
+)
+
+// point is one (architecture, radix) measurement.
+type point struct {
+	Arch        string  `json:"arch"`
+	Radix       int     `json:"radix"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// sweep is the file format: the configurations swept plus enough
+// metadata to interpret the numbers.
+type sweep struct {
+	Note      string  `json:"note"`
+	Load      float64 `json:"load"`
+	Benchtime string  `json:"benchtime"`
+	Points    []point `json:"points"`
+}
+
+// configs lists the swept (arch, radix) pairs. The low-radix router is
+// measured at its design point (radix 16) and, for comparison, at the
+// high-radix operating point; the high-radix architectures at the
+// paper's radix 64 and at radix 256 to expose scaling.
+func configs() []highradix.RouterConfig {
+	var cfgs []highradix.RouterConfig
+	for _, radix := range []int{16, 64} {
+		cfgs = append(cfgs, highradix.RouterConfig{Arch: highradix.LowRadix, Radix: radix})
+	}
+	for _, arch := range []highradix.Arch{
+		highradix.Baseline, highradix.Buffered, highradix.SharedXpoint, highradix.Hierarchical,
+	} {
+		for _, radix := range []int{64, 256} {
+			cfgs = append(cfgs, highradix.RouterConfig{Arch: arch, Radix: radix})
+		}
+	}
+	return cfgs
+}
+
+const benchLoad = 0.6
+
+// stepBenchmark adapts one router configuration to testing.Benchmark:
+// identical methodology to benchRouterStep in the root package's
+// bench_test.go, so hrbench numbers line up with `go test -bench Step`.
+func stepBenchmark(cfg highradix.RouterConfig) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		_, err := highradix.Simulate(highradix.SimOptions{
+			Router:        cfg,
+			Load:          benchLoad,
+			WarmupCycles:  200,
+			MeasureCycles: int64(b.N) + 1,
+			DrainCycles:   1,
+			Seed:          1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func runSweep(benchtime string, verbose bool) sweep {
+	// testing.Benchmark sizes b.N from -test.benchtime, which only
+	// exists after testing.Init registers the testing flags; outside
+	// `go test` that is this program's job.
+	testing.Init()
+	if err := flag.Set("test.benchtime", benchtime); err != nil {
+		fmt.Fprintln(os.Stderr, "hrbench:", err)
+		os.Exit(1)
+	}
+	s := sweep{
+		Note:      "per-cycle router step cost at 60% uniform load; ns/op is machine-dependent, allocs/op is deterministic at a fixed Nx benchtime",
+		Load:      benchLoad,
+		Benchtime: benchtime,
+	}
+	for _, cfg := range configs() {
+		full := cfg.WithDefaults()
+		res := testing.Benchmark(stepBenchmark(cfg))
+		p := point{
+			Arch:        full.Arch.String(),
+			Radix:       full.Radix,
+			Iterations:  res.N,
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+		}
+		if verbose {
+			fmt.Fprintf(os.Stderr, "%-12s radix %-4d %12.1f ns/op %8d B/op %6d allocs/op\n",
+				p.Arch, p.Radix, p.NsPerOp, p.BytesPerOp, p.AllocsPerOp)
+		}
+		s.Points = append(s.Points, p)
+	}
+	return s
+}
+
+// check compares a fresh sweep against the committed baseline and
+// reports every point whose allocs/op exceeds the recorded value.
+// ns/op is deliberately not checked: it varies with the host.
+func check(baseline sweep, current sweep) error {
+	base := make(map[string]point, len(baseline.Points))
+	for _, p := range baseline.Points {
+		base[fmt.Sprintf("%s/%d", p.Arch, p.Radix)] = p
+	}
+	var failures []string
+	for _, p := range current.Points {
+		key := fmt.Sprintf("%s/%d", p.Arch, p.Radix)
+		b, ok := base[key]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: not in baseline file", key))
+			continue
+		}
+		if p.AllocsPerOp > b.AllocsPerOp {
+			failures = append(failures, fmt.Sprintf("%s: allocs/op regressed %d -> %d",
+				key, b.AllocsPerOp, p.AllocsPerOp))
+		}
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "hrbench: FAIL:", f)
+		}
+		return fmt.Errorf("%d allocation regression(s)", len(failures))
+	}
+	return nil
+}
+
+func main() {
+	var (
+		out       = flag.String("out", "BENCH_sweep.json", "output file ('-' for stdout)")
+		benchtime = flag.String("benchtime", "20000x", "run time per benchmark point: a duration (1s) or a fixed iteration count (20000x); fixed counts make allocs/op machine-independent")
+		checkFile = flag.String("check", "", "compare against this baseline sweep instead of writing; exit nonzero if allocs/op regressed")
+		quiet     = flag.Bool("q", false, "suppress per-point progress on stderr")
+	)
+	flag.Parse()
+
+	if *checkFile != "" {
+		data, err := os.ReadFile(*checkFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hrbench:", err)
+			os.Exit(1)
+		}
+		var baseline sweep
+		if err := json.Unmarshal(data, &baseline); err != nil {
+			fmt.Fprintf(os.Stderr, "hrbench: %s: %v\n", *checkFile, err)
+			os.Exit(1)
+		}
+		// allocs/op amortizes one-time construction over b.N, so a
+		// fair comparison must run exactly as many iterations as the
+		// baseline did; honor an explicit -benchtime but default to
+		// the recorded one.
+		explicit := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "benchtime" {
+				explicit = true
+			}
+		})
+		if !explicit && baseline.Benchtime != "" {
+			*benchtime = baseline.Benchtime
+		}
+		s := runSweep(*benchtime, !*quiet)
+		if err := check(baseline, s); err != nil {
+			fmt.Fprintln(os.Stderr, "hrbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("hrbench: %d points checked against %s, no allocation regressions\n",
+			len(s.Points), *checkFile)
+		return
+	}
+
+	s := runSweep(*benchtime, !*quiet)
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hrbench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "hrbench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("hrbench: wrote %d points to %s\n", len(s.Points), *out)
+}

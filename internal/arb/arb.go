@@ -23,6 +23,17 @@ type Arbiter interface {
 	Size() int
 }
 
+// BitArbiter is the bitset entry point of the same arbiters: requests
+// arrive as a BitVec and the winner is found with word operations
+// instead of an O(n) scan. Every arbiter in this package implements
+// both interfaces over shared pointer state, so for any given instance
+// Arbitrate and ArbitrateBits are interchangeable grant for grant; the
+// routers drive the bitset path and the equivalence tests drive both.
+type BitArbiter interface {
+	ArbitrateBits(v *BitVec) int
+	Size() int
+}
+
 // RoundRobin is a rotating-priority arbiter over n request lines. After
 // granting line g, the highest priority moves to line g+1 (mod n), which
 // guarantees that a continuously-requesting line is served at least once
@@ -77,6 +88,71 @@ func (a *RoundRobin) Peek(requests []bool) int {
 // Pointer exposes the current priority pointer (for tests).
 func (a *RoundRobin) Pointer() int { return a.next }
 
+// ArbitrateBits grants the requesting line cyclically closest to the
+// priority pointer using a rotate-aware find-first-set, and advances
+// the pointer past it. For n <= 64 this is three word operations.
+func (a *RoundRobin) ArbitrateBits(v *BitVec) int {
+	if v.n != a.n {
+		panic("arb: request vector size mismatch")
+	}
+	var idx int
+	if a.n <= 64 {
+		idx = rotFirst(v.words[0], a.next)
+	} else {
+		idx = v.FirstFrom(a.next)
+	}
+	if idx >= 0 {
+		a.advancePast(idx)
+	}
+	return idx
+}
+
+// PeekBits returns the line ArbitrateBits would grant without updating
+// the priority pointer.
+func (a *RoundRobin) PeekBits(v *BitVec) int {
+	if v.n != a.n {
+		panic("arb: request vector size mismatch")
+	}
+	if a.n <= 64 {
+		return rotFirst(v.words[0], a.next)
+	}
+	return v.FirstFrom(a.next)
+}
+
+// ArbitrateWord grants from a request vector handed over as a single
+// word (line i at bit i), for callers that assemble tiny vectors — a
+// router input's per-VC requests, say — directly in a register. Only
+// valid for arbiters of at most 64 lines; grant-for-grant identical to
+// ArbitrateBits on the same bits.
+func (a *RoundRobin) ArbitrateWord(w uint64) int {
+	if a.n > 64 {
+		panic("arb: ArbitrateWord needs at most 64 lines")
+	}
+	return a.arbitrateWord(w)
+}
+
+// peekWord and arbitrateWord are the grouped-stage entry points: an
+// arbiter of size <= 64 whose request lines were sliced out of a larger
+// BitVec receives them as a single word.
+func (a *RoundRobin) peekWord(grp uint64) int { return rotFirst(grp, a.next) }
+
+func (a *RoundRobin) arbitrateWord(grp uint64) int {
+	w := rotFirst(grp, a.next)
+	if w >= 0 {
+		a.advancePast(w)
+	}
+	return w
+}
+
+// advancePast commits a grant to line w: the highest priority moves to
+// w+1 (mod n).
+func (a *RoundRobin) advancePast(w int) {
+	a.next = w + 1
+	if a.next >= a.n {
+		a.next = 0
+	}
+}
+
 // Fixed is a fixed-priority arbiter: lower indices always win. It exists
 // as a baseline for fairness property tests and for modeling paths where
 // the paper specifies static priority.
@@ -104,4 +180,12 @@ func (a *Fixed) Arbitrate(requests []bool) int {
 		}
 	}
 	return -1
+}
+
+// ArbitrateBits grants the lowest requesting line, or -1 if none.
+func (a *Fixed) ArbitrateBits(v *BitVec) int {
+	if v.n != a.n {
+		panic("arb: request vector size mismatch")
+	}
+	return v.Next(0)
 }

@@ -1,0 +1,169 @@
+package arb
+
+import "math/bits"
+
+// BitVec is a fixed-width request vector over n lines packed
+// little-endian into uint64 words: line i lives at bit i%64 of word
+// i/64. At the paper's radices an entire request vector fits in one or
+// a few machine words, so scanning for the next requester — the inner
+// operation of every round-robin arbiter — collapses from an O(n) slice
+// walk into a handful of mask-and-count-trailing-zeros instructions.
+type BitVec struct {
+	n     int
+	words []uint64
+}
+
+// NewBitVec returns an empty bit vector over n lines.
+func NewBitVec(n int) *BitVec {
+	v := MakeBitVec(n)
+	return &v
+}
+
+// MakeBitVec returns an empty bit vector over n lines as a value, for
+// embedding directly in larger per-port structs so the hot step loops
+// reach the words with one less pointer dereference.
+func MakeBitVec(n int) BitVec {
+	if n <= 0 {
+		panic("arb: bit vector size must be positive")
+	}
+	return BitVec{n: n, words: make([]uint64, (n+63)/64)}
+}
+
+// Len returns the number of lines.
+func (v *BitVec) Len() int { return v.n }
+
+// Set raises line i.
+func (v *BitVec) Set(i int) { v.words[i>>6] |= 1 << (uint(i) & 63) }
+
+// Clear lowers line i.
+func (v *BitVec) Clear(i int) { v.words[i>>6] &^= 1 << (uint(i) & 63) }
+
+// Get reports whether line i is raised.
+func (v *BitVec) Get(i int) bool { return v.words[i>>6]>>(uint(i)&63)&1 != 0 }
+
+// Any reports whether any line is raised.
+func (v *BitVec) Any() bool {
+	for _, w := range v.words {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Count returns the number of raised lines.
+func (v *BitVec) Count() int {
+	n := 0
+	for _, w := range v.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Reset lowers every line.
+func (v *BitVec) Reset() {
+	for i := range v.words {
+		v.words[i] = 0
+	}
+}
+
+// CopyOr sets v to the union a|b. All three vectors must have the same
+// length.
+func (v *BitVec) CopyOr(a, b *BitVec) {
+	if a.n != v.n || b.n != v.n {
+		panic("arb: bit vector size mismatch")
+	}
+	for i := range v.words {
+		v.words[i] = a.words[i] | b.words[i]
+	}
+}
+
+// SetBools re-initializes v from a []bool request vector of equal
+// length.
+func (v *BitVec) SetBools(req []bool) {
+	if len(req) != v.n {
+		panic("arb: request vector size mismatch")
+	}
+	v.Reset()
+	for i, r := range req {
+		if r {
+			v.Set(i)
+		}
+	}
+}
+
+// FillBools writes v out into a []bool request vector of equal length.
+func (v *BitVec) FillBools(dst []bool) {
+	if len(dst) != v.n {
+		panic("arb: request vector size mismatch")
+	}
+	for i := range dst {
+		dst[i] = v.Get(i)
+	}
+}
+
+// Next returns the lowest raised line at or after i, or -1 when none
+// remains. Iterating `for i := v.Next(0); i >= 0; i = v.Next(i + 1)`
+// visits the raised lines in ascending order, skipping idle spans a
+// word at a time.
+func (v *BitVec) Next(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	if i >= v.n {
+		return -1
+	}
+	w := i >> 6
+	word := v.words[w] &^ (1<<(uint(i)&63) - 1)
+	for {
+		if word != 0 {
+			return w<<6 + bits.TrailingZeros64(word)
+		}
+		w++
+		if w == len(v.words) {
+			return -1
+		}
+		word = v.words[w]
+	}
+}
+
+// FirstFrom returns the first raised line at or cyclically after start
+// — the rotate-aware find-first-set that implements a round-robin
+// priority pointer: lines start..n-1 are searched first, then 0..start-1.
+// It returns -1 when the vector is empty.
+func (v *BitVec) FirstFrom(start int) int {
+	if idx := v.Next(start); idx >= 0 {
+		return idx
+	}
+	// No line at or above start: the cyclically-first requester is
+	// simply the lowest raised line.
+	return v.Next(0)
+}
+
+// slice extracts the size bits starting at line base as one word
+// (size <= 64). Groups of a hierarchical arbiter are contiguous line
+// ranges, so a whole local stage's request vector is one such word.
+func (v *BitVec) slice(base, size int) uint64 {
+	w, off := base>>6, uint(base)&63
+	word := v.words[w] >> off
+	if off != 0 && w+1 < len(v.words) {
+		word |= v.words[w+1] << (64 - off)
+	}
+	if size < 64 {
+		word &= 1<<uint(size) - 1
+	}
+	return word
+}
+
+// rotFirst returns the lowest set bit of grp at or cyclically after
+// priority pointer p (0 <= p <= 63): bits >= p win first; if none is
+// set there, wrapping means the overall lowest set bit wins.
+func rotFirst(grp uint64, p int) int {
+	if hi := grp &^ (1<<uint(p) - 1); hi != 0 {
+		return bits.TrailingZeros64(hi)
+	}
+	if grp != 0 {
+		return bits.TrailingZeros64(grp)
+	}
+	return -1
+}

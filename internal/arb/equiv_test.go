@@ -1,0 +1,280 @@
+package arb_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"highradix/internal/arb"
+	"highradix/internal/sim"
+)
+
+// Property tests asserting that every arbiter's bitset entry point is
+// grant-for-grant identical to its []bool entry point. The two paths
+// share rotation state within one instance, so each property drives a
+// pair of identically constructed twins — one with request slices, one
+// with request bitsets — through the same random request stream and
+// requires identical grant sequences. This is the contract the routers
+// rely on: the step loops switched wholesale to the bitset path, and
+// cycle-accurate results must not have moved.
+
+const quickRounds = 192
+
+// reqStream fills req (and its bitset mirror) with a random vector,
+// forcing at least occasional empty and full vectors.
+func reqStream(rng *sim.RNG, round int, req []bool, v *arb.BitVec) {
+	p := 0.35
+	switch round % 16 {
+	case 7:
+		p = 0 // empty vector: both paths must return -1
+	case 13:
+		p = 1 // full vector: pure rotation
+	}
+	for i := range req {
+		req[i] = rng.Bernoulli(p)
+	}
+	v.SetBools(req)
+}
+
+func quickCfg(t *testing.T) *quick.Config {
+	t.Helper()
+	return &quick.Config{MaxCount: 64}
+}
+
+func TestQuickRoundRobinBitsMatchesBools(t *testing.T) {
+	prop := func(seed uint64, nRaw uint8) bool {
+		n := 1 + int(nRaw)%128 // cover both the word path (n<=64) and the vector path
+		bools := arb.NewRoundRobin(n)
+		bits := arb.NewRoundRobin(n)
+		rng := sim.NewRNG(seed ^ 0x6c62272e07bb0142)
+		req := make([]bool, n)
+		v := arb.NewBitVec(n)
+		for round := 0; round < quickRounds; round++ {
+			reqStream(rng, round, req, v)
+			want := bools.Arbitrate(req)
+			if peek := bits.PeekBits(v); peek != want {
+				t.Logf("n=%d round=%d: PeekBits=%d, bool twin granted %d", n, round, peek, want)
+				return false
+			}
+			if got := bits.ArbitrateBits(v); got != want {
+				t.Logf("n=%d round=%d: ArbitrateBits=%d, Arbitrate=%d", n, round, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg(t)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickRoundRobinWordMatchesBools pins the register entry point the
+// baseline router's SA1 stage uses: requests assembled directly in a
+// uint64 must grant exactly like the []bool path.
+func TestQuickRoundRobinWordMatchesBools(t *testing.T) {
+	prop := func(seed uint64, nRaw uint8) bool {
+		n := 1 + int(nRaw)%64
+		bools := arb.NewRoundRobin(n)
+		word := arb.NewRoundRobin(n)
+		rng := sim.NewRNG(seed ^ 0x27d4eb2f165667c5)
+		req := make([]bool, n)
+		v := arb.NewBitVec(n)
+		for round := 0; round < quickRounds; round++ {
+			reqStream(rng, round, req, v)
+			var w uint64
+			for i, r := range req {
+				if r {
+					w |= 1 << uint(i)
+				}
+			}
+			want := bools.Arbitrate(req)
+			if got := word.ArbitrateWord(w); got != want {
+				t.Logf("n=%d round=%d: ArbitrateWord=%d, Arbitrate=%d", n, round, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg(t)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickFixedBitsMatchesBools(t *testing.T) {
+	prop := func(seed uint64, nRaw uint8) bool {
+		n := 1 + int(nRaw)%128
+		bools := arb.NewFixed(n)
+		bits := arb.NewFixed(n)
+		rng := sim.NewRNG(seed ^ 0x9ae16a3b2f90404f)
+		req := make([]bool, n)
+		v := arb.NewBitVec(n)
+		for round := 0; round < quickRounds; round++ {
+			reqStream(rng, round, req, v)
+			if got, want := bits.ArbitrateBits(v), bools.Arbitrate(req); got != want {
+				t.Logf("n=%d round=%d: ArbitrateBits=%d, Arbitrate=%d", n, round, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg(t)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickLocalGlobalBitsMatchesBools(t *testing.T) {
+	prop := func(seed uint64, nRaw, mRaw uint8) bool {
+		n := 1 + int(nRaw)%128
+		m := 1 + int(mRaw)%16
+		return localGlobalEquiv(t, seed, n, m)
+	}
+	if err := quick.Check(prop, quickCfg(t)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickLocalGlobalMovemask pins the n=64, m=8 configuration — the
+// paper's evaluation point, where ArbitrateBits takes the SWAR movemask
+// branch instead of the per-group loop.
+func TestQuickLocalGlobalMovemask(t *testing.T) {
+	prop := func(seed uint64) bool { return localGlobalEquiv(t, seed, 64, 8) }
+	if err := quick.Check(prop, quickCfg(t)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func localGlobalEquiv(t *testing.T, seed uint64, n, m int) bool {
+	t.Helper()
+	bools := arb.NewLocalGlobal(n, m)
+	bits := arb.NewLocalGlobal(n, m)
+	rng := sim.NewRNG(seed ^ 0xc2b2ae3d27d4eb4f)
+	req := make([]bool, n)
+	v := arb.NewBitVec(n)
+	for round := 0; round < quickRounds; round++ {
+		reqStream(rng, round, req, v)
+		if got, want := bits.ArbitrateBits(v), bools.Arbitrate(req); got != want {
+			t.Logf("n=%d m=%d round=%d: ArbitrateBits=%d, Arbitrate=%d", n, m, round, got, want)
+			return false
+		}
+	}
+	return true
+}
+
+func TestQuickTreeBitsMatchesBools(t *testing.T) {
+	prop := func(seed uint64, nRaw, mRaw uint8) bool {
+		n := 1 + int(nRaw)%128
+		m := 2 + int(mRaw)%15
+		bools := arb.NewTree(n, m)
+		bits := arb.NewTree(n, m)
+		rng := sim.NewRNG(seed ^ 0x165667b19e3779f9)
+		req := make([]bool, n)
+		v := arb.NewBitVec(n)
+		for round := 0; round < quickRounds; round++ {
+			reqStream(rng, round, req, v)
+			if got, want := bits.ArbitrateBits(v), bools.Arbitrate(req); got != want {
+				t.Logf("n=%d m=%d round=%d: ArbitrateBits=%d, Arbitrate=%d", n, m, round, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg(t)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDualBitsMatchesBools(t *testing.T) {
+	prop := func(seed uint64, nRaw, mRaw uint8) bool {
+		n := 1 + int(nRaw)%128
+		m := 2 + int(mRaw)%15
+		mk := func(n int) arb.Arbiter { return arb.NewOutputArbiter(n, m) }
+		bools := arb.NewDual(n, mk)
+		bits := arb.NewDual(n, mk)
+		rng := sim.NewRNG(seed ^ 0x85ebca77c2b2ae63)
+		nonspec := make([]bool, n)
+		spec := make([]bool, n)
+		nv := arb.NewBitVec(n)
+		sv := arb.NewBitVec(n)
+		for round := 0; round < quickRounds; round++ {
+			reqStream(rng, round, nonspec, nv)
+			reqStream(rng, round+1, spec, sv)
+			wantW, wantS := bools.Arbitrate(nonspec, spec)
+			gotW, gotS := bits.ArbitrateBits(nv, sv)
+			if gotW != wantW || gotS != wantS {
+				t.Logf("n=%d m=%d round=%d: ArbitrateBits=(%d,%t), Arbitrate=(%d,%t)",
+					n, m, round, gotW, gotS, wantW, wantS)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg(t)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickBitVecMatchesReference drives BitVec's accessors against a
+// []bool reference model.
+func TestQuickBitVecMatchesReference(t *testing.T) {
+	prop := func(seed uint64, nRaw uint8) bool {
+		n := 1 + int(nRaw)%200
+		rng := sim.NewRNG(seed ^ 0x94d049bb133111eb)
+		ref := make([]bool, n)
+		v := arb.NewBitVec(n)
+		for round := 0; round < 64; round++ {
+			i := int(rng.Uint64() % uint64(n))
+			switch rng.Uint64() % 3 {
+			case 0:
+				ref[i] = true
+				v.Set(i)
+			case 1:
+				ref[i] = false
+				v.Clear(i)
+			case 2:
+				if v.Get(i) != ref[i] {
+					t.Logf("n=%d: Get(%d)=%t, want %t", n, i, v.Get(i), ref[i])
+					return false
+				}
+			}
+			count, first := 0, -1
+			for j, r := range ref {
+				if r {
+					count++
+					if first < 0 {
+						first = j
+					}
+				}
+			}
+			if v.Count() != count || v.Any() != (count > 0) || v.Next(0) != first {
+				t.Logf("n=%d: Count/Any/Next = %d/%t/%d, want %d/%t/%d",
+					n, v.Count(), v.Any(), v.Next(0), count, count > 0, first)
+				return false
+			}
+			start := int(rng.Uint64() % uint64(n))
+			wantFF := -1
+			for off := 0; off < n; off++ {
+				if ref[(start+off)%n] {
+					wantFF = (start + off) % n
+					break
+				}
+			}
+			if got := v.FirstFrom(start); got != wantFF {
+				t.Logf("n=%d: FirstFrom(%d)=%d, want %d (ref %v)", n, start, got, wantFF, ref)
+				return false
+			}
+		}
+		// SetBools/FillBools round-trip.
+		v.SetBools(ref)
+		back := make([]bool, n)
+		v.FillBools(back)
+		for j := range ref {
+			if back[j] != ref[j] {
+				t.Logf("n=%d: FillBools[%d]=%t, want %t", n, j, back[j], ref[j])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg(t)); err != nil {
+		t.Fatal(err)
+	}
+}

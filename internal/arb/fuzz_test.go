@@ -20,16 +20,27 @@ import (
 // and, over a window, strong fairness: a line that requests on every
 // invocation is granted within the structural bound of the arbiter
 // (size of the rotation at each stage, multiplied along the path).
+//
+// Every round is additionally cross-checked against a bitset twin: an
+// identically constructed arbiter driven through ArbitrateBits must
+// grant the same line, since the routers' step loops run entirely on
+// the bitset path.
 
-// checkRound validates one arbitration against its request vector and
-// returns the winner.
-func checkRound(t *testing.T, a arb.Arbiter, req []bool) int {
+// checkRound validates one arbitration against its request vector,
+// cross-checks the bitset twin, and returns the winner.
+func checkRound(t *testing.T, a arb.Arbiter, bits arb.BitArbiter, v *arb.BitVec, req []bool) int {
 	t.Helper()
 	any := false
 	for _, r := range req {
 		any = any || r
 	}
 	w := a.Arbitrate(req)
+	if bits != nil {
+		v.SetBools(req)
+		if bw := bits.ArbitrateBits(v); bw != w {
+			t.Fatalf("bitset twin granted %d, bool arbiter granted %d (req %v)", bw, w, req)
+		}
+	}
 	if !any {
 		if w != -1 {
 			t.Fatalf("granted line %d from an empty request vector", w)
@@ -48,15 +59,16 @@ func checkRound(t *testing.T, a arb.Arbiter, req []bool) int {
 // runFairness drives the arbiter with random vectors in which target
 // always requests, and fails if target is not granted within bound
 // invocations.
-func runFairness(t *testing.T, a arb.Arbiter, rng *sim.RNG, target, bound int) {
+func runFairness(t *testing.T, a arb.Arbiter, bits arb.BitArbiter, rng *sim.RNG, target, bound int) {
 	t.Helper()
 	n := a.Size()
 	req := make([]bool, n)
+	v := arb.NewBitVec(n)
 	// Exercise the empty vector between fairness windows too.
 	for i := range req {
 		req[i] = false
 	}
-	checkRound(t, a, req)
+	checkRound(t, a, bits, v, req)
 	for window := 0; window < 4; window++ {
 		granted := -1
 		for round := 0; round < bound; round++ {
@@ -64,7 +76,7 @@ func runFairness(t *testing.T, a arb.Arbiter, rng *sim.RNG, target, bound int) {
 				req[i] = rng.Bernoulli(0.5)
 			}
 			req[target] = true
-			if w := checkRound(t, a, req); w == target {
+			if w := checkRound(t, a, bits, v, req); w == target {
 				granted = round
 				break
 			}
@@ -94,7 +106,7 @@ func FuzzLocalGlobal(f *testing.F) {
 		// most m commits) once per global win of its group (at most
 		// Groups() rounds each, since the group keeps requesting).
 		bound := m * a.Groups()
-		runFairness(t, a, sim.NewRNG(seed^0x9e3779b97f4a7c15), target, bound)
+		runFairness(t, a, arb.NewLocalGlobal(n, m), sim.NewRNG(seed^0x9e3779b97f4a7c15), target, bound)
 	})
 }
 
@@ -120,7 +132,7 @@ func FuzzTree(f *testing.F) {
 		if bound > 1<<20 {
 			bound = 1 << 20
 		}
-		runFairness(t, a, sim.NewRNG(seed^0x517cc1b727220a95), target, bound)
+		runFairness(t, a, arb.NewTree(n, m), sim.NewRNG(seed^0x517cc1b727220a95), target, bound)
 	})
 }
 
@@ -136,13 +148,15 @@ func FuzzOutputArbiter(f *testing.F) {
 		n := 1 + int(nRaw)%64
 		m := 2 + int(mRaw)%15
 		a := arb.NewOutputArbiter(n, m)
+		bits := arb.NewBitOutputArbiter(n, m)
 		rng := sim.NewRNG(seed ^ 0x2545f4914f6cdd1d)
 		req := make([]bool, n)
+		v := arb.NewBitVec(n)
 		for round := 0; round < 256; round++ {
 			for i := range req {
 				req[i] = rng.Bernoulli(0.3)
 			}
-			checkRound(t, a, req)
+			checkRound(t, a, bits, v, req)
 		}
 	})
 }

@@ -20,6 +20,9 @@ type LocalGlobal struct {
 	groupReq   []bool
 	winnerOf   []int
 	globalsReq []bool
+	globalsB   *BitVec  // bitset twin of globalsReq
+	grpMask    []uint64 // per-group request mask (group sizes <= 64)
+	boolReq    []bool   // lazy fallback when a group exceeds one word
 }
 
 // NewLocalGlobal returns a two-stage arbiter over n lines with local
@@ -44,6 +47,7 @@ func NewLocalGlobal(n, m int) *LocalGlobal {
 		groupReq:   make([]bool, m),
 		winnerOf:   make([]int, groups),
 		globalsReq: make([]bool, groups),
+		globalsB:   NewBitVec(groups),
 	}
 	for g := range lg.locals {
 		size := m
@@ -51,6 +55,12 @@ func NewLocalGlobal(n, m int) *LocalGlobal {
 			size = n % m
 		}
 		lg.locals[g] = NewRoundRobin(size)
+	}
+	if m <= 64 {
+		lg.grpMask = make([]uint64, groups)
+		for g := range lg.grpMask {
+			lg.grpMask[g] = ^uint64(0) >> (64 - lg.locals[g].n)
+		}
 	}
 	return lg
 }
@@ -125,4 +135,73 @@ func (a *LocalGlobal) Arbitrate(requests []bool) int {
 	}
 	w := a.locals[gw].Arbitrate(req)
 	return base + w
+}
+
+// ArbitrateBits is the bitset twin of Arbitrate: each local group's
+// request lines are one contiguous slice of the vector, so the local
+// stage peeks its winner with a rotate-aware find-first-set on a single
+// word and only the globally winning group commits its pointer —
+// identical grant for grant to the []bool path.
+func (a *LocalGlobal) ArbitrateBits(v *BitVec) int {
+	if v.n != a.n {
+		panic("arb: request vector size mismatch")
+	}
+	if a.m > 64 {
+		// A local group wider than one word cannot be sliced; fall back
+		// to the slice path (never hit by the paper's configurations,
+		// where m is 8 or 16).
+		if a.boolReq == nil {
+			a.boolReq = make([]bool, a.n)
+		}
+		v.FillBools(a.boolReq)
+		return a.Arbitrate(a.boolReq)
+	}
+	groups := len(a.locals)
+	if a.n <= 64 {
+		// The whole request vector is one word: group g's lines are bits
+		// [g*m, g*m+size), so group presence and the winning group's
+		// lines come straight from shifts and masks.
+		w := v.words[0]
+		if w == 0 {
+			return -1
+		}
+		var globals uint64
+		if a.n == 64 && a.m == 8 {
+			// Eight byte-wide groups (the paper's radix-64 routers):
+			// byte-wise any-nonzero reduces to the SWAR movemask. The
+			// OR folds a byte's high bit in; the masked add carries into
+			// the high bit whenever any low bit is set; the multiply
+			// gathers the eight high bits into the top byte.
+			t := (w | ((w & 0x7f7f7f7f7f7f7f7f) + 0x7f7f7f7f7f7f7f7f)) & 0x8080808080808080
+			globals = t * 0x0002040810204081 >> 56
+		} else {
+			for g := 0; g < groups; g++ {
+				if w>>(g*a.m)&a.grpMask[g] != 0 {
+					globals |= 1 << g
+				}
+			}
+		}
+		gw := a.global.arbitrateWord(globals)
+		base := gw * a.m
+		return base + a.locals[gw].arbitrateWord(w>>base&a.grpMask[gw])
+	}
+	anyReq := false
+	for g := 0; g < groups; g++ {
+		if grp := v.slice(g*a.m, a.locals[g].n); grp != 0 {
+			a.globalsB.Set(g)
+			anyReq = true
+		} else {
+			a.globalsB.Clear(g)
+		}
+	}
+	if !anyReq {
+		return -1
+	}
+	gw := a.global.ArbitrateBits(a.globalsB)
+	if gw < 0 {
+		return -1
+	}
+	// Commit the winning group's local pointer.
+	base := gw * a.m
+	return base + a.locals[gw].arbitrateWord(v.slice(base, a.locals[gw].n))
 }

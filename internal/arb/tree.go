@@ -11,6 +11,13 @@ type Tree struct {
 	n      int
 	m      int
 	levels []treeLevel
+
+	// scratch for the bitset path, one entry per level: the winners
+	// percolating up as next-level requests, and each node's peeked
+	// local winner for the downward commit.
+	bitUp      []*BitVec
+	bitWinners [][]int
+	boolReq    []bool // lazy fallback when a node exceeds one word
 }
 
 type treeLevel struct {
@@ -41,6 +48,12 @@ func NewTree(n, m int) *Tree {
 		}
 		t.levels = append(t.levels, lvl)
 		width = nodes
+	}
+	t.bitUp = make([]*BitVec, len(t.levels))
+	t.bitWinners = make([][]int, len(t.levels))
+	for li, lvl := range t.levels {
+		t.bitUp[li] = NewBitVec(len(lvl.nodes))
+		t.bitWinners[li] = make([]int, len(lvl.nodes))
 	}
 	return t
 }
@@ -110,6 +123,65 @@ func (t *Tree) Arbitrate(requests []bool) int {
 	return node
 }
 
+// ArbitrateBits is the bitset twin of Arbitrate: each node slices its
+// group out of the level's request vector as one word, peeks its local
+// winner with a rotate-aware find-first-set, and only the nodes along
+// the globally winning path commit their pointers — identical grant for
+// grant to the []bool path.
+func (t *Tree) ArbitrateBits(v *BitVec) int {
+	if v.n != t.n {
+		panic("arb: request vector size mismatch")
+	}
+	if t.m > 64 {
+		// A node wider than one word cannot be sliced; fall back to the
+		// slice path (fan-in budgets are 16 or less in practice).
+		if t.boolReq == nil {
+			t.boolReq = make([]bool, t.n)
+		}
+		v.FillBools(t.boolReq)
+		return t.Arbitrate(t.boolReq)
+	}
+	if len(t.levels) == 0 {
+		// Single line: grant it if requesting.
+		if v.Get(0) {
+			return 0
+		}
+		return -1
+	}
+	// Upward pass: peek per-node winners, raising the next level's
+	// request line for every node with a requester.
+	cur := v
+	for li, lvl := range t.levels {
+		next := t.bitUp[li]
+		for ni, node := range lvl.nodes {
+			w := -1
+			if grp := cur.slice(ni*t.m, node.n); grp != 0 {
+				w = node.peekWord(grp)
+			}
+			t.bitWinners[li][ni] = w
+			if w >= 0 {
+				next.Set(ni)
+			} else {
+				next.Clear(ni)
+			}
+		}
+		cur = next
+	}
+	top := len(t.levels) - 1
+	if !t.bitUp[top].Get(0) {
+		return -1
+	}
+	// Downward pass: follow the winning path from the root, committing
+	// each node's pointer past its peeked winner.
+	node := 0
+	for li := top; li >= 0; li-- {
+		w := t.bitWinners[li][node]
+		t.levels[li].nodes[node].advancePast(w)
+		node = node*t.m + w
+	}
+	return node
+}
+
 // NewOutputArbiter returns the shallowest arbiter over n lines whose
 // every stage has fan-in at most m: a flat round-robin when n <= m, the
 // paper's two-stage local-global when n <= m^2, and a deeper tree
@@ -123,4 +195,11 @@ func NewOutputArbiter(n, m int) Arbiter {
 	default:
 		return NewTree(n, m)
 	}
+}
+
+// NewBitOutputArbiter returns the identical structure as NewOutputArbiter
+// through its bitset entry point (every output arbiter implements both
+// interfaces over the same pointer state).
+func NewBitOutputArbiter(n, m int) BitArbiter {
+	return NewOutputArbiter(n, m).(BitArbiter)
 }

@@ -17,7 +17,7 @@ import (
 // credit return).
 func conformanceConfigs() map[string]router.Config {
 	return map[string]router.Config{
-		"lowradix": {Arch: router.ArchLowRadix, Radix: 16, VCs: 2},
+		"lowradix":     {Arch: router.ArchLowRadix, Radix: 16, VCs: 2},
 		"baseline-cva": {Arch: router.ArchBaseline, Radix: 16, VCs: 2, VA: router.CVA},
 		"baseline-ova": {Arch: router.ArchBaseline, Radix: 16, VCs: 2, VA: router.OVA},
 		"baseline-prioritized": {Arch: router.ArchBaseline, Radix: 16, VCs: 2, VA: router.OVA,

@@ -3,7 +3,6 @@ package router
 import (
 	"highradix/internal/arb"
 	"highradix/internal/flit"
-	"highradix/internal/sim"
 )
 
 // Pipeline timing of the distributed allocator (Figure 7(b-c)). A
@@ -20,20 +19,24 @@ const (
 // blRequest is one request on an input's horizontal request lines. Each
 // input controller drives a single request at a time (Section 4.1); the
 // request persists at the output until granted, or until NACKed by the
-// speculative VC check.
+// speculative VC check. Fields are deliberately narrow: requests are
+// copied through the request-wire delay line and the per-output pending
+// slices every cycle, so a compact struct keeps that traffic in few
+// cache lines (int32 still covers any radix or VC count the simulator
+// accepts).
 type blRequest struct {
-	input, vc int
-	out       int
-	outVC     int
+	input, vc int32
+	out       int32
+	outVC     int32
 	spec      bool // head flit without an allocated output VC
 	pkt       uint64
 }
 
 // blResponse travels back from an output arbiter to an input.
 type blResponse struct {
-	input, vc int
+	input, vc int32
 	grant     bool
-	outVC     int
+	outVC     int32
 }
 
 // blOutput is the distributed arbitration state co-located with one
@@ -41,10 +44,30 @@ type blResponse struct {
 // per-output-VC arbiters of Figure 8(a)).
 type blOutput struct {
 	pending []blRequest
-	lg      arb.Arbiter
+	lg      arb.BitArbiter
 	dual    *arb.Dual
 	vcPtr   []int // CVA per-output-VC rotating pointer over inputs
 	free    serializer
+
+	// Request bitsets maintained incrementally as requests arrive and
+	// leave, so an arbitration round reads them directly instead of
+	// rebuilding from the pending slice. Each input drives at most one
+	// request line router-wide, so input bits are unique per output.
+	// Embedded by value: the words are one dereference away.
+	nonspec arb.BitVec   // inputs with pending nonspeculative requests
+	spec    arb.BitVec   // inputs with pending speculative requests
+	specVC  []arb.BitVec // [outVC] spec requests by target output VC
+	// specVCAny has bit ov set while specVC[ov] is nonempty (VC counts
+	// above 64 are rejected by Config.Validate), letting the crosspoint
+	// VC arbiters skip empty per-VC sets with one register test.
+	specVCAny uint64
+
+	// vcDirty records that this output's speculative NACK decision may
+	// have changed: a speculative request arrived, or an output VC was
+	// acquired or released. While clear, every pending speculative
+	// request was already checked against unchanged VC state, so the
+	// continuous-rejection scan would NACK nothing.
+	vcDirty bool
 }
 
 // reqTimeout is how long an input lets one request sit unresolved
@@ -62,76 +85,162 @@ const reqTimeout = 8
 // virtual-channel allocation (CVA or OVA). Optionally the output
 // arbiters are duplicated to prioritize nonspeculative requests
 // (Section 4.4, Figure 10(b)).
+// blInput gathers all per-input request-line state into one small
+// struct so the SA1 scan touches one cache line per input instead of
+// five parallel arrays.
+type blInput struct {
+	issuedAt    int64
+	freeAt      int64 // input-port serializer: busy until this cycle
+	reqOut      int32 // output targeted by the outstanding request
+	reqAt       int32 // index of the input's request in that output's pending slice
+	outstanding bool  // one request line per input
+}
+
 type baseline struct {
 	cfg Config
 
-	in          [][]*inputVC
-	outstanding []bool // one request line per input
-	issuedAt    []int64
-	reqOut      []int // output targeted by the outstanding request
-	inFree      []serializer
-	inputArb    []*arb.RoundRobin
+	in       []inputVC // flat [input*VCs+vc]
+	ins      []blInput
+	inputArb []arb.RoundRobin // by value: SA1 reads no per-input pointer
 
-	outs  []*blOutput
+	outs  []blOutput // by value: one contiguous block, no per-output pointer chase
 	owner *vcOwnerTable
 
-	reqLine  *sim.DelayLine[blRequest]
-	respLine *sim.DelayLine[blResponse]
+	// Request and grant wires as per-cycle slot rings: items pushed at
+	// cycle t land in slot t mod (delay+1) and are due when the ring
+	// wraps back, i.e. slot (now+1) mod (delay+1). Pushes and the drain
+	// of a given cycle always hit different slots, and like ejectQueue
+	// the rings rely on Step advancing one cycle at a time.
+	reqSlots  [reqWireDelay + 1][]blRequest
+	respSlots [grantWireDelay + 1][]blResponse
 
 	ej      *ejectQueue
 	ejected []*flit.Flit
 
-	// scratch vectors sized k, reused per output per cycle.
-	nonspecReq []bool
-	specReq    []bool
-	anyReq     []bool
-	reqAt      []int // index into pending per input
+	// Active sets: inputs holding buffered flits and outputs holding
+	// pending requests. Idle ports cost zero work per cycle.
+	inOcc      activeSet
+	outPending arb.BitVec
+	// issuable holds exactly the SA1 candidates: inputs that are
+	// occupied and have no outstanding request. Maintained at every
+	// transition (accept into an input, issue, grant, NACK, timeout
+	// withdrawal), so the issue scan skips inputs that are merely
+	// waiting on a response.
+	issuable arb.BitVec
+	// withdrawAt is a slot ring over input indices: an input issuing at
+	// cycle t is examined for timeout withdrawal exactly at
+	// t+reqTimeout. One examination suffices — while the request is
+	// outstanding the old dense scan also first saw age >= reqTimeout
+	// at exactly t+reqTimeout, and if the request has already left the
+	// output's pending set by then, the response doing so is at most a
+	// cycle away and clears outstanding before age reqTimeout+1 is ever
+	// scanned. Entries are validated against issuedAt so stale entries
+	// from a withdrawn-and-reissued request are ignored.
+	withdrawAt [reqTimeout + 1][]int32
+	// full[i] has bit c set while input buffer (i,c) is at capacity;
+	// CanAccept becomes one word test instead of a queue-struct load
+	// (VC counts above 64 are rejected by Config.Validate).
+	full []uint64
+
+	anyReq arb.BitVec // scratch: nonspec|spec union for unprioritized arbitration
+	// perVCWinner[ov] is the input winning output VC ov's crosspoint
+	// arbiter this round (CVA only), or -1.
+	perVCWinner []int
+	// front[i*v+c] caches the fields of the front flit of input VC
+	// (i,c) that SA1 reads every cycle, so the eligibility scan and
+	// request construction touch one flat table instead of dereferencing
+	// every queue head every round. Maintained at the only two places
+	// the front can change: Accept (push into an empty buffer) and the
+	// grant pop in processResponses.
+	front []blFront
 }
+
+// blFront is the cached head-of-line state of one input VC, plus the
+// VC's slice of allocator state (outVC, rot), so the SA1 scan and
+// request construction read one flat table and never touch the buffer
+// structs. The head-of-line fields are refreshed wherever the front
+// flit changes (Accept into an empty buffer, the grant pop in
+// processResponses); outVC and rot persist across those refreshes.
+type blFront struct {
+	inj   int64 // InjectedAt, or frontInjNone when the buffer is empty
+	pkt   uint64
+	dst   int32
+	outVC int16 // allocated output VC of the head packet; -1 = none
+	rot   uint8 // rotating speculative output-VC choice (Section 4.4)
+	head  bool
+}
+
+// frontInjNone marks an empty input VC in the front cache; it is far
+// enough in the future that the `now > InjectedAt` eligibility test
+// always fails.
+const frontInjNone = int64(1) << 62
 
 func newBaseline(cfg Config) *baseline {
 	k, v := cfg.Radix, cfg.VCs
 	r := &baseline{
 		cfg:         cfg,
-		in:          make([][]*inputVC, k),
-		outstanding: make([]bool, k),
-		issuedAt:    make([]int64, k),
-		reqOut:      make([]int, k),
-		inFree:      make([]serializer, k),
-		inputArb:    make([]*arb.RoundRobin, k),
-		outs:        make([]*blOutput, k),
+		in:          make([]inputVC, k*v),
+		ins:         make([]blInput, k),
+		inputArb:    make([]arb.RoundRobin, k),
+		outs:        make([]blOutput, k),
 		owner:       newVCOwnerTable(k, v),
-		reqLine:     sim.NewDelayLine[blRequest](reqWireDelay),
-		respLine:    sim.NewDelayLine[blResponse](grantWireDelay),
-		ej:          newEjectQueue(),
-		nonspecReq:  make([]bool, k),
-		specReq:     make([]bool, k),
-		anyReq:      make([]bool, k),
-		reqAt:       make([]int, k),
+		ej:          newEjectQueue(stStartDelay + cfg.STCycles - 1),
+		inOcc:       makeActiveSet(k),
+		outPending:  arb.MakeBitVec(k),
+		issuable:    arb.MakeBitVec(k),
+		full:        make([]uint64, k),
+		anyReq:      arb.MakeBitVec(k),
+		perVCWinner: make([]int, v),
+		front:       make([]blFront, k*v),
+	}
+	for i := range r.front {
+		r.front[i].inj = frontInjNone
+		r.front[i].outVC = -1
+	}
+	for i := range r.in {
+		r.in[i].init(cfg.InputBufDepth)
 	}
 	for i := 0; i < k; i++ {
-		r.in[i] = make([]*inputVC, v)
+		r.inputArb[i] = *arb.NewRoundRobin(v)
+		o := &r.outs[i]
+		o.vcPtr = make([]int, v)
+		o.nonspec = arb.MakeBitVec(k)
+		o.spec = arb.MakeBitVec(k)
+		o.specVC = make([]arb.BitVec, v)
 		for c := 0; c < v; c++ {
-			r.in[i][c] = newInputVC(cfg.InputBufDepth)
+			o.specVC[c] = arb.MakeBitVec(k)
 		}
-		r.inputArb[i] = arb.NewRoundRobin(v)
-		o := &blOutput{vcPtr: make([]int, v)}
 		if cfg.Prioritized {
 			o.dual = arb.NewDual(k, func(n int) arb.Arbiter { return arb.NewOutputArbiter(n, cfg.LocalGroup) })
 		} else {
-			o.lg = arb.NewOutputArbiter(k, cfg.LocalGroup)
+			o.lg = arb.NewBitOutputArbiter(k, cfg.LocalGroup)
 		}
-		r.outs[i] = o
 	}
 	return r
 }
 
 func (r *baseline) Config() Config { return r.cfg }
 
-func (r *baseline) CanAccept(input, vc int) bool { return !r.in[input][vc].q.Full() }
+func (r *baseline) CanAccept(input, vc int) bool {
+	return r.full[input]>>uint(vc)&1 == 0
+}
 
 func (r *baseline) Accept(now int64, f *flit.Flit) {
 	f.InjectedAt = now
-	r.in[f.Src][f.VC].q.MustPush(f)
+	idx := f.Src*r.cfg.VCs + f.VC
+	q := &r.in[idx].q
+	q.MustPush(f)
+	if q.Full() {
+		r.full[f.Src] |= 1 << uint(f.VC)
+	}
+	if q.Len() == 1 {
+		fr := &r.front[idx]
+		fr.inj, fr.pkt, fr.dst, fr.head = now, f.PacketID, int32(f.Dst), f.Head
+	}
+	r.inOcc.inc(f.Src)
+	if !r.ins[f.Src].outstanding {
+		r.issuable.Set(f.Src)
+	}
 	r.cfg.observe(Event{Cycle: now, Kind: EvAccept, Flit: f, Input: f.Src, Output: f.Dst, VC: f.VC})
 }
 
@@ -139,22 +248,21 @@ func (r *baseline) Ejected() []*flit.Flit { return r.ejected }
 
 func (r *baseline) InFlight() int {
 	n := r.ej.len()
-	for _, vcs := range r.in {
-		for _, v := range vcs {
-			n += v.q.Len()
-		}
+	for i := range r.in {
+		n += r.in[i].q.Len()
 	}
 	return n
 }
 
 func (r *baseline) Step(now int64) {
 	r.ejected = r.ejected[:0]
-	r.ej.drain(now, func(e ejection) {
-		if e.f.Tail {
-			r.owner.release(e.port, e.f.VC, e.f.PacketID)
+	r.ej.drain(now, func(port int, f *flit.Flit) {
+		if f.Tail {
+			r.owner.release(port, f.VC, f.PacketID)
+			r.outs[port].vcDirty = true
 		}
-		r.cfg.observe(Event{Cycle: now, Kind: EvEject, Flit: e.f, Input: e.f.Src, Output: e.port, VC: e.f.VC})
-		r.ejected = append(r.ejected, e.f)
+		r.cfg.observe(Event{Cycle: now, Kind: EvEject, Flit: f, Input: f.Src, Output: port, VC: f.VC})
+		r.ejected = append(r.ejected, f)
 	})
 	r.processResponses(now)
 	r.deliverRequests(now)
@@ -162,39 +270,88 @@ func (r *baseline) Step(now int64) {
 	r.issueRequests(now)
 }
 
+// pushResp sends a grant or NACK back toward an input; it arrives
+// grantWireDelay cycles later.
+func (r *baseline) pushResp(now int64, resp blResponse) {
+	s := int(now % int64(len(r.respSlots)))
+	r.respSlots[s] = append(r.respSlots[s], resp)
+}
+
 // processResponses handles grants and NACKs arriving at the inputs.
 func (r *baseline) processResponses(now int64) {
-	st := int64(r.cfg.STCycles)
-	r.respLine.DrainReady(now, func(resp blResponse) {
-		r.outstanding[resp.input] = false
-		ivc := r.in[resp.input][resp.vc]
+	slot := int((now + 1) % int64(len(r.respSlots)))
+	due := r.respSlots[slot]
+	if len(due) == 0 {
+		return
+	}
+	r.respSlots[slot] = due[:0]
+	for _, resp := range due {
+		in, c := int(resp.input), int(resp.vc)
+		r.ins[in].outstanding = false
+		idx := in*r.cfg.VCs + c
+		fr := &r.front[idx]
 		if !resp.grant {
 			// Failed speculation: rotate the output-VC choice so the
-			// re-bid eventually finds a free VC (Section 4.4).
-			ivc.reqRotate = (ivc.reqRotate + 1) % r.cfg.VCs
-			return
+			// re-bid eventually finds a free VC (Section 4.4). The input
+			// still holds the flit that bid, so it is issuable again.
+			fr.rot++
+			if int(fr.rot) >= r.cfg.VCs {
+				fr.rot = 0
+			}
+			r.issuable.Set(in)
+			continue
 		}
+		ivc := &r.in[idx]
 		f := ivc.q.MustPop()
-		f.VC = resp.outVC
+		r.full[in] &^= 1 << uint(c)
+		if nf, ok := ivc.q.Peek(); ok {
+			fr.inj, fr.pkt, fr.dst, fr.head = nf.InjectedAt, nf.PacketID, int32(nf.Dst), nf.Head
+		} else {
+			fr.inj = frontInjNone
+		}
+		r.inOcc.dec(in)
+		if r.inOcc.count[in] > 0 {
+			r.issuable.Set(in)
+		}
+		f.VC = int(resp.outVC)
 		if f.Head {
-			ivc.outVC = resp.outVC
+			fr.outVC = int16(f.VC)
 		}
 		if f.Tail {
-			ivc.outVC = -1
+			fr.outVC = -1
 		}
-		// Traversal occupies cycles now+stStartDelay .. now+stStartDelay+st-1.
-		r.inFree[resp.input].reserve(now+stStartDelay, r.cfg.STCycles)
-		r.ej.push(now+stStartDelay+st-1, f.Dst, f)
-	})
-	_ = st
+		// Traversal occupies cycles now+stStartDelay .. now+stStartDelay+ST-1;
+		// the flit ejects on the final traversal cycle (the eject queue's
+		// fixed delay).
+		r.ins[in].freeAt = now + stStartDelay + int64(r.cfg.STCycles)
+		r.ej.push(now, f.Dst, f)
+	}
 }
 
 // deliverRequests moves requests off the wires into the output pending
 // sets.
 func (r *baseline) deliverRequests(now int64) {
-	r.reqLine.DrainReady(now, func(req blRequest) {
-		r.outs[req.out].pending = append(r.outs[req.out].pending, req)
-	})
+	slot := int((now + 1) % int64(len(r.reqSlots)))
+	due := r.reqSlots[slot]
+	if len(due) == 0 {
+		return
+	}
+	r.reqSlots[slot] = due[:0]
+	for _, req := range due {
+		ou := &r.outs[req.out]
+		in := int(req.input)
+		r.ins[in].reqAt = int32(len(ou.pending))
+		ou.pending = append(ou.pending, req)
+		if req.spec {
+			ou.spec.Set(in)
+			ou.specVC[req.outVC].Set(in)
+			ou.specVCAny |= 1 << uint(req.outVC)
+			ou.vcDirty = true
+		} else {
+			ou.nonspec.Set(in)
+		}
+		r.outPending.Set(int(req.out))
+	}
 }
 
 // arbitrateOutputs runs one local-global arbitration round at every
@@ -205,18 +362,18 @@ func (r *baseline) deliverRequests(now int64) {
 // grant a doomed speculative request and waste the round — the loss
 // that Section 4.4's prioritized dual arbiter reduces.
 func (r *baseline) arbitrateOutputs(now int64) {
-	k := r.cfg.Radix
 	start := now + grantWireDelay + stStartDelay
-	for o := 0; o < k; o++ {
-		ou := r.outs[o]
-		if len(ou.pending) == 0 {
-			continue
-		}
+	for o := r.outPending.Next(0); o >= 0; o = r.outPending.Next(o + 1) {
+		ou := &r.outs[o]
 		if ou.free.freeAt <= start {
 			r.arbitrateOne(now, o, ou, start)
 		}
-		if r.cfg.VA == CVA {
+		if r.cfg.VA == CVA && ou.vcDirty {
+			ou.vcDirty = false
 			r.nackBusySpecs(now, o, ou)
+		}
+		if len(ou.pending) == 0 {
+			r.outPending.Clear(o)
 		}
 	}
 }
@@ -225,13 +382,23 @@ func (r *baseline) arbitrateOutputs(now int64) {
 // rejection: pending speculative requests whose output VC is busy are
 // NACKed so the input re-bids with a rotated VC choice.
 func (r *baseline) nackBusySpecs(now int64, o int, ou *blOutput) {
+	if ou.specVCAny == 0 {
+		return
+	}
 	kept := ou.pending[:0]
 	for _, req := range ou.pending {
-		if req.spec && !r.owner.freeVC(o, req.outVC) {
-			r.cfg.observe(Event{Cycle: now, Kind: EvNack, Input: req.input, Output: o, VC: req.outVC, Note: "cva-busy"})
-			r.respLine.Push(now, blResponse{input: req.input, vc: req.vc, grant: false})
+		if req.spec && !r.owner.freeVC(o, int(req.outVC)) {
+			in := int(req.input)
+			ou.spec.Clear(in)
+			ou.specVC[req.outVC].Clear(in)
+			if !ou.specVC[req.outVC].Any() {
+				ou.specVCAny &^= 1 << uint(req.outVC)
+			}
+			r.cfg.observe(Event{Cycle: now, Kind: EvNack, Input: in, Output: o, VC: int(req.outVC), Note: "cva-busy"})
+			r.pushResp(now, blResponse{input: req.input, vc: req.vc, grant: false})
 			continue
 		}
+		r.ins[req.input].reqAt = int32(len(kept))
 		kept = append(kept, req)
 	}
 	ou.pending = kept
@@ -239,97 +406,94 @@ func (r *baseline) nackBusySpecs(now int64, o int, ou *blOutput) {
 
 func (r *baseline) arbitrateOne(now int64, o int, ou *blOutput, start int64) {
 	k, v := r.cfg.Radix, r.cfg.VCs
-	for i := 0; i < k; i++ {
-		r.nonspecReq[i] = false
-		r.specReq[i] = false
-		r.anyReq[i] = false
-		r.reqAt[i] = -1
-	}
-	// perVCWinner[ov] is the index of the speculative request selected
-	// by the crosspoint VC arbiter for output VC ov this round (CVA
+	// perVCWinner[ov] is the input whose speculative request the
+	// crosspoint VC arbiter for output VC ov selects this round (CVA
 	// only); a speculative switch winner only proceeds if it also won
 	// its VC arbiter and the VC is free — switch and VC allocation run
 	// in parallel (Figure 8(a)), so a mismatch wastes the round.
-	perVCWinner := make([]int, v)
-	if r.cfg.VA == CVA {
+	perVCWinner := r.perVCWinner
+	if r.cfg.VA == CVA && ou.specVCAny != 0 {
 		// Crosspoint VC arbiters pick one speculative winner per free
-		// output VC with a rotating pointer (busy-VC requests cannot
-		// win; they are NACKed by nackBusySpecs this same cycle).
+		// output VC: the requesting input cyclically closest to the
+		// rotating pointer, i.e. a rotate-aware first-set on the
+		// per-VC request bitset (busy-VC requests cannot win; they are
+		// NACKed by nackBusySpecs this same cycle). With no speculative
+		// requests at all the loop would fill perVCWinner with -1, and
+		// the scratch is only read for a speculative winner, so it is
+		// skipped outright; likewise empty per-VC sets via specVCAny.
 		for ov := 0; ov < v; ov++ {
-			best, bestRank := -1, 1<<62
-			if r.owner.freeVC(o, ov) {
-				for idx, req := range ou.pending {
-					if !req.spec || req.outVC != ov {
-						continue
-					}
-					rank := (req.input - ou.vcPtr[ov] + k) % k
-					if rank < bestRank {
-						bestRank, best = rank, idx
-					}
-				}
+			best := -1
+			if ou.specVCAny>>uint(ov)&1 != 0 && r.owner.freeVC(o, ov) {
+				best = ou.specVC[ov].FirstFrom(ou.vcPtr[ov])
 			}
 			perVCWinner[ov] = best
 		}
 	}
 	// Every pending request drives the switch arbiter (speculative
-	// switch allocation proceeds in parallel with VC allocation).
-	for idx, req := range ou.pending {
-		if req.spec {
-			r.specReq[req.input] = true
-		} else {
-			r.nonspecReq[req.input] = true
-		}
-		r.reqAt[req.input] = idx
-	}
-
+	// switch allocation proceeds in parallel with VC allocation); the
+	// request bitsets are maintained as requests arrive and leave.
 	var winner int
 	if r.cfg.Prioritized {
-		winner, _ = ou.dual.Arbitrate(r.nonspecReq, r.specReq)
+		winner, _ = ou.dual.ArbitrateBits(&ou.nonspec, &ou.spec)
 	} else {
-		for i := 0; i < k; i++ {
-			r.anyReq[i] = r.nonspecReq[i] || r.specReq[i]
-		}
-		winner = ou.lg.Arbitrate(r.anyReq)
+		r.anyReq.CopyOr(&ou.nonspec, &ou.spec)
+		winner = ou.lg.ArbitrateBits(&r.anyReq)
 	}
 	if winner < 0 {
 		return
 	}
-	req := ou.pending[r.reqAt[winner]]
+	req := ou.pending[r.ins[winner].reqAt]
 	if req.spec {
-		if r.cfg.VA == OVA && !r.owner.freeVC(o, req.outVC) {
+		if r.cfg.VA == OVA && !r.owner.freeVC(o, int(req.outVC)) {
 			// Deep speculation failed after the switch was allocated:
 			// the allocation round is wasted and the failure is only
 			// discovered after the grant has crossed back (Figure 7(c)),
 			// so the output cannot re-arbitrate until then.
 			ou.free.freeAt = now + grantWireDelay + stStartDelay
-			r.removePending(ou, r.reqAt[winner])
-			r.cfg.observe(Event{Cycle: now, Kind: EvNack, Input: req.input, Output: o, VC: req.outVC, Note: "ova-busy"})
-			r.respLine.Push(now, blResponse{input: req.input, vc: req.vc, grant: false})
+			r.removePending(ou, int(r.ins[winner].reqAt))
+			r.cfg.observe(Event{Cycle: now, Kind: EvNack, Input: int(req.input), Output: o, VC: int(req.outVC), Note: "ova-busy"})
+			r.pushResp(now, blResponse{input: req.input, vc: req.vc, grant: false})
 			return
 		}
-		if r.cfg.VA == CVA && perVCWinner[req.outVC] != r.reqAt[winner] {
+		if r.cfg.VA == CVA && perVCWinner[req.outVC] != winner {
 			// The switch arbiter granted a speculative request that did
 			// not win its parallel VC arbitration — either the VC is
 			// busy (the request is NACKed by nackBusySpecs this cycle)
 			// or it lost the per-VC tie-break (it stays pending). Either
 			// way the switch round is wasted (Figure 8(a)).
-			r.cfg.observe(Event{Cycle: now, Kind: EvNack, Input: req.input, Output: o, VC: req.outVC, Note: "cva-lost-vc-arb"})
+			r.cfg.observe(Event{Cycle: now, Kind: EvNack, Input: int(req.input), Output: o, VC: int(req.outVC), Note: "cva-lost-vc-arb"})
 			return
 		}
-		r.owner.acquire(o, req.outVC, req.pkt)
+		r.owner.acquire(o, int(req.outVC), req.pkt)
+		ou.vcDirty = true
 		if r.cfg.VA == CVA {
-			ou.vcPtr[req.outVC] = (req.input + 1) % k
+			ou.vcPtr[req.outVC] = (int(req.input) + 1) % k
 		}
 	}
-	r.removePending(ou, r.reqAt[winner])
+	r.removePending(ou, int(r.ins[winner].reqAt))
 	ou.free.freeAt = start + int64(r.cfg.STCycles)
-	r.cfg.observe(Event{Cycle: now, Kind: EvGrant, Input: req.input, Output: o, VC: req.outVC, Note: "switch"})
-	r.respLine.Push(now, blResponse{input: req.input, vc: req.vc, grant: true, outVC: req.outVC})
+	r.cfg.observe(Event{Cycle: now, Kind: EvGrant, Input: int(req.input), Output: o, VC: int(req.outVC), Note: "switch"})
+	r.pushResp(now, blResponse{input: req.input, vc: req.vc, grant: true, outVC: req.outVC})
 }
 
 func (r *baseline) removePending(ou *blOutput, idx int) {
+	req := ou.pending[idx]
+	in := int(req.input)
+	if req.spec {
+		ou.spec.Clear(in)
+		ou.specVC[req.outVC].Clear(in)
+		if !ou.specVC[req.outVC].Any() {
+			ou.specVCAny &^= 1 << uint(req.outVC)
+		}
+	} else {
+		ou.nonspec.Clear(in)
+	}
 	last := len(ou.pending) - 1
-	ou.pending[idx] = ou.pending[last]
+	if idx != last {
+		moved := ou.pending[last]
+		ou.pending[idx] = moved
+		r.ins[moved.input].reqAt = int32(idx)
+	}
 	ou.pending = ou.pending[:last]
 }
 
@@ -337,57 +501,72 @@ func (r *baseline) removePending(ou *blOutput, idx int) {
 // issues at most one request and only when it has none outstanding and
 // its port will be free by the time a grant could start traversal.
 func (r *baseline) issueRequests(now int64) {
-	k, v := r.cfg.Radix, r.cfg.VCs
+	v := r.cfg.VCs
 	horizon := now + reqWireDelay + grantWireDelay + stStartDelay
-	req := make([]bool, v)
-	for i := 0; i < k; i++ {
-		if r.outstanding[i] && now-r.issuedAt[i] >= reqTimeout {
-			// Withdraw a request stuck at a congested output so the
-			// input arbiter can serve another VC (the per-cycle
-			// re-selection real request wires get for free). If the
-			// request is still in flight on the wires the withdrawal
-			// misses and the response resolves it instead.
-			ou := r.outs[r.reqOut[i]]
-			for idx, pr := range ou.pending {
-				if pr.input == i {
-					r.removePending(ou, idx)
-					r.outstanding[i] = false
-					break
-				}
+	reqSlot := &r.reqSlots[now%int64(len(r.reqSlots))]
+	// Withdraw requests stuck at congested outputs so the input arbiter
+	// can serve another VC (the per-cycle re-selection real request
+	// wires get for free). The wheel slot holds the inputs that issued
+	// exactly reqTimeout cycles ago, in their original issue order; an
+	// entry whose request has since resolved (and possibly reissued) is
+	// recognized by its issuedAt and skipped. If the request just left
+	// the output's pending set this cycle, the withdrawal misses and
+	// the in-flight response resolves it instead.
+	wdrain := int((now + 1) % int64(len(r.withdrawAt)))
+	for _, i32 := range r.withdrawAt[wdrain] {
+		i := int(i32)
+		st := &r.ins[i]
+		if !st.outstanding || st.issuedAt != now-reqTimeout {
+			continue
+		}
+		ou := &r.outs[st.reqOut]
+		if idx := int(st.reqAt); idx < len(ou.pending) && int(ou.pending[idx].input) == i {
+			r.removePending(ou, idx)
+			st.outstanding = false
+			r.issuable.Set(i)
+		}
+		if len(ou.pending) == 0 {
+			r.outPending.Clear(int(st.reqOut))
+		}
+	}
+	r.withdrawAt[wdrain] = r.withdrawAt[wdrain][:0]
+	wpush := &r.withdrawAt[now%int64(len(r.withdrawAt))]
+	for i := r.issuable.Next(0); i >= 0; i = r.issuable.Next(i + 1) {
+		st := &r.ins[i]
+		if st.freeAt > horizon {
+			continue
+		}
+		var w uint64
+		fronts := r.front[i*v : i*v+v]
+		for c := 0; c < v; c++ {
+			if now > fronts[c].inj {
+				w |= 1 << uint(c)
 			}
 		}
-		if r.outstanding[i] || r.inFree[i].freeAt > horizon {
+		if w == 0 {
 			continue
 		}
-		any := false
-		for c := 0; c < v; c++ {
-			f, ok := r.in[i][c].front()
-			req[c] = ok && now > f.InjectedAt
-			any = any || req[c]
-		}
-		if !any {
-			continue
-		}
-		c := r.inputArb[i].Arbitrate(req)
-		ivc := r.in[i][c]
-		f, _ := ivc.front()
-		breq := blRequest{input: i, vc: c, out: f.Dst, pkt: f.PacketID}
-		if f.Head && ivc.outVC < 0 {
+		c := r.inputArb[i].ArbitrateWord(w)
+		fm := &fronts[c]
+		breq := blRequest{input: int32(i), vc: int32(c), out: fm.dst, pkt: fm.pkt}
+		if fm.head && fm.outVC < 0 {
 			breq.spec = true
 			switch r.cfg.SpecPolicy {
 			case SpecFixed:
 				breq.outVC = 0
 			case SpecHash:
-				breq.outVC = int(f.PacketID) % v
+				breq.outVC = int32(int(fm.pkt) % v)
 			default: // SpecRotate: adapt after every NACK (Section 4.4)
-				breq.outVC = ivc.reqRotate % v
+				breq.outVC = int32(int(fm.rot) % v)
 			}
 		} else {
-			breq.outVC = ivc.outVC
+			breq.outVC = int32(fm.outVC)
 		}
-		r.outstanding[i] = true
-		r.issuedAt[i] = now
-		r.reqOut[i] = breq.out
-		r.reqLine.Push(now, breq)
+		st.outstanding = true
+		st.issuedAt = now
+		st.reqOut = breq.out
+		r.issuable.Clear(i)
+		*wpush = append(*wpush, int32(i))
+		*reqSlot = append(*reqSlot, breq)
 	}
 }

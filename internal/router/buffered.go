@@ -30,7 +30,7 @@ type buffered struct {
 	credit  [][][]int                    // [input][output][vc] free slots seen by input
 	xp      [][][]*sim.Queue[*flit.Flit] // [input][output][vc]
 	xpArb   [][]*arb.RoundRobin          // [input][output] over VCs
-	outLG   []arb.Arbiter                // per output over crosspoints (inputs)
+	outLG   []arb.BitArbiter             // per output over crosspoints (inputs)
 	owner   *vcOwnerTable
 	outFree []serializer
 
@@ -40,7 +40,17 @@ type buffered struct {
 	ej      *ejectQueue
 	ejected []*flit.Flit
 
-	candidates []bool
+	// Active sets: inputs with buffered flits, and per output the
+	// crosspoints (inputs) with occupied buffers; outAct summarizes
+	// which outputs have any crosspoint occupancy at all. The output
+	// stage walks only occupied crosspoints instead of the full k x k
+	// grid every cycle.
+	inOcc  *activeSet
+	xpAct  []*activeSet // [output] over inputs
+	outAct *activeSet   // outputs with occupied crosspoints
+
+	candidates *arb.BitVec // sized k: output-stage crosspoint candidates
+	vcReq      *arb.BitVec // sized v: per-crosspoint / per-input VC requests
 	chosenVC   []int
 }
 
@@ -54,16 +64,21 @@ func newBuffered(cfg Config) *buffered {
 		credit:     make([][][]int, k),
 		xp:         make([][][]*sim.Queue[*flit.Flit], k),
 		xpArb:      make([][]*arb.RoundRobin, k),
-		outLG:      make([]arb.Arbiter, k),
+		outLG:      make([]arb.BitArbiter, k),
 		owner:      newVCOwnerTable(k, v),
 		outFree:    make([]serializer, k),
 		toXp:       sim.NewDelayLine[*flit.Flit](cfg.STCycles),
 		bus:        make([]*creditBus, k),
-		ej:         newEjectQueue(),
-		candidates: make([]bool, k),
+		ej:         newEjectQueue(cfg.STCycles),
+		inOcc:      newActiveSet(k),
+		xpAct:      make([]*activeSet, k),
+		outAct:     newActiveSet(k),
+		candidates: arb.NewBitVec(k),
+		vcReq:      arb.NewBitVec(v),
 		chosenVC:   make([]int, k),
 	}
 	for i := 0; i < k; i++ {
+		r.xpAct[i] = newActiveSet(k)
 		r.in[i] = make([]*inputVC, v)
 		for c := 0; c < v; c++ {
 			r.in[i][c] = newInputVC(cfg.InputBufDepth)
@@ -81,7 +96,7 @@ func newBuffered(cfg Config) *buffered {
 			}
 			r.xpArb[i][o] = arb.NewRoundRobin(v)
 		}
-		r.outLG[i] = arb.NewOutputArbiter(k, cfg.LocalGroup)
+		r.outLG[i] = arb.NewBitOutputArbiter(k, cfg.LocalGroup)
 		r.bus[i] = newCreditBus(k, cfg.LocalGroup)
 	}
 	return r
@@ -94,6 +109,7 @@ func (r *buffered) CanAccept(input, vc int) bool { return !r.in[input][vc].q.Ful
 func (r *buffered) Accept(now int64, f *flit.Flit) {
 	f.InjectedAt = now
 	r.in[f.Src][f.VC].q.MustPush(f)
+	r.inOcc.inc(f.Src)
 	r.cfg.observe(Event{Cycle: now, Kind: EvAccept, Flit: f, Input: f.Src, Output: f.Dst, VC: f.VC})
 }
 
@@ -116,16 +132,18 @@ func (r *buffered) InFlight() int {
 
 func (r *buffered) Step(now int64) {
 	r.ejected = r.ejected[:0]
-	r.ej.drain(now, func(e ejection) {
-		if e.f.Tail {
-			r.owner.release(e.port, e.f.VC, e.f.PacketID)
+	r.ej.drain(now, func(port int, f *flit.Flit) {
+		if f.Tail {
+			r.owner.release(port, f.VC, f.PacketID)
 		}
-		r.cfg.observe(Event{Cycle: now, Kind: EvEject, Flit: e.f, Input: e.f.Src, Output: e.port, VC: e.f.VC})
-		r.ejected = append(r.ejected, e.f)
+		r.cfg.observe(Event{Cycle: now, Kind: EvEject, Flit: f, Input: f.Src, Output: port, VC: f.VC})
+		r.ejected = append(r.ejected, f)
 	})
 	// Flits land in their crosspoint buffers after traversing the row.
 	r.toXp.DrainReady(now, func(f *flit.Flit) {
 		r.xp[f.Src][f.Dst][f.VC].MustPush(f)
+		r.xpAct[f.Dst].inc(f.Src)
+		r.outAct.inc(f.Dst)
 	})
 	r.outputStage(now)
 	r.inputStage(now)
@@ -144,43 +162,45 @@ func (r *buffered) Step(now int64) {
 // outputStage performs the two-stage output VC allocation and drains one
 // flit per free output per round.
 func (r *buffered) outputStage(now int64) {
-	k, v := r.cfg.Radix, r.cfg.VCs
-	st := int64(r.cfg.STCycles)
-	req := make([]bool, v)
-	for o := 0; o < k; o++ {
+	v := r.cfg.VCs
+	for o := r.outAct.next(0); o >= 0; o = r.outAct.next(o + 1) {
 		if !r.outFree[o].free(now) {
 			continue
 		}
+		r.candidates.Reset()
 		any := false
-		for i := 0; i < k; i++ {
-			r.candidates[i] = false
-			r.chosenVC[i] = -1
+		for i := r.xpAct[o].next(0); i >= 0; i = r.xpAct[o].next(i + 1) {
+			r.vcReq.Reset()
 			hasVC := false
 			for c := 0; c < v; c++ {
 				f, ok := r.xp[i][o][c].Peek()
-				req[c] = ok && (f.Head && r.owner.freeVC(o, c) || !f.Head)
-				hasVC = hasVC || req[c]
+				if ok && (f.Head && r.owner.freeVC(o, c) || !f.Head) {
+					r.vcReq.Set(c)
+					hasVC = true
+				}
 			}
 			if !hasVC {
 				continue
 			}
-			c := r.xpArb[i][o].Arbitrate(req)
-			r.candidates[i] = true
+			c := r.xpArb[i][o].ArbitrateBits(r.vcReq)
+			r.candidates.Set(i)
 			r.chosenVC[i] = c
 			any = true
 		}
 		if !any {
 			continue
 		}
-		win := r.outLG[o].Arbitrate(r.candidates)
+		win := r.outLG[o].ArbitrateBits(r.candidates)
 		c := r.chosenVC[win]
 		f := r.xp[win][o][c].MustPop()
+		r.xpAct[o].dec(win)
+		r.outAct.dec(o)
 		if f.Head {
 			r.owner.acquire(o, c, f.PacketID)
 		}
 		r.cfg.observe(Event{Cycle: now, Kind: EvGrant, Flit: f, Input: win, Output: o, VC: c, Note: "output"})
 		r.outFree[o].reserve(now, r.cfg.STCycles)
-		r.ej.push(now+st, o, f)
+		r.ej.push(now, o, f)
 		if r.cfg.IdealCredit {
 			r.credit[win][o][c]++
 			r.cfg.observe(Event{Cycle: now, Kind: EvCredit, Input: win, Output: o, VC: c,
@@ -195,23 +215,26 @@ func (r *buffered) outputStage(now int64) {
 // buffer, subject to credits. No allocation beyond the input round-robin
 // is needed — this is the decoupling that removes head-of-line blocking.
 func (r *buffered) inputStage(now int64) {
-	k, v := r.cfg.Radix, r.cfg.VCs
-	req := make([]bool, v)
-	for i := 0; i < k; i++ {
+	v := r.cfg.VCs
+	for i := r.inOcc.next(0); i >= 0; i = r.inOcc.next(i + 1) {
 		if !r.inFree[i].free(now) {
 			continue
 		}
+		r.vcReq.Reset()
 		any := false
 		for c := 0; c < v; c++ {
 			f, ok := r.in[i][c].front()
-			req[c] = ok && now > f.InjectedAt && r.credit[i][f.Dst][c] > 0
-			any = any || req[c]
+			if ok && now > f.InjectedAt && r.credit[i][f.Dst][c] > 0 {
+				r.vcReq.Set(c)
+				any = true
+			}
 		}
 		if !any {
 			continue
 		}
-		c := r.inputArb[i].Arbitrate(req)
+		c := r.inputArb[i].ArbitrateBits(r.vcReq)
 		f := r.in[i][c].q.MustPop()
+		r.inOcc.dec(i)
 		r.credit[i][f.Dst][c]--
 		r.cfg.observe(Event{Cycle: now, Kind: EvCredit, Input: i, Output: f.Dst, VC: c,
 			Note: "xpoint", Delta: -1, Depth: r.cfg.XpointBufDepth})

@@ -222,6 +222,11 @@ func (c Config) Validate() error {
 	if c.VCs < 1 {
 		errs = append(errs, fmt.Errorf("vcs %d < 1", c.VCs))
 	}
+	if c.VCs > 64 {
+		// Per-VC request vectors travel as single machine words in the
+		// step loops; the paper's routers use at most 8 VCs.
+		errs = append(errs, fmt.Errorf("vcs %d > 64", c.VCs))
+	}
 	if c.InputBufDepth < 1 {
 		errs = append(errs, fmt.Errorf("input buffer depth %d < 1", c.InputBufDepth))
 	}

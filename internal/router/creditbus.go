@@ -13,10 +13,11 @@ import (
 // which the paper shows (and our ablation confirms) costs almost
 // nothing because each flit occupies the input row for several cycles.
 type creditBus struct {
-	pending  []*sim.Queue[int] // per crosspoint (output index): queued VC numbers
-	busArb   arb.Arbiter
-	wire     *sim.DelayLine[busCredit]
-	requests []bool
+	pending []*sim.Queue[int] // per crosspoint (output index): queued VC numbers
+	busArb  arb.BitArbiter
+	wire    *sim.DelayLine[busCredit]
+	reqB    *arb.BitVec // crosspoints with queued credits
+	queued  int         // total queued credits across crosspoints
 }
 
 type busCredit struct {
@@ -28,10 +29,10 @@ type busCredit struct {
 // arbitration groups of size m and a one-cycle return wire.
 func newCreditBus(k, m int) *creditBus {
 	b := &creditBus{
-		pending:  make([]*sim.Queue[int], k),
-		busArb:   arb.NewOutputArbiter(k, m),
-		wire:     sim.NewDelayLine[busCredit](1),
-		requests: make([]bool, k),
+		pending: make([]*sim.Queue[int], k),
+		busArb:  arb.NewBitOutputArbiter(k, m),
+		wire:    sim.NewDelayLine[busCredit](1),
+		reqB:    arb.NewBitVec(k),
 	}
 	for i := range b.pending {
 		b.pending[i] = sim.NewQueue[int](0)
@@ -43,22 +44,23 @@ func newCreditBus(k, m int) *creditBus {
 // channel vc and now needs the bus.
 func (b *creditBus) enqueue(output, vc int) {
 	b.pending[output].MustPush(vc)
+	b.reqB.Set(output)
+	b.queued++
 }
 
 // step arbitrates one bus slot and delivers credits whose wire delay has
 // elapsed by calling deliver(output, vc).
 func (b *creditBus) step(now int64, deliver func(output, vc int)) {
 	b.wire.DrainReady(now, func(c busCredit) { deliver(c.output, c.vc) })
-	any := false
-	for i, q := range b.pending {
-		b.requests[i] = !q.Empty()
-		any = any || b.requests[i]
-	}
-	if !any {
+	if b.queued == 0 {
 		return
 	}
-	win := b.busArb.Arbitrate(b.requests)
+	win := b.busArb.ArbitrateBits(b.reqB)
 	vc := b.pending[win].MustPop()
+	b.queued--
+	if b.pending[win].Empty() {
+		b.reqB.Clear(win)
+	}
 	b.wire.Push(now, busCredit{output: win, vc: vc})
 }
 

@@ -48,7 +48,7 @@ type hierarchical struct {
 
 	owner    *vcOwnerTable // global output VC allocation
 	outFree  []serializer
-	colArb   []arb.Arbiter       // per output, over rows (subswitches in the column)
+	colArb   []arb.BitArbiter    // per output, over rows (subswitches in the column)
 	subOutVC [][]*arb.RoundRobin // [output][row] per subswitch-output VC pick for the column stage
 
 	toSubIn    *sim.DelayLine[*flit.Flit]
@@ -58,8 +58,24 @@ type hierarchical struct {
 	ej      *ejectQueue
 	ejected []*flit.Flit
 
-	rowCand []bool
+	// Active sets. The internal stage walks only subswitches holding
+	// flits (subAct, flat row*g+col), and within one only the occupied
+	// local inputs (subInAct) and the local outputs some queued flit is
+	// destined to (subDemand). The column stage walks only outputs whose
+	// column holds subOut occupancy (outAct) and within one only the
+	// rows contributing it (colRows).
+	inOcc     *activeSet
+	subAct    *activeSet     // over g*g subswitches, flat row*g+col
+	subInAct  [][]*activeSet // [row][col] over local inputs q
+	subDemand [][]*activeSet // [row][col] over local outputs j
+	outAct    *activeSet     // outputs with subOut occupancy in their column
+	colRows   []*activeSet   // [output] over rows
+
+	rowCand *arb.BitVec // sized g: column-stage row candidates
 	rowVC   []int
+	vcReq   *arb.BitVec // sized v
+	cand    *arb.BitVec // sized p: internal-stage local-input candidates
+	candVC  []int       // sized p
 }
 
 func newHierarchical(cfg Config) *hierarchical {
@@ -75,14 +91,31 @@ func newHierarchical(cfg Config) *hierarchical {
 		creditIn:   make([][][]int, k),
 		owner:      newVCOwnerTable(k, v),
 		outFree:    make([]serializer, k),
-		colArb:     make([]arb.Arbiter, k),
+		colArb:     make([]arb.BitArbiter, k),
 		subOutVC:   make([][]*arb.RoundRobin, k),
 		toSubIn:    sim.NewDelayLine[*flit.Flit](cfg.STCycles),
 		toSubOut:   sim.NewDelayLine[*flit.Flit](cfg.STCycles),
 		creditWire: sim.NewDelayLine[flit.Credit](2),
-		ej:         newEjectQueue(),
-		rowCand:    make([]bool, g),
+		ej:         newEjectQueue(cfg.STCycles),
+		inOcc:      newActiveSet(k),
+		subAct:     newActiveSet(g * g),
+		subInAct:   make([][]*activeSet, g),
+		subDemand:  make([][]*activeSet, g),
+		outAct:     newActiveSet(k),
+		colRows:    make([]*activeSet, k),
+		rowCand:    arb.NewBitVec(g),
 		rowVC:      make([]int, g),
+		vcReq:      arb.NewBitVec(v),
+		cand:       arb.NewBitVec(p),
+		candVC:     make([]int, p),
+	}
+	for row := 0; row < g; row++ {
+		r.subInAct[row] = make([]*activeSet, g)
+		r.subDemand[row] = make([]*activeSet, g)
+		for col := 0; col < g; col++ {
+			r.subInAct[row][col] = newActiveSet(p)
+			r.subDemand[row][col] = newActiveSet(p)
+		}
 	}
 	for i := 0; i < k; i++ {
 		r.in[i] = make([]*inputVC, v)
@@ -97,7 +130,8 @@ func newHierarchical(cfg Config) *hierarchical {
 				r.creditIn[i][col][c] = cfg.SubInDepth
 			}
 		}
-		r.colArb[i] = arb.NewOutputArbiter(g, cfg.LocalGroup)
+		r.colArb[i] = arb.NewBitOutputArbiter(g, cfg.LocalGroup)
+		r.colRows[i] = newActiveSet(g)
 		r.subOutVC[i] = make([]*arb.RoundRobin, g)
 		for row := 0; row < g; row++ {
 			r.subOutVC[i][row] = arb.NewRoundRobin(v)
@@ -163,6 +197,7 @@ func (r *hierarchical) CanAccept(input, vc int) bool { return !r.in[input][vc].q
 func (r *hierarchical) Accept(now int64, f *flit.Flit) {
 	f.InjectedAt = now
 	r.in[f.Src][f.VC].q.MustPush(f)
+	r.inOcc.inc(f.Src)
 	r.cfg.observe(Event{Cycle: now, Kind: EvAccept, Flit: f, Input: f.Src, Output: f.Dst, VC: f.VC})
 }
 
@@ -190,22 +225,27 @@ func (r *hierarchical) InFlight() int {
 
 func (r *hierarchical) Step(now int64) {
 	r.ejected = r.ejected[:0]
-	r.ej.drain(now, func(e ejection) {
-		if e.f.Tail {
-			r.owner.release(e.port, e.f.VC, e.f.PacketID)
+	r.ej.drain(now, func(port int, f *flit.Flit) {
+		if f.Tail {
+			r.owner.release(port, f.VC, f.PacketID)
 		}
-		r.cfg.observe(Event{Cycle: now, Kind: EvEject, Flit: e.f, Input: e.f.Src, Output: e.port, VC: e.f.VC})
-		r.ejected = append(r.ejected, e.f)
+		r.cfg.observe(Event{Cycle: now, Kind: EvEject, Flit: f, Input: f.Src, Output: port, VC: f.VC})
+		r.ejected = append(r.ejected, f)
 	})
 	r.toSubIn.DrainReady(now, func(f *flit.Flit) {
 		row, q := f.Src/r.p, f.Src%r.p
 		col := f.Dst / r.p
 		r.subIn[row][col][q][f.VC].MustPush(f)
+		r.subAct.inc(row*r.g + col)
+		r.subInAct[row][col].inc(q)
+		r.subDemand[row][col].inc(f.Dst % r.p)
 	})
 	r.toSubOut.DrainReady(now, func(f *flit.Flit) {
 		row := f.Src / r.p
 		col, j := f.Dst/r.p, f.Dst%r.p
 		r.subOut[row][col][j][f.VC].MustPush(f)
+		r.outAct.inc(f.Dst)
+		r.colRows[f.Dst].inc(row)
 	})
 	r.creditWire.DrainReady(now, func(c flit.Credit) {
 		r.creditIn[c.Input][c.Output][c.VC]++
@@ -222,38 +262,41 @@ func (r *hierarchical) Step(now int64) {
 // column, arbitrating among the k/p subswitches with the same
 // local-global scheme as the other architectures.
 func (r *hierarchical) columnStage(now int64) {
-	k, v := r.cfg.Radix, r.cfg.VCs
-	st := int64(r.cfg.STCycles)
-	req := make([]bool, v)
-	for o := 0; o < k; o++ {
+	v := r.cfg.VCs
+	for o := r.outAct.next(0); o >= 0; o = r.outAct.next(o + 1) {
 		if !r.outFree[o].free(now) {
 			continue
 		}
 		col, j := o/r.p, o%r.p
+		r.rowCand.Reset()
 		any := false
-		for row := 0; row < r.g; row++ {
-			r.rowCand[row] = false
-			r.rowVC[row] = -1
+		rows := r.colRows[o]
+		for row := rows.next(0); row >= 0; row = rows.next(row + 1) {
+			r.vcReq.Reset()
 			has := false
 			for c := 0; c < v; c++ {
 				f, ok := r.subOut[row][col][j][c].Peek()
-				req[c] = ok && (f.Head && r.owner.freeVC(o, c) || !f.Head)
-				has = has || req[c]
+				if ok && (f.Head && r.owner.freeVC(o, c) || !f.Head) {
+					r.vcReq.Set(c)
+					has = true
+				}
 			}
 			if !has {
 				continue
 			}
-			c := r.subOutVC[o][row].Arbitrate(req)
-			r.rowCand[row] = true
+			c := r.subOutVC[o][row].ArbitrateBits(r.vcReq)
+			r.rowCand.Set(row)
 			r.rowVC[row] = c
 			any = true
 		}
 		if !any {
 			continue
 		}
-		row := r.colArb[o].Arbitrate(r.rowCand)
+		row := r.colArb[o].ArbitrateBits(r.rowCand)
 		c := r.rowVC[row]
 		f := r.subOut[row][col][j][c].MustPop()
+		r.outAct.dec(o)
+		rows.dec(row)
 		r.cfg.observe(Event{Cycle: now, Kind: EvGrant, Flit: f, Input: f.Src, Output: o, VC: c, Note: "column"})
 		if f.Head {
 			r.owner.acquire(o, c, f.PacketID)
@@ -262,7 +305,7 @@ func (r *hierarchical) columnStage(now int64) {
 		r.cfg.observe(Event{Cycle: now, Kind: EvCredit, Input: row, Output: o, VC: c,
 			Note: "subout", Delta: +1, Depth: r.cfg.SubOutDepth})
 		r.outFree[o].reserve(now, r.cfg.STCycles)
-		r.ej.push(now+st, o, f)
+		r.ej.push(now, o, f)
 	}
 }
 
@@ -270,63 +313,65 @@ func (r *hierarchical) columnStage(now int64) {
 // input buffers to output buffers, performing the local VC allocation.
 func (r *hierarchical) internalStage(now int64) {
 	v, p := r.cfg.VCs, r.p
-	req := make([]bool, v)
-	cand := make([]bool, p)
-	candVC := make([]int, p)
-	for row := 0; row < r.g; row++ {
-		for col := 0; col < r.g; col++ {
-			ownerT := r.subOutOwner[row][col]
-			for j := 0; j < p; j++ {
-				if !r.intOutFree[row][col][j].free(now) {
-					continue
-				}
-				any := false
-				for q := 0; q < p; q++ {
-					cand[q] = false
-					candVC[q] = -1
-					if !r.intInFree[row][col][q].free(now) {
-						continue
-					}
-					has := false
-					for c := 0; c < v; c++ {
-						f, ok := r.subIn[row][col][q][c].Peek()
-						eligible := ok && f.Dst%p == j &&
-							r.subOutCred[row][col][j][c] > 0 &&
-							(f.Head && ownerT.freeVC(j, c) || !f.Head && ownerT.ownedBy(j, c, f.PacketID))
-						req[c] = eligible
-						has = has || eligible
-					}
-					if !has {
-						continue
-					}
-					c := r.subInArb[row][col][q].Arbitrate(req)
-					cand[q] = true
-					candVC[q] = c
-					any = true
-				}
-				if !any {
-					continue
-				}
-				q := r.intArb[row][col][j].Arbitrate(cand)
-				c := candVC[q]
-				f := r.subIn[row][col][q][c].MustPop()
-				if f.Head {
-					ownerT.acquire(j, c, f.PacketID)
-				}
-				if f.Tail {
-					ownerT.release(j, c, f.PacketID)
-				}
-				r.subOutCred[row][col][j][c]--
-				r.cfg.observe(Event{Cycle: now, Kind: EvCredit, Input: row, Output: col*p + j, VC: c,
-					Note: "subout", Delta: -1, Depth: r.cfg.SubOutDepth})
-				r.intInFree[row][col][q].reserve(now, r.cfg.STCycles)
-				r.intOutFree[row][col][j].reserve(now, r.cfg.STCycles)
-				r.cfg.observe(Event{Cycle: now, Kind: EvGrant, Flit: f, Input: row*r.p + q, Output: f.Dst, VC: c, Note: "subswitch"})
-				r.toSubOut.Push(now, f)
-				// Freed subswitch input slot: return a credit to the
-				// router input that feeds local port q of this row.
-				r.creditWire.Push(now, flit.Credit{Input: row*p + q, Output: col, VC: c})
+	for s := r.subAct.next(0); s >= 0; s = r.subAct.next(s + 1) {
+		row, col := s/r.g, s%r.g
+		ownerT := r.subOutOwner[row][col]
+		dem := r.subDemand[row][col]
+		occ := r.subInAct[row][col]
+		for j := dem.next(0); j >= 0; j = dem.next(j + 1) {
+			if !r.intOutFree[row][col][j].free(now) {
+				continue
 			}
+			r.cand.Reset()
+			any := false
+			for q := occ.next(0); q >= 0; q = occ.next(q + 1) {
+				if !r.intInFree[row][col][q].free(now) {
+					continue
+				}
+				r.vcReq.Reset()
+				has := false
+				for c := 0; c < v; c++ {
+					f, ok := r.subIn[row][col][q][c].Peek()
+					if ok && f.Dst%p == j &&
+						r.subOutCred[row][col][j][c] > 0 &&
+						(f.Head && ownerT.freeVC(j, c) || !f.Head && ownerT.ownedBy(j, c, f.PacketID)) {
+						r.vcReq.Set(c)
+						has = true
+					}
+				}
+				if !has {
+					continue
+				}
+				c := r.subInArb[row][col][q].ArbitrateBits(r.vcReq)
+				r.cand.Set(q)
+				r.candVC[q] = c
+				any = true
+			}
+			if !any {
+				continue
+			}
+			q := r.intArb[row][col][j].ArbitrateBits(r.cand)
+			c := r.candVC[q]
+			f := r.subIn[row][col][q][c].MustPop()
+			r.subAct.dec(s)
+			occ.dec(q)
+			dem.dec(f.Dst % p)
+			if f.Head {
+				ownerT.acquire(j, c, f.PacketID)
+			}
+			if f.Tail {
+				ownerT.release(j, c, f.PacketID)
+			}
+			r.subOutCred[row][col][j][c]--
+			r.cfg.observe(Event{Cycle: now, Kind: EvCredit, Input: row, Output: col*p + j, VC: c,
+				Note: "subout", Delta: -1, Depth: r.cfg.SubOutDepth})
+			r.intInFree[row][col][q].reserve(now, r.cfg.STCycles)
+			r.intOutFree[row][col][j].reserve(now, r.cfg.STCycles)
+			r.cfg.observe(Event{Cycle: now, Kind: EvGrant, Flit: f, Input: row*r.p + q, Output: f.Dst, VC: c, Note: "subswitch"})
+			r.toSubOut.Push(now, f)
+			// Freed subswitch input slot: return a credit to the
+			// router input that feeds local port q of this row.
+			r.creditWire.Push(now, flit.Credit{Input: row*p + q, Output: col, VC: c})
 		}
 	}
 }
@@ -335,23 +380,26 @@ func (r *hierarchical) internalStage(now int64) {
 // bus, towards the subswitch serving the flit's destination column,
 // subject to subswitch input buffer credits.
 func (r *hierarchical) inputStage(now int64) {
-	k, v := r.cfg.Radix, r.cfg.VCs
-	req := make([]bool, v)
-	for i := 0; i < k; i++ {
+	v := r.cfg.VCs
+	for i := r.inOcc.next(0); i >= 0; i = r.inOcc.next(i + 1) {
 		if !r.inFree[i].free(now) {
 			continue
 		}
+		r.vcReq.Reset()
 		any := false
 		for c := 0; c < v; c++ {
 			f, ok := r.in[i][c].front()
-			req[c] = ok && now > f.InjectedAt && r.creditIn[i][f.Dst/r.p][c] > 0
-			any = any || req[c]
+			if ok && now > f.InjectedAt && r.creditIn[i][f.Dst/r.p][c] > 0 {
+				r.vcReq.Set(c)
+				any = true
+			}
 		}
 		if !any {
 			continue
 		}
-		c := r.inputArb[i].Arbitrate(req)
+		c := r.inputArb[i].ArbitrateBits(r.vcReq)
 		f := r.in[i][c].q.MustPop()
+		r.inOcc.dec(i)
 		r.creditIn[i][f.Dst/r.p][c]--
 		r.cfg.observe(Event{Cycle: now, Kind: EvCredit, Input: i, Output: f.Dst / r.p, VC: c,
 			Note: "subin", Delta: -1, Depth: r.cfg.SubInDepth})

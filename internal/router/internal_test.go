@@ -67,22 +67,39 @@ func TestVCOwnerForeignReleasePanics(t *testing.T) {
 	tab.release(0, 0, 2)
 }
 
-func TestEjectQueueOutOfOrderPorts(t *testing.T) {
-	// Distinct ports may be recorded with non-monotonic eject times;
-	// drain must still deliver each at its own time.
-	q := newEjectQueue()
+func TestEjectQueueFixedDelay(t *testing.T) {
+	// Pushes at cycle t surface exactly delay cycles later, in push
+	// order, as the ring is drained once per consecutive cycle.
+	const delay = 3
+	q := newEjectQueue(delay)
 	fa := flit.MakePacket(1, 0, 0, 0, 1, 0, false)[0]
 	fb := flit.MakePacket(2, 0, 1, 0, 1, 0, false)[0]
-	q.push(10, 0, fa)
-	q.push(8, 1, fb)
-	var got []uint64
-	q.drain(8, func(e ejection) { got = append(got, e.f.PacketID) })
-	if len(got) != 1 || got[0] != 2 {
-		t.Fatalf("drain(8) = %v, want [2]", got)
+	fc := flit.MakePacket(3, 0, 1, 0, 1, 0, false)[0]
+	pushes := map[int64][]struct {
+		f    *flit.Flit
+		port int
+	}{
+		5: {{fa, 0}, {fb, 1}},
+		6: {{fc, 1}},
 	}
-	q.drain(10, func(e ejection) { got = append(got, e.f.PacketID) })
-	if len(got) != 2 || got[1] != 1 {
-		t.Fatalf("drain(10) = %v, want [2 1]", got)
+	var got []uint64
+	for now := int64(5); now <= 9; now++ {
+		q.drain(now, func(port int, f *flit.Flit) {
+			if want := int(f.Dst); port != want {
+				t.Fatalf("cycle %d: flit %d ejected at port %d, want %d", now, f.PacketID, port, want)
+			}
+			if want := f.InjectedAt + delay; now != want {
+				t.Fatalf("flit %d ejected at cycle %d, want %d", f.PacketID, now, want)
+			}
+			got = append(got, f.PacketID)
+		})
+		for _, p := range pushes[now] {
+			p.f.InjectedAt = now
+			q.push(now, p.port, p.f)
+		}
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("eject order %v, want [1 2 3]", got)
 	}
 	if q.len() != 0 {
 		t.Fatalf("queue not empty after drains: %d", q.len())

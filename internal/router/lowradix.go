@@ -28,29 +28,39 @@ type lowRadix struct {
 	ej      *ejectQueue
 	ejected []*flit.Flit
 
+	// inOcc tracks inputs holding buffered flits; idle inputs cost
+	// nothing in either allocator.
+	inOcc *activeSet
+
 	// scratch
-	saReqOut []int // per input: requested output this cycle (-1 none)
-	saReqVC  []int // per input: requesting VC
-	outReq   []bool
+	saReqVC      []int         // per input: requesting VC this iteration
+	outReqs      []*arb.BitVec // per output: requesting inputs this iteration
+	outActive    *arb.BitVec   // outputs with at least one request
+	vcReq        *arb.BitVec   // sized v: one input's eligible VCs
+	inputMatched *arb.BitVec   // inputs matched in an earlier iteration
 }
 
 func newLowRadix(cfg Config) *lowRadix {
 	k, v := cfg.Radix, cfg.VCs
 	r := &lowRadix{
-		cfg:      cfg,
-		in:       make([][]*inputVC, k),
-		owner:    newVCOwnerTable(k, v),
-		inFree:   make([]serializer, k),
-		outFree:  make([]serializer, k),
-		inputArb: make([]*arb.RoundRobin, k),
-		outArb:   make([]*arb.RoundRobin, k),
-		vaPtr:    make([][]int, k),
-		ej:       newEjectQueue(),
-		saReqOut: make([]int, k),
-		saReqVC:  make([]int, k),
-		outReq:   make([]bool, k),
+		cfg:          cfg,
+		in:           make([][]*inputVC, k),
+		owner:        newVCOwnerTable(k, v),
+		inFree:       make([]serializer, k),
+		outFree:      make([]serializer, k),
+		inputArb:     make([]*arb.RoundRobin, k),
+		outArb:       make([]*arb.RoundRobin, k),
+		vaPtr:        make([][]int, k),
+		ej:           newEjectQueue(cfg.STCycles),
+		inOcc:        newActiveSet(k),
+		saReqVC:      make([]int, k),
+		outReqs:      make([]*arb.BitVec, k),
+		outActive:    arb.NewBitVec(k),
+		vcReq:        arb.NewBitVec(v),
+		inputMatched: arb.NewBitVec(k),
 	}
 	for i := 0; i < k; i++ {
+		r.outReqs[i] = arb.NewBitVec(k)
 		r.in[i] = make([]*inputVC, v)
 		for c := 0; c < v; c++ {
 			r.in[i][c] = newInputVC(cfg.InputBufDepth)
@@ -69,6 +79,7 @@ func (r *lowRadix) CanAccept(input, vc int) bool { return !r.in[input][vc].q.Ful
 func (r *lowRadix) Accept(now int64, f *flit.Flit) {
 	f.InjectedAt = now
 	r.in[f.Src][f.VC].q.MustPush(f)
+	r.inOcc.inc(f.Src)
 	r.cfg.observe(Event{Cycle: now, Kind: EvAccept, Flit: f, Input: f.Src, Output: f.Dst, VC: f.VC})
 }
 
@@ -86,12 +97,12 @@ func (r *lowRadix) InFlight() int {
 
 func (r *lowRadix) Step(now int64) {
 	r.ejected = r.ejected[:0]
-	r.ej.drain(now, func(e ejection) {
-		if e.f.Tail {
-			r.owner.release(e.port, e.f.VC, e.f.PacketID)
+	r.ej.drain(now, func(port int, f *flit.Flit) {
+		if f.Tail {
+			r.owner.release(port, f.VC, f.PacketID)
 		}
-		r.cfg.observe(Event{Cycle: now, Kind: EvEject, Flit: e.f, Input: e.f.Src, Output: e.port, VC: e.f.VC})
-		r.ejected = append(r.ejected, e.f)
+		r.cfg.observe(Event{Cycle: now, Kind: EvEject, Flit: f, Input: f.Src, Output: port, VC: f.VC})
+		r.ejected = append(r.ejected, f)
 	})
 	r.switchAllocate(now)
 	r.vcAllocate(now)
@@ -108,7 +119,7 @@ func (r *lowRadix) vcAllocate(now int64) {
 	// requests[o][ov] collects flat input-VC indices.
 	type reqList struct{ reqs []int }
 	var table map[int]*reqList // key o*v+ov
-	for i := 0; i < k; i++ {
+	for i := r.inOcc.next(0); i >= 0; i = r.inOcc.next(i + 1) {
 		for c := 0; c < v; c++ {
 			ivc := r.in[i][c]
 			f, ok := ivc.front()
@@ -169,19 +180,15 @@ func (r *lowRadix) vcAllocate(now int64) {
 // already matched — the centralized luxury the paper's reference design
 // enjoys and the distributed design cannot afford.
 func (r *lowRadix) switchAllocate(now int64) {
-	k, v := r.cfg.Radix, r.cfg.VCs
+	v := r.cfg.VCs
 	st := r.cfg.STCycles
-	req := make([]bool, v)
-	inputMatched := make([]bool, k)
 	for iter := 0; iter < r.cfg.AllocIters; iter++ {
-		for i := range r.saReqOut {
-			r.saReqOut[i] = -1
-		}
 		anyReq := false
-		for i := 0; i < k; i++ {
-			if inputMatched[i] || !r.inFree[i].free(now) {
+		for i := r.inOcc.next(0); i >= 0; i = r.inOcc.next(i + 1) {
+			if r.inputMatched.Get(i) || !r.inFree[i].free(now) {
 				continue
 			}
+			r.vcReq.Reset()
 			any := false
 			for c := 0; c < v; c++ {
 				ivc := r.in[i][c]
@@ -196,48 +203,47 @@ func (r *lowRadix) switchAllocate(now int64) {
 				if eligible && iter > 0 && !r.outFree[f.Dst].free(now) {
 					eligible = false
 				}
-				req[c] = eligible
-				any = any || eligible
+				if eligible {
+					r.vcReq.Set(c)
+					any = true
+				}
 			}
 			if !any {
 				continue
 			}
-			c := r.inputArb[i].Arbitrate(req)
+			c := r.inputArb[i].ArbitrateBits(r.vcReq)
 			f, _ := r.in[i][c].front()
-			r.saReqOut[i] = f.Dst
 			r.saReqVC[i] = c
+			r.outReqs[f.Dst].Set(i)
+			r.outActive.Set(f.Dst)
 			anyReq = true
 		}
 		if !anyReq {
 			break
 		}
-		for o := 0; o < k; o++ {
-			if !r.outFree[o].free(now) {
-				continue
+		for o := r.outActive.Next(0); o >= 0; o = r.outActive.Next(o + 1) {
+			reqs := r.outReqs[o]
+			if r.outFree[o].free(now) {
+				win := r.outArb[o].ArbitrateBits(reqs)
+				c := r.saReqVC[win]
+				ivc := r.in[win][c]
+				f := ivc.q.MustPop()
+				r.inOcc.dec(win)
+				f.VC = ivc.outVC
+				if f.Tail {
+					ivc.outVC = -1
+				}
+				// Traversal occupies cycles now+1 .. now+STCycles; the flit
+				// ejects on the final traversal cycle.
+				r.inFree[win].reserve(now, st)
+				r.outFree[o].reserve(now, st)
+				r.cfg.observe(Event{Cycle: now, Kind: EvGrant, Flit: f, Input: win, Output: o, VC: f.VC, Note: "switch"})
+				r.ej.push(now, o, f)
+				r.inputMatched.Set(win)
 			}
-			any := false
-			for i := 0; i < k; i++ {
-				r.outReq[i] = r.saReqOut[i] == o
-				any = any || r.outReq[i]
-			}
-			if !any {
-				continue
-			}
-			win := r.outArb[o].Arbitrate(r.outReq)
-			c := r.saReqVC[win]
-			ivc := r.in[win][c]
-			f := ivc.q.MustPop()
-			f.VC = ivc.outVC
-			if f.Tail {
-				ivc.outVC = -1
-			}
-			// Traversal occupies cycles now+1 .. now+STCycles; the flit
-			// ejects on the final traversal cycle.
-			r.inFree[win].reserve(now, st)
-			r.outFree[o].reserve(now, st)
-			r.cfg.observe(Event{Cycle: now, Kind: EvGrant, Flit: f, Input: win, Output: o, VC: f.VC, Note: "switch"})
-			r.ej.push(now+int64(st), o, f)
-			inputMatched[win] = true
+			reqs.Reset()
 		}
+		r.outActive.Reset()
 	}
+	r.inputMatched.Reset()
 }

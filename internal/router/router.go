@@ -55,73 +55,81 @@ func (s *serializer) reserve(now int64, cycles int) { s.freeAt = now + int64(cyc
 // channel. A packet acquires the VC with its head flit and releases it
 // when the tail departs — the per-packet VC allocation of Section 3.
 type vcOwnerTable struct {
-	owner [][]uint64 // [port][vc]; 0 = free
+	owner []uint64 // flat [port*vcs+vc]; 0 = free
+	vcs   int
 }
 
 func newVCOwnerTable(ports, vcs int) *vcOwnerTable {
-	t := &vcOwnerTable{owner: make([][]uint64, ports)}
-	for i := range t.owner {
-		t.owner[i] = make([]uint64, vcs)
-	}
-	return t
+	return &vcOwnerTable{owner: make([]uint64, ports*vcs), vcs: vcs}
 }
 
-func (t *vcOwnerTable) freeVC(port, vc int) bool { return t.owner[port][vc] == 0 }
+func (t *vcOwnerTable) freeVC(port, vc int) bool { return t.owner[port*t.vcs+vc] == 0 }
 
-func (t *vcOwnerTable) ownedBy(port, vc int, pkt uint64) bool { return t.owner[port][vc] == pkt }
+func (t *vcOwnerTable) ownedBy(port, vc int, pkt uint64) bool { return t.owner[port*t.vcs+vc] == pkt }
 
 func (t *vcOwnerTable) acquire(port, vc int, pkt uint64) {
-	if t.owner[port][vc] != 0 {
+	if t.owner[port*t.vcs+vc] != 0 {
 		panic("router: output VC double allocation")
 	}
-	t.owner[port][vc] = pkt
+	t.owner[port*t.vcs+vc] = pkt
 }
 
 func (t *vcOwnerTable) release(port, vc int, pkt uint64) {
-	if t.owner[port][vc] != pkt {
+	if t.owner[port*t.vcs+vc] != pkt {
 		panic("router: output VC released by non-owner")
 	}
-	t.owner[port][vc] = 0
+	t.owner[port*t.vcs+vc] = 0
 }
 
-// ejection is a flit scheduled to leave an output port at a future
-// cycle (the end of its switch traversal).
-type ejection struct {
-	at   int64
-	port int
+// ejEntry is a flit scheduled to leave an output port at the end of its
+// switch traversal.
+type ejEntry struct {
 	f    *flit.Flit
+	port int32
 }
 
-// ejectQueue orders scheduled ejections. Pushes happen with
-// nondecreasing grant cycles and a bounded traversal time, so a simple
-// FIFO with an insertion sort window suffices; in practice pushes are
-// already nearly sorted and the queue stays short (at most one flit in
-// flight per output port).
+// ejectQueue schedules flits to leave output ports exactly delay cycles
+// after they are pushed. Every architecture's traversal time is fixed at
+// construction, so the queue is a ring of delay+1 per-cycle slots: a
+// push at cycle t lands in slot t mod (delay+1) and is drained when the
+// ring wraps back around, with no per-entry queue rotation. The ring
+// relies on Step being invoked once per consecutive cycle, which is the
+// contract every driver in this repository follows (the previous
+// any-order scan delivered late pushes too, but no caller ever made
+// one).
 type ejectQueue struct {
-	q *sim.Queue[ejection]
+	slots [][]ejEntry
+	count int
 }
 
-func newEjectQueue() *ejectQueue { return &ejectQueue{q: sim.NewQueue[ejection](0)} }
-
-func (e *ejectQueue) push(at int64, port int, f *flit.Flit) {
-	e.q.MustPush(ejection{at: at, port: port, f: f})
+func newEjectQueue(delay int) *ejectQueue {
+	if delay < 1 {
+		panic("router: eject delay must be at least one cycle")
+	}
+	return &ejectQueue{slots: make([][]ejEntry, delay+1)}
 }
 
-func (e *ejectQueue) len() int { return e.q.Len() }
+func (e *ejectQueue) push(now int64, port int, f *flit.Flit) {
+	i := int(now % int64(len(e.slots)))
+	e.slots[i] = append(e.slots[i], ejEntry{f: f, port: int32(port)})
+	e.count++
+}
 
-// drain appends flits whose time has come to out, removing them.
-// Ejections for distinct ports may be recorded out of order; drain scans
-// the whole queue. The queue length is bounded by the port count, so
-// the scan is cheap.
-func (e *ejectQueue) drain(now int64, fn func(ejection)) {
-	n := e.q.Len()
-	for i := 0; i < n; i++ {
-		ej := e.q.MustPop()
-		if ej.at <= now {
-			fn(ej)
-		} else {
-			e.q.MustPush(ej)
-		}
+func (e *ejectQueue) len() int { return e.count }
+
+// drain calls fn for every flit due at cycle now, in push order, and
+// removes them. With delay d and d+1 slots, the due slot at cycle now
+// is the one filled at now-d, i.e. (now+1) mod (d+1).
+func (e *ejectQueue) drain(now int64, fn func(port int, f *flit.Flit)) {
+	i := int((now + 1) % int64(len(e.slots)))
+	due := e.slots[i]
+	if len(due) == 0 {
+		return
+	}
+	e.slots[i] = due[:0]
+	e.count -= len(due)
+	for _, en := range due {
+		fn(int(en.port), en.f)
 	}
 }
 
@@ -130,7 +138,9 @@ func (e *ejectQueue) drain(now int64, fn func(ejection)) {
 // steps (route computation, VC allocation) are performed once per
 // packet at the head flit.
 type inputVC struct {
-	q *sim.Queue[*flit.Flit]
+	// q is embedded by value so routers that keep their input VCs in one
+	// flat slice reach the buffer without a pointer dereference.
+	q sim.Queue[*flit.Flit]
 	// outVC is the allocated output virtual channel of the packet whose
 	// flits currently occupy the front of the queue; -1 when the head
 	// packet has not completed VC allocation.
@@ -142,7 +152,15 @@ type inputVC struct {
 }
 
 func newInputVC(depth int) *inputVC {
-	return &inputVC{q: sim.NewQueue[*flit.Flit](depth), outVC: -1}
+	vq := &inputVC{}
+	vq.init(depth)
+	return vq
+}
+
+// init prepares a zero inputVC in place (used by flat []inputVC storage).
+func (v *inputVC) init(depth int) {
+	v.q = *sim.NewQueue[*flit.Flit](depth)
+	v.outVC = -1
 }
 
 // front returns the flit at the head of the buffer.

@@ -25,7 +25,7 @@ type sharedXpoint struct {
 
 	credit  [][]int                    // [input][output] shared-buffer credits
 	xp      [][]*sim.Queue[*flit.Flit] // [input][output] shared FIFO
-	outLG   []arb.Arbiter
+	outLG   []arb.BitArbiter
 	owner   *vcOwnerTable
 	outFree []serializer
 
@@ -36,7 +36,20 @@ type sharedXpoint struct {
 	ej      *ejectQueue
 	ejected []*flit.Flit
 
-	candidates []bool
+	// The crosspoint grid is walked in two orders — row-major by the
+	// NACK scan (input outer) and column-major by the output stage
+	// (output outer) — so occupancy is tracked in both views. rowAct[i]
+	// marks outputs with flits queued from input i, colAct[o] marks
+	// inputs with flits queued for output o; rowAny/outAct summarize
+	// which rows/columns are nonempty at all.
+	inOcc  *activeSet
+	rowAct []*activeSet // [input] over outputs
+	rowAny *activeSet   // inputs with any crosspoint occupancy
+	colAct []*activeSet // [output] over inputs
+	outAct *activeSet   // outputs with any crosspoint occupancy
+
+	candidates *arb.BitVec // sized k
+	vcReq      *arb.BitVec // sized v
 }
 
 type xpAck struct {
@@ -54,16 +67,24 @@ func newSharedXpoint(cfg Config) *sharedXpoint {
 		inputArb:   make([]*arb.RoundRobin, k),
 		credit:     make([][]int, k),
 		xp:         make([][]*sim.Queue[*flit.Flit], k),
-		outLG:      make([]arb.Arbiter, k),
+		outLG:      make([]arb.BitArbiter, k),
 		owner:      newVCOwnerTable(k, v),
 		outFree:    make([]serializer, k),
 		toXp:       sim.NewDelayLine[*flit.Flit](cfg.STCycles),
 		ack:        sim.NewDelayLine[xpAck](1),
 		bus:        make([]*creditBus, k),
-		ej:         newEjectQueue(),
-		candidates: make([]bool, k),
+		ej:         newEjectQueue(cfg.STCycles),
+		inOcc:      newActiveSet(k),
+		rowAct:     make([]*activeSet, k),
+		rowAny:     newActiveSet(k),
+		colAct:     make([]*activeSet, k),
+		outAct:     newActiveSet(k),
+		candidates: arb.NewBitVec(k),
+		vcReq:      arb.NewBitVec(v),
 	}
 	for i := 0; i < k; i++ {
+		r.rowAct[i] = newActiveSet(k)
+		r.colAct[i] = newActiveSet(k)
 		r.in[i] = make([]*inputVC, v)
 		for c := 0; c < v; c++ {
 			r.in[i][c] = newInputVC(cfg.InputBufDepth)
@@ -76,10 +97,25 @@ func newSharedXpoint(cfg Config) *sharedXpoint {
 			r.credit[i][o] = cfg.XpointBufDepth
 			r.xp[i][o] = sim.NewQueue[*flit.Flit](cfg.XpointBufDepth)
 		}
-		r.outLG[i] = arb.NewOutputArbiter(k, cfg.LocalGroup)
+		r.outLG[i] = arb.NewBitOutputArbiter(k, cfg.LocalGroup)
 		r.bus[i] = newCreditBus(k, cfg.LocalGroup)
 	}
 	return r
+}
+
+// xpPushed/xpPopped keep the four crosspoint-occupancy views in sync.
+func (r *sharedXpoint) xpPushed(i, o int) {
+	r.rowAct[i].inc(o)
+	r.rowAny.inc(i)
+	r.colAct[o].inc(i)
+	r.outAct.inc(o)
+}
+
+func (r *sharedXpoint) xpPopped(i, o int) {
+	r.rowAct[i].dec(o)
+	r.rowAny.dec(i)
+	r.colAct[o].dec(i)
+	r.outAct.dec(o)
 }
 
 func (r *sharedXpoint) Config() Config { return r.cfg }
@@ -89,6 +125,7 @@ func (r *sharedXpoint) CanAccept(input, vc int) bool { return !r.in[input][vc].q
 func (r *sharedXpoint) Accept(now int64, f *flit.Flit) {
 	f.InjectedAt = now
 	r.in[f.Src][f.VC].q.MustPush(f)
+	r.inOcc.inc(f.Src)
 	r.cfg.observe(Event{Cycle: now, Kind: EvAccept, Flit: f, Input: f.Src, Output: f.Dst, VC: f.VC})
 }
 
@@ -128,21 +165,23 @@ func (r *sharedXpoint) inflightXpOnly() int {
 
 func (r *sharedXpoint) Step(now int64) {
 	r.ejected = r.ejected[:0]
-	r.ej.drain(now, func(e ejection) {
-		if e.f.Tail {
-			r.owner.release(e.port, e.f.VC, e.f.PacketID)
+	r.ej.drain(now, func(port int, f *flit.Flit) {
+		if f.Tail {
+			r.owner.release(port, f.VC, f.PacketID)
 		}
-		r.cfg.observe(Event{Cycle: now, Kind: EvEject, Flit: e.f, Input: e.f.Src, Output: e.port, VC: e.f.VC})
-		r.ejected = append(r.ejected, e.f)
+		r.cfg.observe(Event{Cycle: now, Kind: EvEject, Flit: f, Input: f.Src, Output: port, VC: f.VC})
+		r.ejected = append(r.ejected, f)
 	})
 	r.ack.DrainReady(now, func(a xpAck) {
 		r.awaiting[a.input][a.vc] = false
 		if a.ack {
 			r.in[a.input][a.vc].q.MustPop()
+			r.inOcc.dec(a.input)
 		}
 	})
 	r.toXp.DrainReady(now, func(f *flit.Flit) {
 		r.xp[f.Src][f.Dst].MustPush(f)
+		r.xpPushed(f.Src, f.Dst)
 		if !f.Head {
 			// Body and tail flits cannot fail VC allocation; ACK on
 			// arrival so the input can proceed.
@@ -168,15 +207,18 @@ func (r *sharedXpoint) Step(now int64) {
 // crosspoint buffer while their output VC is busy — the flit must not
 // wait there (Section 5.4), so it is dropped and the input re-sends.
 func (r *sharedXpoint) nackBlockedHeads(now int64) {
-	k := r.cfg.Radix
-	for i := 0; i < k; i++ {
-		for o := 0; o < k; o++ {
+	// The row-major (input-outer) walk matches the original dense scan so
+	// NACK events keep their observed order.
+	for i := r.rowAny.next(0); i >= 0; i = r.rowAny.next(i + 1) {
+		row := r.rowAct[i]
+		for o := row.next(0); o >= 0; o = row.next(o + 1) {
 			f, ok := r.xp[i][o].Peek()
 			if !ok || !f.Head {
 				continue
 			}
 			if !r.owner.freeVC(o, f.VC) {
 				r.xp[i][o].MustPop()
+				r.xpPopped(i, o)
 				r.cfg.observe(Event{Cycle: now, Kind: EvNack, Flit: f, Input: i, Output: o, VC: f.VC, Note: "xpoint-vc-busy"})
 				r.ack.Push(now, xpAck{input: i, vc: f.VC, ack: false})
 				r.returnCredit(now, i, o)
@@ -196,25 +238,27 @@ func (r *sharedXpoint) returnCredit(now int64, i, o int) {
 }
 
 func (r *sharedXpoint) outputStage(now int64) {
-	k := r.cfg.Radix
-	st := int64(r.cfg.STCycles)
-	for o := 0; o < k; o++ {
+	for o := r.outAct.next(0); o >= 0; o = r.outAct.next(o + 1) {
 		if !r.outFree[o].free(now) {
 			continue
 		}
+		r.candidates.Reset()
 		any := false
-		for i := 0; i < k; i++ {
+		col := r.colAct[o]
+		for i := col.next(0); i >= 0; i = col.next(i + 1) {
 			f, ok := r.xp[i][o].Peek()
-			eligible := ok && (!f.Head && r.owner.ownedBy(o, f.VC, f.PacketID) ||
-				f.Head && r.owner.freeVC(o, f.VC))
-			r.candidates[i] = eligible
-			any = any || eligible
+			if ok && (!f.Head && r.owner.ownedBy(o, f.VC, f.PacketID) ||
+				f.Head && r.owner.freeVC(o, f.VC)) {
+				r.candidates.Set(i)
+				any = true
+			}
 		}
 		if !any {
 			continue
 		}
-		win := r.outLG[o].Arbitrate(r.candidates)
+		win := r.outLG[o].ArbitrateBits(r.candidates)
 		f := r.xp[win][o].MustPop()
+		r.xpPopped(win, o)
 		r.cfg.observe(Event{Cycle: now, Kind: EvGrant, Flit: f, Input: win, Output: o, VC: f.VC, Note: "output"})
 		if f.Head {
 			r.owner.acquire(o, f.VC, f.PacketID)
@@ -223,28 +267,30 @@ func (r *sharedXpoint) outputStage(now int64) {
 			r.ack.Push(now, xpAck{input: win, vc: f.VC, ack: true})
 		}
 		r.outFree[o].reserve(now, r.cfg.STCycles)
-		r.ej.push(now+st, o, f)
+		r.ej.push(now, o, f)
 		r.returnCredit(now, win, o)
 	}
 }
 
 func (r *sharedXpoint) inputStage(now int64) {
-	k, v := r.cfg.Radix, r.cfg.VCs
-	req := make([]bool, v)
-	for i := 0; i < k; i++ {
+	v := r.cfg.VCs
+	for i := r.inOcc.next(0); i >= 0; i = r.inOcc.next(i + 1) {
 		if !r.inFree[i].free(now) {
 			continue
 		}
+		r.vcReq.Reset()
 		any := false
 		for c := 0; c < v; c++ {
 			f, ok := r.in[i][c].front()
-			req[c] = ok && !r.awaiting[i][c] && now > f.InjectedAt && r.credit[i][f.Dst] > 0
-			any = any || req[c]
+			if ok && !r.awaiting[i][c] && now > f.InjectedAt && r.credit[i][f.Dst] > 0 {
+				r.vcReq.Set(c)
+				any = true
+			}
 		}
 		if !any {
 			continue
 		}
-		c := r.inputArb[i].Arbitrate(req)
+		c := r.inputArb[i].ArbitrateBits(r.vcReq)
 		f, _ := r.in[i][c].front()
 		r.credit[i][f.Dst]--
 		r.cfg.observe(Event{Cycle: now, Kind: EvCredit, Input: i, Output: f.Dst,

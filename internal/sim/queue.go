@@ -58,7 +58,13 @@ func (q *Queue[T]) Push(v T) bool {
 	if q.size == len(q.buf) {
 		q.grow()
 	}
-	q.buf[(q.head+q.size)%len(q.buf)] = v
+	// head+size < 2*len always holds, so a compare-and-subtract wraps
+	// the ring without the integer division of a modulo.
+	idx := q.head + q.size
+	if idx >= len(q.buf) {
+		idx -= len(q.buf)
+	}
+	q.buf[idx] = v
 	q.size++
 	return true
 }
@@ -96,7 +102,10 @@ func (q *Queue[T]) Pop() (v T, ok bool) {
 	}
 	v = q.buf[q.head]
 	q.buf[q.head] = q.zeroT
-	q.head = (q.head + 1) % len(q.buf)
+	q.head++
+	if q.head == len(q.buf) {
+		q.head = 0
+	}
 	q.size--
 	return v, true
 }

@@ -108,13 +108,29 @@ type Result struct {
 // source is the injection machinery in front of one router input: an
 // unbounded generation queue, a flit-serialized injection channel, and
 // per-packet VC assignment.
+// srcFlit pairs a queued flit with its Head bit so the per-cycle
+// injection scan tests packet boundaries from the queue's own (warm)
+// ring buffer instead of dereferencing a possibly cold flit.
+type srcFlit struct {
+	f    *flit.Flit
+	head bool
+}
+
 type source struct {
-	q       *sim.Queue[*flit.Flit]
+	// q is embedded by value so the per-cycle injection scan peeks the
+	// ring buffer without an extra dereference.
+	q       sim.Queue[srcFlit]
 	injFree int64 // cycle the injection channel frees
 	curVC   int   // VC of the packet currently crossing the channel
 	vcPtr   int   // rotating VC assignment pointer
 	proc    traffic.Process
 	rng     *sim.RNG
+}
+
+// push enqueues f, capturing its Head bit while the flit is still warm
+// from creation.
+func (s *source) push(f *flit.Flit) {
+	s.q.MustPush(srcFlit{f: f, head: f.Head})
 }
 
 // Run executes one simulation and returns its measurements.
@@ -162,10 +178,15 @@ func Run(o Options) (Result, error) {
 	// steady-state hot path allocates nothing.
 	fl := flit.NewFreeList()
 	pattern := o.Pattern
-	srcs := make([]*source, k)
+	// Sources live in one value slice: the two per-cycle scans below
+	// walk them contiguously instead of chasing a pointer per source.
+	srcs := make([]source, k)
 	var markovs []*traffic.MarkovOnOff
 	for i := range srcs {
-		s := &source{q: sim.NewQueue[*flit.Flit](0), curVC: -1, rng: master.Split()}
+		s := &srcs[i]
+		s.q = *sim.NewQueue[srcFlit](0)
+		s.curVC = -1
+		s.rng = master.Split()
 		if o.Bursty {
 			m := traffic.NewMarkovOnOff(pktRate, o.BurstLen)
 			markovs = append(markovs, m)
@@ -173,7 +194,6 @@ func Run(o Options) (Result, error) {
 		} else {
 			s.proc = traffic.NewBernoulli(pktRate)
 		}
-		srcs[i] = s
 	}
 	if pattern == nil {
 		pattern = traffic.NewUniform(k)
@@ -206,7 +226,7 @@ func Run(o Options) (Result, error) {
 			for _, e := range o.Trace.Due(now) {
 				pktID++
 				for _, f := range fl.MakePacket(pktID, e.Src, e.Dst, 0, e.Len, now, measuring) {
-					srcs[e.Src].q.MustPush(f)
+					srcs[e.Src].push(f)
 				}
 				genFlits += int64(e.Len)
 				if measuring {
@@ -216,14 +236,15 @@ func Run(o Options) (Result, error) {
 		} else if !o.Check || now < measEnd {
 			// A checked run stops injecting at the end of the window so
 			// the router drains to empty and conservation can be audited.
-			for i, s := range srcs {
+			for i := range srcs {
+				s := &srcs[i]
 				if !s.proc.Inject(s.rng) {
 					continue
 				}
 				dst := pattern.Dest(i, s.rng)
 				pktID++
 				for _, f := range fl.MakePacket(pktID, i, dst, 0, o.PktLen, now, measuring) {
-					s.q.MustPush(f)
+					s.push(f)
 				}
 				genFlits += int64(o.PktLen)
 				if measuring {
@@ -232,18 +253,22 @@ func Run(o Options) (Result, error) {
 			}
 		}
 		// Move flits across the injection channels into input buffers.
-		for i, s := range srcs {
+		for i := range srcs {
+			s := &srcs[i]
 			if s.injFree > now {
 				continue
 			}
-			f, ok := s.q.Peek()
+			sf, ok := s.q.Peek()
 			if !ok {
 				continue
 			}
-			if f.Head {
+			if sf.head {
 				if s.curVC < 0 {
 					for t := 0; t < v; t++ {
-						vc := (s.vcPtr + t) % v
+						vc := s.vcPtr + t
+						if vc >= v {
+							vc -= v
+						}
 						if r.CanAccept(i, vc) {
 							s.curVC = vc
 							break
@@ -253,13 +278,14 @@ func Run(o Options) (Result, error) {
 				if s.curVC < 0 {
 					continue
 				}
+				if !r.CanAccept(i, s.curVC) {
+					continue
+				}
 			} else if !r.CanAccept(i, s.curVC) {
 				continue
 			}
-			if f.Head && !r.CanAccept(i, s.curVC) {
-				continue
-			}
 			s.q.MustPop()
+			f := sf.f
 			f.VC = s.curVC
 			r.Accept(now, f)
 			s.injFree = now + int64(st)
