@@ -134,24 +134,18 @@ func New(cfg router.Config, opt Options) *Checker {
 	if opt.WatchdogCycles <= 0 {
 		opt.WatchdogCycles = defaultWatchdog
 	}
+	tr := cfg.Traits()
 	c := &Checker{
 		cfg:       cfg,
 		opt:       opt,
 		fl:        newFlow(),
-		exact:     cfg.Arch != router.ArchSharedXpoint,
+		exact:     tr.ExactInFlight,
+		termNote:  tr.TerminalGrantNote,
 		liveIn:    make([]int, cfg.Radix),
 		vcOwner:   make([]uint64, cfg.Radix*cfg.VCs),
 		lastEject: make([]int64, cfg.Radix),
 		lastGrant: make([]int64, cfg.Radix),
 		pools:     make(map[poolKey]*pool),
-	}
-	switch cfg.Arch {
-	case router.ArchBuffered, router.ArchSharedXpoint:
-		c.termNote = "output"
-	case router.ArchHierarchical:
-		c.termNote = "column"
-	default: // lowradix, baseline
-		c.termNote = "switch"
 	}
 	const never = -1 << 40
 	for i := range c.lastEject {

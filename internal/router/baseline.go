@@ -2,7 +2,7 @@ package router
 
 import (
 	"highradix/internal/arb"
-	"highradix/internal/flit"
+	"highradix/internal/router/core"
 )
 
 // Pipeline timing of the distributed allocator (Figure 7(b-c)). A
@@ -47,7 +47,7 @@ type blOutput struct {
 	lg      arb.BitArbiter
 	dual    *arb.Dual
 	vcPtr   []int // CVA per-output-VC rotating pointer over inputs
-	free    serializer
+	free    core.Serializer
 
 	// Request bitsets maintained incrementally as requests arrive and
 	// leave, so an arbitration round reads them directly instead of
@@ -80,53 +80,43 @@ type blOutput struct {
 // collapses).
 const reqTimeout = 8
 
+// blInput gathers all per-input request-line state into one small
+// struct so the SA1 scan touches one cache line per input instead of
+// five parallel arrays. Whether the request line is outstanding lives
+// in the input bank, which folds it into the issuable set.
+type blInput struct {
+	issuedAt int64
+	freeAt   int64 // input-port serializer: busy until this cycle
+	reqOut   int32 // output targeted by the outstanding request
+	reqAt    int32 // index of the input's request in that output's pending slice
+}
+
 // baseline is the Section 4 high-radix router: an unbuffered crossbar
 // with the three-stage distributed switch allocator and speculative
 // virtual-channel allocation (CVA or OVA). Optionally the output
 // arbiters are duplicated to prioritize nonspeculative requests
 // (Section 4.4, Figure 10(b)).
-// blInput gathers all per-input request-line state into one small
-// struct so the SA1 scan touches one cache line per input instead of
-// five parallel arrays.
-type blInput struct {
-	issuedAt    int64
-	freeAt      int64 // input-port serializer: busy until this cycle
-	reqOut      int32 // output targeted by the outstanding request
-	reqAt       int32 // index of the input's request in that output's pending slice
-	outstanding bool  // one request line per input
-}
-
 type baseline struct {
 	cfg Config
+	core.Base
 
-	in       []inputVC // flat [input*VCs+vc]
 	ins      []blInput
 	inputArb []arb.RoundRobin // by value: SA1 reads no per-input pointer
 
-	outs  []blOutput // by value: one contiguous block, no per-output pointer chase
-	owner *vcOwnerTable
+	outs []blOutput // by value: one contiguous block, no per-output pointer chase
 
 	// Request and grant wires as per-cycle slot rings: items pushed at
 	// cycle t land in slot t mod (delay+1) and are due when the ring
 	// wraps back, i.e. slot (now+1) mod (delay+1). Pushes and the drain
-	// of a given cycle always hit different slots, and like ejectQueue
-	// the rings rely on Step advancing one cycle at a time.
+	// of a given cycle always hit different slots, and like the ejection
+	// pipe the rings rely on Step advancing one cycle at a time.
 	reqSlots  [reqWireDelay + 1][]blRequest
 	respSlots [grantWireDelay + 1][]blResponse
 
-	ej      *ejectQueue
-	ejected []*flit.Flit
-
-	// Active sets: inputs holding buffered flits and outputs holding
-	// pending requests. Idle ports cost zero work per cycle.
-	inOcc      activeSet
+	// outPending tracks outputs holding pending requests; idle outputs
+	// cost zero work per cycle. The matching input-side sets (occupied,
+	// issuable) live in the input bank.
 	outPending arb.BitVec
-	// issuable holds exactly the SA1 candidates: inputs that are
-	// occupied and have no outstanding request. Maintained at every
-	// transition (accept into an input, issue, grant, NACK, timeout
-	// withdrawal), so the issue scan skips inputs that are merely
-	// waiting on a response.
-	issuable arb.BitVec
 	// withdrawAt is a slot ring over input indices: an input issuing at
 	// cycle t is examined for timeout withdrawal exactly at
 	// t+reqTimeout. One examination suffices — while the request is
@@ -137,68 +127,24 @@ type baseline struct {
 	// scanned. Entries are validated against issuedAt so stale entries
 	// from a withdrawn-and-reissued request are ignored.
 	withdrawAt [reqTimeout + 1][]int32
-	// full[i] has bit c set while input buffer (i,c) is at capacity;
-	// CanAccept becomes one word test instead of a queue-struct load
-	// (VC counts above 64 are rejected by Config.Validate).
-	full []uint64
 
 	anyReq arb.BitVec // scratch: nonspec|spec union for unprioritized arbitration
 	// perVCWinner[ov] is the input winning output VC ov's crosspoint
 	// arbiter this round (CVA only), or -1.
 	perVCWinner []int
-	// front[i*v+c] caches the fields of the front flit of input VC
-	// (i,c) that SA1 reads every cycle, so the eligibility scan and
-	// request construction touch one flat table instead of dereferencing
-	// every queue head every round. Maintained at the only two places
-	// the front can change: Accept (push into an empty buffer) and the
-	// grant pop in processResponses.
-	front []blFront
 }
-
-// blFront is the cached head-of-line state of one input VC, plus the
-// VC's slice of allocator state (outVC, rot), so the SA1 scan and
-// request construction read one flat table and never touch the buffer
-// structs. The head-of-line fields are refreshed wherever the front
-// flit changes (Accept into an empty buffer, the grant pop in
-// processResponses); outVC and rot persist across those refreshes.
-type blFront struct {
-	inj   int64 // InjectedAt, or frontInjNone when the buffer is empty
-	pkt   uint64
-	dst   int32
-	outVC int16 // allocated output VC of the head packet; -1 = none
-	rot   uint8 // rotating speculative output-VC choice (Section 4.4)
-	head  bool
-}
-
-// frontInjNone marks an empty input VC in the front cache; it is far
-// enough in the future that the `now > InjectedAt` eligibility test
-// always fails.
-const frontInjNone = int64(1) << 62
 
 func newBaseline(cfg Config) *baseline {
 	k, v := cfg.Radix, cfg.VCs
 	r := &baseline{
 		cfg:         cfg,
-		in:          make([]inputVC, k*v),
+		Base:        core.MakeBase(core.Obs{O: cfg.Observer}, k, v, cfg.InputBufDepth, stStartDelay+cfg.STCycles-1),
 		ins:         make([]blInput, k),
 		inputArb:    make([]arb.RoundRobin, k),
 		outs:        make([]blOutput, k),
-		owner:       newVCOwnerTable(k, v),
-		ej:          newEjectQueue(stStartDelay + cfg.STCycles - 1),
-		inOcc:       makeActiveSet(k),
 		outPending:  arb.MakeBitVec(k),
-		issuable:    arb.MakeBitVec(k),
-		full:        make([]uint64, k),
 		anyReq:      arb.MakeBitVec(k),
 		perVCWinner: make([]int, v),
-		front:       make([]blFront, k*v),
-	}
-	for i := range r.front {
-		r.front[i].inj = frontInjNone
-		r.front[i].outVC = -1
-	}
-	for i := range r.in {
-		r.in[i].init(cfg.InputBufDepth)
 	}
 	for i := 0; i < k; i++ {
 		r.inputArb[i] = *arb.NewRoundRobin(v)
@@ -221,49 +167,15 @@ func newBaseline(cfg Config) *baseline {
 
 func (r *baseline) Config() Config { return r.cfg }
 
-func (r *baseline) CanAccept(input, vc int) bool {
-	return r.full[input]>>uint(vc)&1 == 0
-}
-
-func (r *baseline) Accept(now int64, f *flit.Flit) {
-	f.InjectedAt = now
-	idx := f.Src*r.cfg.VCs + f.VC
-	q := &r.in[idx].q
-	q.MustPush(f)
-	if q.Full() {
-		r.full[f.Src] |= 1 << uint(f.VC)
-	}
-	if q.Len() == 1 {
-		fr := &r.front[idx]
-		fr.inj, fr.pkt, fr.dst, fr.head = now, f.PacketID, int32(f.Dst), f.Head
-	}
-	r.inOcc.inc(f.Src)
-	if !r.ins[f.Src].outstanding {
-		r.issuable.Set(f.Src)
-	}
-	r.cfg.observe(Event{Cycle: now, Kind: EvAccept, Flit: f, Input: f.Src, Output: f.Dst, VC: f.VC})
-}
-
-func (r *baseline) Ejected() []*flit.Flit { return r.ejected }
-
-func (r *baseline) InFlight() int {
-	n := r.ej.len()
-	for i := range r.in {
-		n += r.in[i].q.Len()
-	}
-	return n
-}
-
 func (r *baseline) Step(now int64) {
-	r.ejected = r.ejected[:0]
-	r.ej.drain(now, func(port int, f *flit.Flit) {
+	r.BeginCycle(now)
+	for _, f := range r.Out.Ejected() {
+		// The ejection pipe released the output VC at the tail; flag the
+		// output so the speculative NACK scan re-checks VC state.
 		if f.Tail {
-			r.owner.release(port, f.VC, f.PacketID)
-			r.outs[port].vcDirty = true
+			r.outs[f.Dst].vcDirty = true
 		}
-		r.cfg.observe(Event{Cycle: now, Kind: EvEject, Flit: f, Input: f.Src, Output: port, VC: f.VC})
-		r.ejected = append(r.ejected, f)
-	})
+	}
 	r.processResponses(now)
 	r.deliverRequests(now)
 	r.arbitrateOutputs(now)
@@ -287,44 +199,32 @@ func (r *baseline) processResponses(now int64) {
 	r.respSlots[slot] = due[:0]
 	for _, resp := range due {
 		in, c := int(resp.input), int(resp.vc)
-		r.ins[in].outstanding = false
-		idx := in*r.cfg.VCs + c
-		fr := &r.front[idx]
+		// The request resolved; the input re-enters the issuable set (it
+		// still holds at least the flit that bid).
+		r.In.ClearOutstanding(in)
+		fr := r.In.Front(in, c)
 		if !resp.grant {
 			// Failed speculation: rotate the output-VC choice so the
-			// re-bid eventually finds a free VC (Section 4.4). The input
-			// still holds the flit that bid, so it is issuable again.
-			fr.rot++
-			if int(fr.rot) >= r.cfg.VCs {
-				fr.rot = 0
+			// re-bid eventually finds a free VC (Section 4.4).
+			fr.Rot++
+			if int(fr.Rot) >= r.cfg.VCs {
+				fr.Rot = 0
 			}
-			r.issuable.Set(in)
 			continue
 		}
-		ivc := &r.in[idx]
-		f := ivc.q.MustPop()
-		r.full[in] &^= 1 << uint(c)
-		if nf, ok := ivc.q.Peek(); ok {
-			fr.inj, fr.pkt, fr.dst, fr.head = nf.InjectedAt, nf.PacketID, int32(nf.Dst), nf.Head
-		} else {
-			fr.inj = frontInjNone
-		}
-		r.inOcc.dec(in)
-		if r.inOcc.count[in] > 0 {
-			r.issuable.Set(in)
-		}
+		f := r.In.Pop(in, c)
 		f.VC = int(resp.outVC)
 		if f.Head {
-			fr.outVC = int16(f.VC)
+			fr.OutVC = int16(f.VC)
 		}
 		if f.Tail {
-			fr.outVC = -1
+			fr.OutVC = -1
 		}
 		// Traversal occupies cycles now+stStartDelay .. now+stStartDelay+ST-1;
-		// the flit ejects on the final traversal cycle (the eject queue's
-		// fixed delay).
+		// the flit ejects on the final traversal cycle (the ejection
+		// pipe's fixed delay).
 		r.ins[in].freeAt = now + stStartDelay + int64(r.cfg.STCycles)
-		r.ej.push(now, f.Dst, f)
+		r.Out.Push(now, f.Dst, f)
 	}
 }
 
@@ -365,7 +265,7 @@ func (r *baseline) arbitrateOutputs(now int64) {
 	start := now + grantWireDelay + stStartDelay
 	for o := r.outPending.Next(0); o >= 0; o = r.outPending.Next(o + 1) {
 		ou := &r.outs[o]
-		if ou.free.freeAt <= start {
+		if ou.free.FreeAt <= start {
 			r.arbitrateOne(now, o, ou, start)
 		}
 		if r.cfg.VA == CVA && ou.vcDirty {
@@ -387,14 +287,14 @@ func (r *baseline) nackBusySpecs(now int64, o int, ou *blOutput) {
 	}
 	kept := ou.pending[:0]
 	for _, req := range ou.pending {
-		if req.spec && !r.owner.freeVC(o, int(req.outVC)) {
+		if req.spec && !r.Owner.FreeVC(o, int(req.outVC)) {
 			in := int(req.input)
 			ou.spec.Clear(in)
 			ou.specVC[req.outVC].Clear(in)
 			if !ou.specVC[req.outVC].Any() {
 				ou.specVCAny &^= 1 << uint(req.outVC)
 			}
-			r.cfg.observe(Event{Cycle: now, Kind: EvNack, Input: in, Output: o, VC: int(req.outVC), Note: "cva-busy"})
+			r.Obs.Emit(Event{Cycle: now, Kind: EvNack, Input: in, Output: o, VC: int(req.outVC), Note: "cva-busy"})
 			r.pushResp(now, blResponse{input: req.input, vc: req.vc, grant: false})
 			continue
 		}
@@ -423,7 +323,7 @@ func (r *baseline) arbitrateOne(now int64, o int, ou *blOutput, start int64) {
 		// skipped outright; likewise empty per-VC sets via specVCAny.
 		for ov := 0; ov < v; ov++ {
 			best := -1
-			if ou.specVCAny>>uint(ov)&1 != 0 && r.owner.freeVC(o, ov) {
+			if ou.specVCAny>>uint(ov)&1 != 0 && r.Owner.FreeVC(o, ov) {
 				best = ou.specVC[ov].FirstFrom(ou.vcPtr[ov])
 			}
 			perVCWinner[ov] = best
@@ -444,14 +344,14 @@ func (r *baseline) arbitrateOne(now int64, o int, ou *blOutput, start int64) {
 	}
 	req := ou.pending[r.ins[winner].reqAt]
 	if req.spec {
-		if r.cfg.VA == OVA && !r.owner.freeVC(o, int(req.outVC)) {
+		if r.cfg.VA == OVA && !r.Owner.FreeVC(o, int(req.outVC)) {
 			// Deep speculation failed after the switch was allocated:
 			// the allocation round is wasted and the failure is only
 			// discovered after the grant has crossed back (Figure 7(c)),
 			// so the output cannot re-arbitrate until then.
-			ou.free.freeAt = now + grantWireDelay + stStartDelay
+			ou.free.FreeAt = now + grantWireDelay + stStartDelay
 			r.removePending(ou, int(r.ins[winner].reqAt))
-			r.cfg.observe(Event{Cycle: now, Kind: EvNack, Input: int(req.input), Output: o, VC: int(req.outVC), Note: "ova-busy"})
+			r.Obs.Emit(Event{Cycle: now, Kind: EvNack, Input: int(req.input), Output: o, VC: int(req.outVC), Note: "ova-busy"})
 			r.pushResp(now, blResponse{input: req.input, vc: req.vc, grant: false})
 			return
 		}
@@ -461,18 +361,18 @@ func (r *baseline) arbitrateOne(now int64, o int, ou *blOutput, start int64) {
 			// busy (the request is NACKed by nackBusySpecs this cycle)
 			// or it lost the per-VC tie-break (it stays pending). Either
 			// way the switch round is wasted (Figure 8(a)).
-			r.cfg.observe(Event{Cycle: now, Kind: EvNack, Input: int(req.input), Output: o, VC: int(req.outVC), Note: "cva-lost-vc-arb"})
+			r.Obs.Emit(Event{Cycle: now, Kind: EvNack, Input: int(req.input), Output: o, VC: int(req.outVC), Note: "cva-lost-vc-arb"})
 			return
 		}
-		r.owner.acquire(o, int(req.outVC), req.pkt)
+		r.Owner.Acquire(o, int(req.outVC), req.pkt)
 		ou.vcDirty = true
 		if r.cfg.VA == CVA {
 			ou.vcPtr[req.outVC] = (int(req.input) + 1) % k
 		}
 	}
 	r.removePending(ou, int(r.ins[winner].reqAt))
-	ou.free.freeAt = start + int64(r.cfg.STCycles)
-	r.cfg.observe(Event{Cycle: now, Kind: EvGrant, Input: int(req.input), Output: o, VC: int(req.outVC), Note: "switch"})
+	ou.free.FreeAt = start + int64(r.cfg.STCycles)
+	r.Obs.Emit(Event{Cycle: now, Kind: EvGrant, Input: int(req.input), Output: o, VC: int(req.outVC), Note: "switch"})
 	r.pushResp(now, blResponse{input: req.input, vc: req.vc, grant: true, outVC: req.outVC})
 }
 
@@ -516,14 +416,13 @@ func (r *baseline) issueRequests(now int64) {
 	for _, i32 := range r.withdrawAt[wdrain] {
 		i := int(i32)
 		st := &r.ins[i]
-		if !st.outstanding || st.issuedAt != now-reqTimeout {
+		if !r.In.Outstanding(i) || st.issuedAt != now-reqTimeout {
 			continue
 		}
 		ou := &r.outs[st.reqOut]
 		if idx := int(st.reqAt); idx < len(ou.pending) && int(ou.pending[idx].input) == i {
 			r.removePending(ou, idx)
-			st.outstanding = false
-			r.issuable.Set(i)
+			r.In.ClearOutstanding(i)
 		}
 		if len(ou.pending) == 0 {
 			r.outPending.Clear(int(st.reqOut))
@@ -531,15 +430,15 @@ func (r *baseline) issueRequests(now int64) {
 	}
 	r.withdrawAt[wdrain] = r.withdrawAt[wdrain][:0]
 	wpush := &r.withdrawAt[now%int64(len(r.withdrawAt))]
-	for i := r.issuable.Next(0); i >= 0; i = r.issuable.Next(i + 1) {
+	for i := r.In.NextIssuable(0); i >= 0; i = r.In.NextIssuable(i + 1) {
 		st := &r.ins[i]
 		if st.freeAt > horizon {
 			continue
 		}
 		var w uint64
-		fronts := r.front[i*v : i*v+v]
+		fronts := r.In.Fronts(i)
 		for c := 0; c < v; c++ {
-			if now > fronts[c].inj {
+			if now > fronts[c].Inj {
 				w |= 1 << uint(c)
 			}
 		}
@@ -548,24 +447,23 @@ func (r *baseline) issueRequests(now int64) {
 		}
 		c := r.inputArb[i].ArbitrateWord(w)
 		fm := &fronts[c]
-		breq := blRequest{input: int32(i), vc: int32(c), out: fm.dst, pkt: fm.pkt}
-		if fm.head && fm.outVC < 0 {
+		breq := blRequest{input: int32(i), vc: int32(c), out: fm.Dst, pkt: fm.Pkt}
+		if fm.Head && fm.OutVC < 0 {
 			breq.spec = true
 			switch r.cfg.SpecPolicy {
 			case SpecFixed:
 				breq.outVC = 0
 			case SpecHash:
-				breq.outVC = int32(int(fm.pkt) % v)
+				breq.outVC = int32(int(fm.Pkt) % v)
 			default: // SpecRotate: adapt after every NACK (Section 4.4)
-				breq.outVC = int32(int(fm.rot) % v)
+				breq.outVC = int32(int(fm.Rot) % v)
 			}
 		} else {
-			breq.outVC = int32(fm.outVC)
+			breq.outVC = int32(fm.OutVC)
 		}
-		st.outstanding = true
+		r.In.MarkOutstanding(i)
 		st.issuedAt = now
 		st.reqOut = breq.out
-		r.issuable.Clear(i)
 		*wpush = append(*wpush, int32(i))
 		*reqSlot = append(*reqSlot, breq)
 	}

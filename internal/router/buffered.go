@@ -3,6 +3,7 @@ package router
 import (
 	"highradix/internal/arb"
 	"highradix/internal/flit"
+	"highradix/internal/router/core"
 	"highradix/internal/sim"
 )
 
@@ -22,32 +23,30 @@ import (
 // Config.IdealCredit asks for the idealized immediate return.
 type buffered struct {
 	cfg Config
+	core.Base
 
-	in       [][]*inputVC
-	inFree   []serializer
+	inFree   core.SerializerBank
 	inputArb []*arb.RoundRobin
 
-	credit  [][][]int                    // [input][output][vc] free slots seen by input
+	credit  core.Ledger                  // pools flat [(input*k+output)*v+vc]
 	xp      [][][]*sim.Queue[*flit.Flit] // [input][output][vc]
 	xpArb   [][]*arb.RoundRobin          // [input][output] over VCs
 	outLG   []arb.BitArbiter             // per output over crosspoints (inputs)
-	owner   *vcOwnerTable
-	outFree []serializer
+	outFree core.SerializerBank
 
 	toXp *sim.DelayLine[*flit.Flit]
-	bus  []*creditBus // per input row
+	bus  []*core.CreditBus // per input row
 
-	ej      *ejectQueue
-	ejected []*flit.Flit
-
-	// Active sets: inputs with buffered flits, and per output the
-	// crosspoints (inputs) with occupied buffers; outAct summarizes
-	// which outputs have any crosspoint occupancy at all. The output
-	// stage walks only occupied crosspoints instead of the full k x k
-	// grid every cycle.
-	inOcc  *activeSet
-	xpAct  []*activeSet // [output] over inputs
-	outAct *activeSet   // outputs with occupied crosspoints
+	// Active sets: per output the crosspoints (inputs) with occupied
+	// buffers; outAct summarizes which outputs have any crosspoint
+	// occupancy at all. The output stage walks only occupied crosspoints
+	// instead of the full k x k grid every cycle. The input-side set
+	// lives in the input bank.
+	xpAct  []*core.ActiveSet // [output] over inputs
+	outAct *core.ActiveSet   // outputs with occupied crosspoints
+	// xpFlits counts flits across all crosspoint buffers, maintained as
+	// flits land and drain so InFlight never walks the grid.
+	xpFlits int
 
 	candidates *arb.BitVec // sized k: output-stage crosspoint candidates
 	vcReq      *arb.BitVec // sized v: per-crosspoint / per-input VC requests
@@ -56,104 +55,69 @@ type buffered struct {
 
 func newBuffered(cfg Config) *buffered {
 	k, v := cfg.Radix, cfg.VCs
+	obs := core.Obs{O: cfg.Observer}
 	r := &buffered{
 		cfg:        cfg,
-		in:         make([][]*inputVC, k),
-		inFree:     make([]serializer, k),
+		Base:       core.MakeBase(obs, k, v, cfg.InputBufDepth, cfg.STCycles),
+		inFree:     core.NewSerializerBank(k),
 		inputArb:   make([]*arb.RoundRobin, k),
-		credit:     make([][][]int, k),
+		credit:     core.MakeLedger(obs, "xpoint", k*k*v, cfg.XpointBufDepth),
 		xp:         make([][][]*sim.Queue[*flit.Flit], k),
 		xpArb:      make([][]*arb.RoundRobin, k),
 		outLG:      make([]arb.BitArbiter, k),
-		owner:      newVCOwnerTable(k, v),
-		outFree:    make([]serializer, k),
+		outFree:    core.NewSerializerBank(k),
 		toXp:       sim.NewDelayLine[*flit.Flit](cfg.STCycles),
-		bus:        make([]*creditBus, k),
-		ej:         newEjectQueue(cfg.STCycles),
-		inOcc:      newActiveSet(k),
-		xpAct:      make([]*activeSet, k),
-		outAct:     newActiveSet(k),
+		bus:        make([]*core.CreditBus, k),
+		xpAct:      make([]*core.ActiveSet, k),
+		outAct:     core.NewActiveSet(k),
 		candidates: arb.NewBitVec(k),
 		vcReq:      arb.NewBitVec(v),
 		chosenVC:   make([]int, k),
 	}
 	for i := 0; i < k; i++ {
-		r.xpAct[i] = newActiveSet(k)
-		r.in[i] = make([]*inputVC, v)
-		for c := 0; c < v; c++ {
-			r.in[i][c] = newInputVC(cfg.InputBufDepth)
-		}
+		r.xpAct[i] = core.NewActiveSet(k)
 		r.inputArb[i] = arb.NewRoundRobin(v)
-		r.credit[i] = make([][]int, k)
 		r.xp[i] = make([][]*sim.Queue[*flit.Flit], k)
 		r.xpArb[i] = make([]*arb.RoundRobin, k)
 		for o := 0; o < k; o++ {
-			r.credit[i][o] = make([]int, v)
 			r.xp[i][o] = make([]*sim.Queue[*flit.Flit], v)
 			for c := 0; c < v; c++ {
-				r.credit[i][o][c] = cfg.XpointBufDepth
 				r.xp[i][o][c] = sim.NewQueue[*flit.Flit](cfg.XpointBufDepth)
 			}
 			r.xpArb[i][o] = arb.NewRoundRobin(v)
 		}
 		r.outLG[i] = arb.NewBitOutputArbiter(k, cfg.LocalGroup)
-		r.bus[i] = newCreditBus(k, cfg.LocalGroup)
+		r.bus[i] = core.NewCreditBus(k, cfg.LocalGroup)
 	}
 	return r
 }
 
 func (r *buffered) Config() Config { return r.cfg }
 
-func (r *buffered) CanAccept(input, vc int) bool { return !r.in[input][vc].q.Full() }
-
-func (r *buffered) Accept(now int64, f *flit.Flit) {
-	f.InjectedAt = now
-	r.in[f.Src][f.VC].q.MustPush(f)
-	r.inOcc.inc(f.Src)
-	r.cfg.observe(Event{Cycle: now, Kind: EvAccept, Flit: f, Input: f.Src, Output: f.Dst, VC: f.VC})
-}
-
-func (r *buffered) Ejected() []*flit.Flit { return r.ejected }
+// xpPool flattens a crosspoint buffer's (input, output, vc) coordinates
+// into its credit-ledger pool index.
+func (r *buffered) xpPool(i, o, c int) int { return (i*r.cfg.Radix+o)*r.cfg.VCs + c }
 
 func (r *buffered) InFlight() int {
-	n := r.ej.len() + r.toXp.Len()
-	for i := range r.in {
-		for _, v := range r.in[i] {
-			n += v.q.Len()
-		}
-		for o := range r.xp[i] {
-			for _, q := range r.xp[i][o] {
-				n += q.Len()
-			}
-		}
-	}
-	return n
+	return r.In.Buffered() + r.Out.Len() + r.toXp.Len() + r.xpFlits
 }
 
 func (r *buffered) Step(now int64) {
-	r.ejected = r.ejected[:0]
-	r.ej.drain(now, func(port int, f *flit.Flit) {
-		if f.Tail {
-			r.owner.release(port, f.VC, f.PacketID)
-		}
-		r.cfg.observe(Event{Cycle: now, Kind: EvEject, Flit: f, Input: f.Src, Output: port, VC: f.VC})
-		r.ejected = append(r.ejected, f)
-	})
+	r.BeginCycle(now)
 	// Flits land in their crosspoint buffers after traversing the row.
 	r.toXp.DrainReady(now, func(f *flit.Flit) {
 		r.xp[f.Src][f.Dst][f.VC].MustPush(f)
-		r.xpAct[f.Dst].inc(f.Src)
-		r.outAct.inc(f.Dst)
+		r.xpAct[f.Dst].Inc(f.Src)
+		r.outAct.Inc(f.Dst)
+		r.xpFlits++
 	})
 	r.outputStage(now)
 	r.inputStage(now)
 	if !r.cfg.IdealCredit {
 		for i := range r.bus {
 			i := i
-			r.bus[i].step(now, func(output, vc int) {
-				r.credit[i][output][vc]++
-				r.cfg.observe(Event{Cycle: now, Kind: EvCredit, Input: i, Output: output, VC: vc,
-					Note: "xpoint", Delta: +1, Depth: r.cfg.XpointBufDepth})
+			r.bus[i].Step(now, func(output, vc int) {
+				r.credit.Return(now, r.xpPool(i, output, vc), i, output, vc)
 			})
 		}
 	}
@@ -163,18 +127,18 @@ func (r *buffered) Step(now int64) {
 // flit per free output per round.
 func (r *buffered) outputStage(now int64) {
 	v := r.cfg.VCs
-	for o := r.outAct.next(0); o >= 0; o = r.outAct.next(o + 1) {
-		if !r.outFree[o].free(now) {
+	for o := r.outAct.Next(0); o >= 0; o = r.outAct.Next(o + 1) {
+		if !r.outFree.Free(o, now) {
 			continue
 		}
 		r.candidates.Reset()
 		any := false
-		for i := r.xpAct[o].next(0); i >= 0; i = r.xpAct[o].next(i + 1) {
+		for i := r.xpAct[o].Next(0); i >= 0; i = r.xpAct[o].Next(i + 1) {
 			r.vcReq.Reset()
 			hasVC := false
 			for c := 0; c < v; c++ {
 				f, ok := r.xp[i][o][c].Peek()
-				if ok && (f.Head && r.owner.freeVC(o, c) || !f.Head) {
+				if ok && (f.Head && r.Owner.FreeVC(o, c) || !f.Head) {
 					r.vcReq.Set(c)
 					hasVC = true
 				}
@@ -193,20 +157,19 @@ func (r *buffered) outputStage(now int64) {
 		win := r.outLG[o].ArbitrateBits(r.candidates)
 		c := r.chosenVC[win]
 		f := r.xp[win][o][c].MustPop()
-		r.xpAct[o].dec(win)
-		r.outAct.dec(o)
+		r.xpAct[o].Dec(win)
+		r.outAct.Dec(o)
+		r.xpFlits--
 		if f.Head {
-			r.owner.acquire(o, c, f.PacketID)
+			r.Owner.Acquire(o, c, f.PacketID)
 		}
-		r.cfg.observe(Event{Cycle: now, Kind: EvGrant, Flit: f, Input: win, Output: o, VC: c, Note: "output"})
-		r.outFree[o].reserve(now, r.cfg.STCycles)
-		r.ej.push(now, o, f)
+		r.Obs.Emit(Event{Cycle: now, Kind: EvGrant, Flit: f, Input: win, Output: o, VC: c, Note: "output"})
+		r.outFree.Reserve(o, now, r.cfg.STCycles)
+		r.Out.Push(now, o, f)
 		if r.cfg.IdealCredit {
-			r.credit[win][o][c]++
-			r.cfg.observe(Event{Cycle: now, Kind: EvCredit, Input: win, Output: o, VC: c,
-				Note: "xpoint", Delta: +1, Depth: r.cfg.XpointBufDepth})
+			r.credit.Return(now, r.xpPool(win, o, c), win, o, c)
 		} else {
-			r.bus[win].enqueue(o, c)
+			r.bus[win].Enqueue(o, c)
 		}
 	}
 }
@@ -216,15 +179,16 @@ func (r *buffered) outputStage(now int64) {
 // is needed — this is the decoupling that removes head-of-line blocking.
 func (r *buffered) inputStage(now int64) {
 	v := r.cfg.VCs
-	for i := r.inOcc.next(0); i >= 0; i = r.inOcc.next(i + 1) {
-		if !r.inFree[i].free(now) {
+	for i := r.In.NextOccupied(0); i >= 0; i = r.In.NextOccupied(i + 1) {
+		if !r.inFree.Free(i, now) {
 			continue
 		}
 		r.vcReq.Reset()
 		any := false
+		fronts := r.In.Fronts(i)
 		for c := 0; c < v; c++ {
-			f, ok := r.in[i][c].front()
-			if ok && now > f.InjectedAt && r.credit[i][f.Dst][c] > 0 {
+			fr := &fronts[c]
+			if now > fr.Inj && r.credit.Avail(r.xpPool(i, int(fr.Dst), c)) {
 				r.vcReq.Set(c)
 				any = true
 			}
@@ -233,13 +197,10 @@ func (r *buffered) inputStage(now int64) {
 			continue
 		}
 		c := r.inputArb[i].ArbitrateBits(r.vcReq)
-		f := r.in[i][c].q.MustPop()
-		r.inOcc.dec(i)
-		r.credit[i][f.Dst][c]--
-		r.cfg.observe(Event{Cycle: now, Kind: EvCredit, Input: i, Output: f.Dst, VC: c,
-			Note: "xpoint", Delta: -1, Depth: r.cfg.XpointBufDepth})
-		r.inFree[i].reserve(now, r.cfg.STCycles)
-		r.cfg.observe(Event{Cycle: now, Kind: EvGrant, Flit: f, Input: i, Output: f.Dst, VC: c, Note: "input-row"})
+		f := r.In.Pop(i, c)
+		r.credit.Spend(now, r.xpPool(i, f.Dst, c), i, f.Dst, c)
+		r.inFree.Reserve(i, now, r.cfg.STCycles)
+		r.Obs.Emit(Event{Cycle: now, Kind: EvGrant, Flit: f, Input: i, Output: f.Dst, VC: c, Note: "input-row"})
 		r.toXp.Push(now, f)
 	}
 }

@@ -1,0 +1,164 @@
+package router_test
+
+import (
+	"strings"
+	"testing"
+
+	"highradix/internal/router"
+)
+
+// TestConfigValidationEdges drives Validate through the rejection paths
+// one at a time and checks each error names the offending field with its
+// value, so a bad sweep configuration fails with a message that says
+// what to fix.
+func TestConfigValidationEdges(t *testing.T) {
+	cases := []struct {
+		name     string
+		mutate   func(*router.Config)
+		fragment string
+	}{
+		{"radix 1", func(c *router.Config) { c.Radix = 1 }, "radix 1 < 2"},
+		{"negative radix", func(c *router.Config) { c.Radix = -4 }, "radix -4 < 2"},
+		{"negative vcs", func(c *router.Config) { c.VCs = -1 }, "vcs -1 < 1"},
+		{"vcs beyond word", func(c *router.Config) { c.VCs = 65 }, "vcs 65 > 64"},
+		{"negative input depth", func(c *router.Config) { c.InputBufDepth = -1 }, "input buffer depth -1 < 1"},
+		{"negative traversal", func(c *router.Config) { c.STCycles = -4 }, "switch traversal -4 < 1"},
+		{"negative local group", func(c *router.Config) { c.LocalGroup = -8 }, "local group -8 < 1"},
+		{
+			"negative xpoint depth",
+			func(c *router.Config) { c.Arch = router.ArchBuffered; c.XpointBufDepth = -1 },
+			"crosspoint buffer depth -1 < 1",
+		},
+		{
+			"shared xpoint depth",
+			func(c *router.Config) { c.Arch = router.ArchSharedXpoint; c.XpointBufDepth = -2 },
+			"crosspoint buffer depth -2 < 1",
+		},
+		{
+			"non-divisible subswitch",
+			func(c *router.Config) { c.Arch = router.ArchHierarchical; c.SubSize = 7 },
+			"subswitch size 7 must divide radix 64",
+		},
+		{
+			"negative subswitch size",
+			func(c *router.Config) { c.Arch = router.ArchHierarchical; c.SubSize = -8 },
+			"subswitch size -8 must divide radix 64",
+		},
+		{
+			"negative subswitch depths",
+			func(c *router.Config) { c.Arch = router.ArchHierarchical; c.SubInDepth = -2; c.SubOutDepth = -3 },
+			"subswitch buffer depths must be >= 1 (got in=-2 out=-3)",
+		},
+		{
+			"prioritized off-baseline",
+			func(c *router.Config) { c.Arch = router.ArchBuffered; c.Prioritized = true },
+			"prioritized allocation applies only to the baseline",
+		},
+		{"unknown arch", func(c *router.Config) { c.Arch = router.Arch(99) }, "unknown architecture 99"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := router.Config{}.WithDefaults()
+			tc.mutate(&cfg)
+			if _, err := router.New(cfg); err == nil {
+				t.Fatalf("config accepted: %+v", cfg)
+			} else if !strings.Contains(err.Error(), tc.fragment) {
+				t.Fatalf("error %q does not mention %q", err, tc.fragment)
+			}
+		})
+	}
+}
+
+// TestConfigValidationJoinsErrors checks a config broken in several ways
+// reports every problem at once rather than the first found.
+func TestConfigValidationJoinsErrors(t *testing.T) {
+	cfg := router.Config{}.WithDefaults()
+	cfg.Radix = 1
+	cfg.VCs = -3
+	cfg.STCycles = 0
+	err := cfg.Validate()
+	if err == nil {
+		t.Fatal("broken config validated")
+	}
+	for _, fragment := range []string{"radix 1 < 2", "vcs -3 < 1", "switch traversal 0 < 1"} {
+		if !strings.Contains(err.Error(), fragment) {
+			t.Errorf("joined error %q missing %q", err, fragment)
+		}
+	}
+}
+
+// TestWithDefaultsPreservesExplicit checks defaulting only fills zero
+// fields — an explicit sweep parameter must never be overridden.
+func TestWithDefaultsPreservesExplicit(t *testing.T) {
+	in := router.Config{
+		Radix:      16,
+		VCs:        2,
+		STCycles:   1,
+		SubSize:    4,
+		LocalGroup: 4,
+		AllocIters: 3,
+	}
+	out := in.WithDefaults()
+	if out.Radix != 16 || out.VCs != 2 || out.STCycles != 1 ||
+		out.SubSize != 4 || out.LocalGroup != 4 || out.AllocIters != 3 {
+		t.Fatalf("explicit fields overridden: %+v", out)
+	}
+	// Unset fields get the paper's evaluation parameters.
+	if out.InputBufDepth != 16 || out.XpointBufDepth != 4 ||
+		out.SubInDepth != 4 || out.SubOutDepth != 4 {
+		t.Fatalf("defaults not applied: %+v", out)
+	}
+	once := router.Config{}.WithDefaults()
+	if once != once.WithDefaults() {
+		t.Fatal("WithDefaults not idempotent")
+	}
+}
+
+// TestTraits checks the cross-cutting traits the invariant checker keys
+// on: which architectures report exact in-flight counts and which grant
+// stage seizes the output serializer.
+func TestTraits(t *testing.T) {
+	for _, tc := range []struct {
+		arch  router.Arch
+		exact bool
+		note  string
+	}{
+		{router.ArchLowRadix, true, "switch"},
+		{router.ArchBaseline, true, "switch"},
+		{router.ArchBuffered, true, "output"},
+		{router.ArchSharedXpoint, false, "output"},
+		{router.ArchHierarchical, true, "column"},
+	} {
+		tr := router.Config{Arch: tc.arch}.Traits()
+		if tr.ExactInFlight != tc.exact || tr.TerminalGrantNote != tc.note {
+			t.Errorf("%v traits = %+v, want exact=%v note=%q", tc.arch, tr, tc.exact, tc.note)
+		}
+	}
+}
+
+func TestSpecPolicyNames(t *testing.T) {
+	for _, tc := range []struct {
+		p    router.SpecPolicy
+		want string
+	}{
+		{router.SpecRotate, "rotate"},
+		{router.SpecFixed, "fixed"},
+		{router.SpecHash, "hash"},
+		{router.SpecPolicy(99), "rotate"},
+	} {
+		if got := tc.p.String(); got != tc.want {
+			t.Errorf("SpecPolicy(%d).String() = %q, want %q", int(tc.p), got, tc.want)
+		}
+	}
+	for _, tc := range []struct {
+		s    router.VAScheme
+		want string
+	}{
+		{router.CVA, "CVA"},
+		{router.OVA, "OVA"},
+	} {
+		if got := tc.s.String(); got != tc.want {
+			t.Errorf("VAScheme.String() = %q, want %q", got, tc.want)
+		}
+	}
+}

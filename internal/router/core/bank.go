@@ -1,0 +1,203 @@
+package core
+
+import (
+	"highradix/internal/arb"
+	"highradix/internal/flit"
+	"highradix/internal/sim"
+)
+
+// Front is the cached head-of-line state of one input VC, plus the VC's
+// slice of allocator state (OutVC, Rot), so per-cycle eligibility scans
+// and request construction read one flat table and never touch the
+// buffer structs. The head-of-line fields are refreshed at the only two
+// places the front can change — Accept into an empty buffer and Pop —
+// while OutVC and Rot persist across those refreshes, because they
+// belong to the head *packet*, not the head flit.
+type Front struct {
+	// Inj is the head flit's InjectedAt, or FrontNone when the buffer is
+	// empty.
+	Inj int64
+	// Pkt is the head flit's packet ID.
+	Pkt uint64
+	// Dst is the head flit's destination output port.
+	Dst int32
+	// OutVC is the allocated output virtual channel of the packet whose
+	// flits currently occupy the front of the queue; -1 while the head
+	// packet has not completed VC allocation.
+	OutVC int16
+	// Rot rotates the speculative output-VC choice across allocation
+	// attempts so a failed speculation eventually finds a free VC
+	// (Section 4.4's re-bidding).
+	Rot uint8
+	// Head marks the head flit of a packet at the front.
+	Head bool
+}
+
+// FrontNone marks an empty input VC in the front cache; it is far
+// enough in the future that the `now > Inj` eligibility test always
+// fails.
+const FrontNone = int64(1) << 62
+
+// InputBank is the bank of input virtual-channel buffers of all router
+// ports, flat-indexed [input*vcs+vc]. It owns the front cache, the
+// per-input full bitsets behind CanAccept, the occupied active set, and
+// the issuable set (occupied AND no outstanding request line) that
+// architectures with request/grant wires iterate instead of scanning
+// every port. Architectures without request lines simply never mark an
+// input outstanding, making issuable identical to occupied.
+type InputBank struct {
+	vcs int
+	obs Obs
+	// q is stored flat by value so scans reach the ring buffers without
+	// a pointer dereference per VC.
+	q     []sim.Queue[*flit.Flit]
+	front []Front
+	// full[i] has bit c set while input buffer (i,c) is at capacity;
+	// CanAccept becomes one word test instead of a queue-struct load (VC
+	// counts above 64 are rejected by the router configuration layer).
+	full []uint64
+	occ  ActiveSet
+	// outst[i] is set while input i drives an outstanding request line;
+	// issuable = occupied AND NOT outstanding, maintained at every
+	// transition so issue scans skip inputs waiting on a response.
+	outst    arb.BitVec
+	issuable arb.BitVec
+	buffered int // total flits across all queues
+}
+
+// MakeInputBank returns a bank of inputs x vcs buffers of the given
+// depth, by value for embedding.
+func MakeInputBank(obs Obs, inputs, vcs, depth int) InputBank {
+	b := InputBank{
+		vcs:      vcs,
+		obs:      obs,
+		q:        make([]sim.Queue[*flit.Flit], inputs*vcs),
+		front:    make([]Front, inputs*vcs),
+		full:     make([]uint64, inputs),
+		occ:      MakeActiveSet(inputs),
+		outst:    arb.MakeBitVec(inputs),
+		issuable: arb.MakeBitVec(inputs),
+	}
+	for i := range b.q {
+		b.q[i] = *sim.NewQueue[*flit.Flit](depth)
+		b.front[i].Inj = FrontNone
+		b.front[i].OutVC = -1
+	}
+	return b
+}
+
+// CanAccept reports whether input buffer (input, vc) has a free slot —
+// the upstream side of credit flow control.
+func (b *InputBank) CanAccept(input, vc int) bool {
+	return b.full[input]>>uint(vc)&1 == 0
+}
+
+// Accept places f into input buffer (f.Src, f.VC), stamps its injection
+// cycle, refreshes the front cache when it lands at the head, and emits
+// EvAccept. Accepting into a full buffer is a flow-control violation.
+func (b *InputBank) Accept(now int64, f *flit.Flit) {
+	f.InjectedAt = now
+	idx := f.Src*b.vcs + f.VC
+	q := &b.q[idx]
+	if !q.Push(f) {
+		Violatef("input %d VC %d overflow: %v accepted beyond depth %d (credit accounting bug)",
+			f.Src, f.VC, f, q.Cap())
+	}
+	if q.Full() {
+		b.full[f.Src] |= 1 << uint(f.VC)
+	}
+	if q.Len() == 1 {
+		fr := &b.front[idx]
+		fr.Inj, fr.Pkt, fr.Dst, fr.Head = now, f.PacketID, int32(f.Dst), f.Head
+	}
+	b.occ.Inc(f.Src)
+	b.buffered++
+	if !b.outst.Get(f.Src) {
+		b.issuable.Set(f.Src)
+	}
+	b.obs.Emit(Event{Cycle: now, Kind: EvAccept, Flit: f, Input: f.Src, Output: f.Dst, VC: f.VC})
+}
+
+// Pop removes and returns the front flit of (input, vc), refreshing the
+// front cache (OutVC and Rot persist — they belong to the head packet)
+// and the occupied/issuable sets. Popping an empty buffer is a
+// flow-control violation.
+func (b *InputBank) Pop(input, vc int) *flit.Flit {
+	idx := input*b.vcs + vc
+	q := &b.q[idx]
+	f, ok := q.Pop()
+	if !ok {
+		Violatef("input %d VC %d popped while empty", input, vc)
+	}
+	b.full[input] &^= 1 << uint(vc)
+	fr := &b.front[idx]
+	if nf, ok := q.Peek(); ok {
+		fr.Inj, fr.Pkt, fr.Dst, fr.Head = nf.InjectedAt, nf.PacketID, int32(nf.Dst), nf.Head
+	} else {
+		fr.Inj = FrontNone
+	}
+	b.occ.Dec(input)
+	b.buffered--
+	if b.occ.Count(input) > 0 {
+		if !b.outst.Get(input) {
+			b.issuable.Set(input)
+		}
+	} else {
+		b.issuable.Clear(input)
+	}
+	return f
+}
+
+// Peek returns the front flit of (input, vc) without removing it.
+func (b *InputBank) Peek(input, vc int) (*flit.Flit, bool) {
+	return b.q[input*b.vcs+vc].Peek()
+}
+
+// Front returns the cached head-of-line state of (input, vc). The
+// pointer stays valid for the life of the bank; allocators write OutVC
+// and Rot through it.
+func (b *InputBank) Front(input, vc int) *Front { return &b.front[input*b.vcs+vc] }
+
+// Fronts returns the front-cache row of one input, for VC scans.
+func (b *InputBank) Fronts(input int) []Front {
+	i := input * b.vcs
+	return b.front[i : i+b.vcs]
+}
+
+// Len returns the occupancy of buffer (input, vc).
+func (b *InputBank) Len(input, vc int) int { return b.q[input*b.vcs+vc].Len() }
+
+// Count returns the number of flits buffered across all VCs of input.
+func (b *InputBank) Count(input int) int { return b.occ.Count(input) }
+
+// Buffered returns the total flits held in the bank, maintained as a
+// running counter so InFlight accounting is O(1).
+func (b *InputBank) Buffered() int { return b.buffered }
+
+// NextOccupied returns the lowest input holding any flit at or after i,
+// or -1.
+func (b *InputBank) NextOccupied(i int) int { return b.occ.Next(i) }
+
+// NextIssuable returns the lowest input that is occupied with no
+// outstanding request line at or after i, or -1.
+func (b *InputBank) NextIssuable(i int) int { return b.issuable.Next(i) }
+
+// Outstanding reports whether input i drives an outstanding request.
+func (b *InputBank) Outstanding(i int) bool { return b.outst.Get(i) }
+
+// MarkOutstanding records that input i issued a request on its single
+// request line; the input leaves the issuable set until the response
+// (or a timeout withdrawal) clears it.
+func (b *InputBank) MarkOutstanding(i int) {
+	b.outst.Set(i)
+	b.issuable.Clear(i)
+}
+
+// ClearOutstanding records that input i's request resolved; the input
+// re-enters the issuable set if it still holds flits.
+func (b *InputBank) ClearOutstanding(i int) {
+	b.outst.Clear(i)
+	if b.occ.Count(i) > 0 {
+		b.issuable.Set(i)
+	}
+}

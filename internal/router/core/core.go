@@ -1,0 +1,42 @@
+// Package core is the shared datapath substrate composed by every
+// router microarchitecture in internal/router. The paper (Sections 3-5)
+// develops its designs incrementally: each architecture adds an
+// *allocation strategy* on top of the same physical primitives — input
+// virtual-channel buffers with credit-based flow control, per-flit
+// serialized switch ports, per-packet output-VC ownership, and an
+// ejection pipeline that models switch traversal time. This package
+// owns those primitives once:
+//
+//   - InputBank: the input VC buffers of all ports, with the cached
+//     head-of-line state (Front) the allocators read every cycle, the
+//     per-input full bitsets behind CanAccept, and the occupied /
+//     issuable (occupied AND not-outstanding) active sets.
+//   - Ledger: a credit ledger owning every spend/return path of one
+//     family of credit-counted buffer pools; it maintains the counts
+//     and emits the EvCredit audit events itself.
+//   - CreditBus: the shared per-row credit-return bus of Section 5.2.
+//   - EjectPipe: the fixed-delay ejection pipeline; it releases output
+//     VC ownership at tail flits, emits EvEject, and collects the
+//     cycle's ejected flits under the recycling contract documented on
+//     router.Router.Ejected.
+//   - VCOwnerTable: per-packet output virtual-channel ownership
+//     (acquired by the head flit, released by the tail — Section 3).
+//   - Serializer / SerializerBank: ports carrying one flit every
+//     STCycles cycles.
+//   - ActiveSet: occupancy-counted bitsets so per-cycle loops visit
+//     only indices holding work.
+//   - Base: the composition of bank + pipe + owner table providing the
+//     injection side (CanAccept/Accept), Ejected and InFlight shared
+//     by all architectures.
+//
+// Event, Observer and the nil-guarded Obs emitter live here too, so
+// core components can emit audit events without importing the router
+// package; package router aliases them, keeping its public surface
+// unchanged.
+//
+// Everything in this package is allocation-free on the per-cycle hot
+// path and deliberately policy-free: nothing here arbitrates, NACKs,
+// or speculates. Architectures differ only in the allocation logic
+// they layer on top, which is what keeps a new variant an
+// allocation-policy diff rather than a datapath fork.
+package core

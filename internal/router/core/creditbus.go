@@ -1,18 +1,18 @@
-package router
+package core
 
 import (
 	"highradix/internal/arb"
 	"highradix/internal/sim"
 )
 
-// creditBus models the shared credit-return bus of Section 5.2: all
+// CreditBus models the shared credit-return bus of Section 5.2: all
 // crosspoints on one input row share a single bus carrying one credit
 // per cycle back to the input. Crosspoints with pending credits
 // arbitrate for the bus with the same local-global scheme as the output
 // arbiters; a losing crosspoint simply re-arbitrates on a later cycle,
 // which the paper shows (and our ablation confirms) costs almost
 // nothing because each flit occupies the input row for several cycles.
-type creditBus struct {
+type CreditBus struct {
 	pending []*sim.Queue[int] // per crosspoint (output index): queued VC numbers
 	busArb  arb.BitArbiter
 	wire    *sim.DelayLine[busCredit]
@@ -25,10 +25,10 @@ type busCredit struct {
 	vc     int
 }
 
-// newCreditBus builds a bus serving k crosspoints with local-global
+// NewCreditBus builds a bus serving k crosspoints with local-global
 // arbitration groups of size m and a one-cycle return wire.
-func newCreditBus(k, m int) *creditBus {
-	b := &creditBus{
+func NewCreditBus(k, m int) *CreditBus {
+	b := &CreditBus{
 		pending: make([]*sim.Queue[int], k),
 		busArb:  arb.NewBitOutputArbiter(k, m),
 		wire:    sim.NewDelayLine[busCredit](1),
@@ -40,17 +40,17 @@ func newCreditBus(k, m int) *creditBus {
 	return b
 }
 
-// enqueue records that crosspoint `output` freed a slot of virtual
+// Enqueue records that crosspoint `output` freed a slot of virtual
 // channel vc and now needs the bus.
-func (b *creditBus) enqueue(output, vc int) {
+func (b *CreditBus) Enqueue(output, vc int) {
 	b.pending[output].MustPush(vc)
 	b.reqB.Set(output)
 	b.queued++
 }
 
-// step arbitrates one bus slot and delivers credits whose wire delay has
-// elapsed by calling deliver(output, vc).
-func (b *creditBus) step(now int64, deliver func(output, vc int)) {
+// Step arbitrates one bus slot and delivers credits whose wire delay
+// has elapsed by calling deliver(output, vc).
+func (b *CreditBus) Step(now int64, deliver func(output, vc int)) {
 	b.wire.DrainReady(now, func(c busCredit) { deliver(c.output, c.vc) })
 	if b.queued == 0 {
 		return
@@ -64,9 +64,9 @@ func (b *creditBus) step(now int64, deliver func(output, vc int)) {
 	b.wire.Push(now, busCredit{output: win, vc: vc})
 }
 
-// backlog reports queued plus in-flight credits (used by InFlight-style
+// Backlog reports queued plus in-flight credits (used by InFlight-style
 // drain checks in tests).
-func (b *creditBus) backlog() int {
+func (b *CreditBus) Backlog() int {
 	n := b.wire.Len()
 	for _, q := range b.pending {
 		n += q.Len()

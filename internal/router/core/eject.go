@@ -1,0 +1,77 @@
+package core
+
+import "highradix/internal/flit"
+
+// ejEntry is a flit scheduled to leave an output port at the end of its
+// switch traversal.
+type ejEntry struct {
+	f    *flit.Flit
+	port int32
+}
+
+// EjectPipe schedules flits to leave output ports exactly delay cycles
+// after they are pushed, and owns the per-cycle ejection bookkeeping
+// every architecture otherwise duplicates: releasing output-VC
+// ownership at tail flits, emitting EvEject, and collecting the cycle's
+// ejected flits into the slice behind router.Router.Ejected (whose
+// recycling contract the pipe upholds — once a flit appears there, the
+// router holds no reference to it).
+//
+// The pipe is a ring of delay+1 per-cycle slots: a push at cycle t
+// lands in slot t mod (delay+1) and is drained when the ring wraps back
+// around, with no per-entry queue rotation. The ring relies on
+// BeginCycle being invoked once per consecutive cycle, which is the
+// contract every driver in this repository follows.
+type EjectPipe struct {
+	slots [][]ejEntry
+	count int
+	out   []*flit.Flit
+}
+
+// MakeEjectPipe returns a pipe with the given traversal delay, by value
+// for embedding.
+func MakeEjectPipe(delay int) EjectPipe {
+	if delay < 1 {
+		Violatef("eject delay %d must be at least one cycle", delay)
+	}
+	return EjectPipe{slots: make([][]ejEntry, delay+1)}
+}
+
+// Push schedules f to leave output port exactly the pipe's delay after
+// cycle now.
+func (p *EjectPipe) Push(now int64, port int, f *flit.Flit) {
+	i := int(now % int64(len(p.slots)))
+	p.slots[i] = append(p.slots[i], ejEntry{f: f, port: int32(port)})
+	p.count++
+}
+
+// Len reports the flits inside the pipe.
+func (p *EjectPipe) Len() int { return p.count }
+
+// Ejected returns the flits drained by the last BeginCycle. The slice
+// is reused across cycles; callers must not retain it.
+func (p *EjectPipe) Ejected() []*flit.Flit { return p.out }
+
+// BeginCycle opens cycle now: it resets the ejected slice and drains
+// the flits due this cycle in push order, releasing owner's (port, VC)
+// at each tail flit and emitting EvEject. With delay d and d+1 slots,
+// the due slot at cycle now is the one filled at now-d, i.e. (now+1)
+// mod (d+1).
+func (p *EjectPipe) BeginCycle(now int64, owner *VCOwnerTable, obs Obs) {
+	p.out = p.out[:0]
+	i := int((now + 1) % int64(len(p.slots)))
+	due := p.slots[i]
+	if len(due) == 0 {
+		return
+	}
+	p.slots[i] = due[:0]
+	p.count -= len(due)
+	for _, en := range due {
+		f := en.f
+		if f.Tail {
+			owner.Release(int(en.port), f.VC, f.PacketID)
+		}
+		obs.Emit(Event{Cycle: now, Kind: EvEject, Flit: f, Input: f.Src, Output: int(en.port), VC: f.VC})
+		p.out = append(p.out, f)
+	}
+}

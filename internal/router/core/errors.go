@@ -1,0 +1,15 @@
+package core
+
+import "fmt"
+
+// Violatef panics with a uniformly formatted flow-control violation.
+// Every invariant breach in the datapath layer — buffer overflow,
+// credit underflow, foreign VC release, occupancy underflow — funnels
+// through here so the message always carries the "router: " prefix and
+// the port/VC context of the offending operation. A violation is never
+// a recoverable condition: it means an allocator or a caller broke the
+// credit/ownership contract, and continuing would corrupt the
+// simulation silently.
+func Violatef(format string, args ...any) {
+	panic("router: " + fmt.Sprintf(format, args...))
+}

@@ -1,0 +1,49 @@
+package core
+
+// VCOwnerTable tracks which packet currently owns each output virtual
+// channel. A packet acquires the VC with its head flit and releases it
+// when the tail departs — the per-packet VC allocation of Section 3.
+// The global table of a router and the local tables of hierarchical
+// subswitches are the same structure at different port counts.
+type VCOwnerTable struct {
+	owner []uint64 // flat [port*vcs+vc]; 0 = free
+	vcs   int
+}
+
+// MakeVCOwnerTable returns a table over ports x vcs channels by value,
+// for embedding.
+func MakeVCOwnerTable(ports, vcs int) VCOwnerTable {
+	return VCOwnerTable{owner: make([]uint64, ports*vcs), vcs: vcs}
+}
+
+// NewVCOwnerTable returns a heap-allocated table (subswitch grids keep
+// one per subswitch).
+func NewVCOwnerTable(ports, vcs int) *VCOwnerTable {
+	t := MakeVCOwnerTable(ports, vcs)
+	return &t
+}
+
+// FreeVC reports whether (port, vc) is unowned.
+func (t *VCOwnerTable) FreeVC(port, vc int) bool { return t.owner[port*t.vcs+vc] == 0 }
+
+// OwnedBy reports whether packet pkt owns (port, vc).
+func (t *VCOwnerTable) OwnedBy(port, vc int, pkt uint64) bool { return t.owner[port*t.vcs+vc] == pkt }
+
+// Acquire claims (port, vc) for packet pkt. Claiming an owned VC is a
+// flow-control violation.
+func (t *VCOwnerTable) Acquire(port, vc int, pkt uint64) {
+	if cur := t.owner[port*t.vcs+vc]; cur != 0 {
+		Violatef("output VC double allocation: packet %d acquiring port %d VC %d owned by packet %d",
+			pkt, port, vc, cur)
+	}
+	t.owner[port*t.vcs+vc] = pkt
+}
+
+// Release frees (port, vc), which packet pkt must own.
+func (t *VCOwnerTable) Release(port, vc int, pkt uint64) {
+	if cur := t.owner[port*t.vcs+vc]; cur != pkt {
+		Violatef("output VC released by non-owner: packet %d releasing port %d VC %d owned by packet %d",
+			pkt, port, vc, cur)
+	}
+	t.owner[port*t.vcs+vc] = 0
+}

@@ -3,6 +3,7 @@ package router
 import (
 	"highradix/internal/arb"
 	"highradix/internal/flit"
+	"highradix/internal/router/core"
 	"highradix/internal/sim"
 )
 
@@ -30,24 +31,23 @@ type hierarchical struct {
 	cfg Config
 	p   int // subswitch size
 	g   int // groups per side = k/p
+	core.Base
 
-	in       [][]*inputVC
-	inFree   []serializer
+	inFree   core.SerializerBank
 	inputArb []*arb.RoundRobin
-	creditIn [][][]int // [input][column][vc] credits for subIn buffers
+	creditIn core.Ledger // subIn pools flat [(input*g+column)*v+vc]
 
 	// Subswitch state, indexed [row][col].
 	subIn       [][][][]*sim.Queue[*flit.Flit] // [row][col][localIn][vc]
 	subOut      [][][][]*sim.Queue[*flit.Flit] // [row][col][localOut][vc]
-	subOutCred  [][][][]int                    // slots available in subOut (reserved at internal grant)
-	subOutOwner [][]*vcOwnerTable              // [row][col] local VC allocation over (localOut, vc)
-	intInFree   [][][]serializer               // [row][col][localIn]
-	intOutFree  [][][]serializer               // [row][col][localOut]
+	subOutCred  core.Ledger                    // subOut pools flat [((row*g+col)*p+localOut)*v+vc]
+	subOutOwner [][]*core.VCOwnerTable         // [row][col] local VC allocation over (localOut, vc)
+	intInFree   [][]core.SerializerBank        // [row][col] over local inputs
+	intOutFree  [][]core.SerializerBank        // [row][col] over local outputs
 	subInArb    [][][]*arb.RoundRobin          // [row][col][localIn] over VCs
 	intArb      [][][]*arb.RoundRobin          // [row][col][localOut] over local inputs
 
-	owner    *vcOwnerTable // global output VC allocation
-	outFree  []serializer
+	outFree  core.SerializerBank
 	colArb   []arb.BitArbiter    // per output, over rows (subswitches in the column)
 	subOutVC [][]*arb.RoundRobin // [output][row] per subswitch-output VC pick for the column stage
 
@@ -55,21 +55,23 @@ type hierarchical struct {
 	toSubOut   *sim.DelayLine[*flit.Flit]
 	creditWire *sim.DelayLine[flit.Credit] // subIn slot freed -> router input
 
-	ej      *ejectQueue
-	ejected []*flit.Flit
-
 	// Active sets. The internal stage walks only subswitches holding
 	// flits (subAct, flat row*g+col), and within one only the occupied
 	// local inputs (subInAct) and the local outputs some queued flit is
 	// destined to (subDemand). The column stage walks only outputs whose
 	// column holds subOut occupancy (outAct) and within one only the
-	// rows contributing it (colRows).
-	inOcc     *activeSet
-	subAct    *activeSet     // over g*g subswitches, flat row*g+col
-	subInAct  [][]*activeSet // [row][col] over local inputs q
-	subDemand [][]*activeSet // [row][col] over local outputs j
-	outAct    *activeSet     // outputs with subOut occupancy in their column
-	colRows   []*activeSet   // [output] over rows
+	// rows contributing it (colRows). The router-input set lives in the
+	// input bank.
+	subAct    *core.ActiveSet     // over g*g subswitches, flat row*g+col
+	subInAct  [][]*core.ActiveSet // [row][col] over local inputs q
+	subDemand [][]*core.ActiveSet // [row][col] over local outputs j
+	outAct    *core.ActiveSet     // outputs with subOut occupancy in their column
+	colRows   []*core.ActiveSet   // [output] over rows
+	// subInFlits/subOutFlits count flits across the subswitch input and
+	// output buffers, maintained as flits land and drain so InFlight
+	// never walks the grid.
+	subInFlits  int
+	subOutFlits int
 
 	rowCand *arb.BitVec // sized g: column-stage row candidates
 	rowVC   []int
@@ -81,28 +83,27 @@ type hierarchical struct {
 func newHierarchical(cfg Config) *hierarchical {
 	k, v, p := cfg.Radix, cfg.VCs, cfg.SubSize
 	g := k / p
+	obs := core.Obs{O: cfg.Observer}
 	r := &hierarchical{
 		cfg:        cfg,
 		p:          p,
 		g:          g,
-		in:         make([][]*inputVC, k),
-		inFree:     make([]serializer, k),
+		Base:       core.MakeBase(obs, k, v, cfg.InputBufDepth, cfg.STCycles),
+		inFree:     core.NewSerializerBank(k),
 		inputArb:   make([]*arb.RoundRobin, k),
-		creditIn:   make([][][]int, k),
-		owner:      newVCOwnerTable(k, v),
-		outFree:    make([]serializer, k),
+		creditIn:   core.MakeLedger(obs, "subin", k*g*v, cfg.SubInDepth),
+		subOutCred: core.MakeLedger(obs, "subout", g*g*p*v, cfg.SubOutDepth),
+		outFree:    core.NewSerializerBank(k),
 		colArb:     make([]arb.BitArbiter, k),
 		subOutVC:   make([][]*arb.RoundRobin, k),
 		toSubIn:    sim.NewDelayLine[*flit.Flit](cfg.STCycles),
 		toSubOut:   sim.NewDelayLine[*flit.Flit](cfg.STCycles),
 		creditWire: sim.NewDelayLine[flit.Credit](2),
-		ej:         newEjectQueue(cfg.STCycles),
-		inOcc:      newActiveSet(k),
-		subAct:     newActiveSet(g * g),
-		subInAct:   make([][]*activeSet, g),
-		subDemand:  make([][]*activeSet, g),
-		outAct:     newActiveSet(k),
-		colRows:    make([]*activeSet, k),
+		subAct:     core.NewActiveSet(g * g),
+		subInAct:   make([][]*core.ActiveSet, g),
+		subDemand:  make([][]*core.ActiveSet, g),
+		outAct:     core.NewActiveSet(k),
+		colRows:    make([]*core.ActiveSet, k),
 		rowCand:    arb.NewBitVec(g),
 		rowVC:      make([]int, g),
 		vcReq:      arb.NewBitVec(v),
@@ -110,28 +111,17 @@ func newHierarchical(cfg Config) *hierarchical {
 		candVC:     make([]int, p),
 	}
 	for row := 0; row < g; row++ {
-		r.subInAct[row] = make([]*activeSet, g)
-		r.subDemand[row] = make([]*activeSet, g)
+		r.subInAct[row] = make([]*core.ActiveSet, g)
+		r.subDemand[row] = make([]*core.ActiveSet, g)
 		for col := 0; col < g; col++ {
-			r.subInAct[row][col] = newActiveSet(p)
-			r.subDemand[row][col] = newActiveSet(p)
+			r.subInAct[row][col] = core.NewActiveSet(p)
+			r.subDemand[row][col] = core.NewActiveSet(p)
 		}
 	}
 	for i := 0; i < k; i++ {
-		r.in[i] = make([]*inputVC, v)
-		for c := 0; c < v; c++ {
-			r.in[i][c] = newInputVC(cfg.InputBufDepth)
-		}
 		r.inputArb[i] = arb.NewRoundRobin(v)
-		r.creditIn[i] = make([][]int, g)
-		for col := 0; col < g; col++ {
-			r.creditIn[i][col] = make([]int, v)
-			for c := 0; c < v; c++ {
-				r.creditIn[i][col][c] = cfg.SubInDepth
-			}
-		}
 		r.colArb[i] = arb.NewBitOutputArbiter(g, cfg.LocalGroup)
-		r.colRows[i] = newActiveSet(g)
+		r.colRows[i] = core.NewActiveSet(g)
 		r.subOutVC[i] = make([]*arb.RoundRobin, g)
 		for row := 0; row < g; row++ {
 			r.subOutVC[i][row] = arb.NewRoundRobin(v)
@@ -155,30 +145,21 @@ func newHierarchical(cfg Config) *hierarchical {
 	}
 	r.subIn = mk4(cfg.SubInDepth)
 	r.subOut = mk4(cfg.SubOutDepth)
-	r.subOutCred = make([][][][]int, g)
-	r.subOutOwner = make([][]*vcOwnerTable, g)
-	r.intInFree = make([][][]serializer, g)
-	r.intOutFree = make([][][]serializer, g)
+	r.subOutOwner = make([][]*core.VCOwnerTable, g)
+	r.intInFree = make([][]core.SerializerBank, g)
+	r.intOutFree = make([][]core.SerializerBank, g)
 	r.subInArb = make([][][]*arb.RoundRobin, g)
 	r.intArb = make([][][]*arb.RoundRobin, g)
 	for row := 0; row < g; row++ {
-		r.subOutCred[row] = make([][][]int, g)
-		r.subOutOwner[row] = make([]*vcOwnerTable, g)
-		r.intInFree[row] = make([][]serializer, g)
-		r.intOutFree[row] = make([][]serializer, g)
+		r.subOutOwner[row] = make([]*core.VCOwnerTable, g)
+		r.intInFree[row] = make([]core.SerializerBank, g)
+		r.intOutFree[row] = make([]core.SerializerBank, g)
 		r.subInArb[row] = make([][]*arb.RoundRobin, g)
 		r.intArb[row] = make([][]*arb.RoundRobin, g)
 		for col := 0; col < g; col++ {
-			r.subOutCred[row][col] = make([][]int, p)
-			for j := 0; j < p; j++ {
-				r.subOutCred[row][col][j] = make([]int, v)
-				for c := 0; c < v; c++ {
-					r.subOutCred[row][col][j][c] = cfg.SubOutDepth
-				}
-			}
-			r.subOutOwner[row][col] = newVCOwnerTable(p, v)
-			r.intInFree[row][col] = make([]serializer, p)
-			r.intOutFree[row][col] = make([]serializer, p)
+			r.subOutOwner[row][col] = core.NewVCOwnerTable(p, v)
+			r.intInFree[row][col] = core.NewSerializerBank(p)
+			r.intOutFree[row][col] = core.NewSerializerBank(p)
 			r.subInArb[row][col] = make([]*arb.RoundRobin, p)
 			r.intArb[row][col] = make([]*arb.RoundRobin, p)
 			for q := 0; q < p; q++ {
@@ -192,65 +173,42 @@ func newHierarchical(cfg Config) *hierarchical {
 
 func (r *hierarchical) Config() Config { return r.cfg }
 
-func (r *hierarchical) CanAccept(input, vc int) bool { return !r.in[input][vc].q.Full() }
+// subInPool flattens a subswitch input buffer's (router input, column,
+// vc) coordinates into its credit-ledger pool index.
+func (r *hierarchical) subInPool(i, col, c int) int { return (i*r.g+col)*r.cfg.VCs + c }
 
-func (r *hierarchical) Accept(now int64, f *flit.Flit) {
-	f.InjectedAt = now
-	r.in[f.Src][f.VC].q.MustPush(f)
-	r.inOcc.inc(f.Src)
-	r.cfg.observe(Event{Cycle: now, Kind: EvAccept, Flit: f, Input: f.Src, Output: f.Dst, VC: f.VC})
+// subOutPool flattens a subswitch output buffer's (row, col, localOut,
+// vc) coordinates into its credit-ledger pool index.
+func (r *hierarchical) subOutPool(row, col, j, c int) int {
+	return ((row*r.g+col)*r.p+j)*r.cfg.VCs + c
 }
 
-func (r *hierarchical) Ejected() []*flit.Flit { return r.ejected }
-
 func (r *hierarchical) InFlight() int {
-	n := r.ej.len() + r.toSubIn.Len() + r.toSubOut.Len()
-	for i := range r.in {
-		for _, v := range r.in[i] {
-			n += v.q.Len()
-		}
-	}
-	for row := 0; row < r.g; row++ {
-		for col := 0; col < r.g; col++ {
-			for q := 0; q < r.p; q++ {
-				for c := 0; c < r.cfg.VCs; c++ {
-					n += r.subIn[row][col][q][c].Len()
-					n += r.subOut[row][col][q][c].Len()
-				}
-			}
-		}
-	}
-	return n
+	return r.In.Buffered() + r.Out.Len() + r.toSubIn.Len() + r.toSubOut.Len() +
+		r.subInFlits + r.subOutFlits
 }
 
 func (r *hierarchical) Step(now int64) {
-	r.ejected = r.ejected[:0]
-	r.ej.drain(now, func(port int, f *flit.Flit) {
-		if f.Tail {
-			r.owner.release(port, f.VC, f.PacketID)
-		}
-		r.cfg.observe(Event{Cycle: now, Kind: EvEject, Flit: f, Input: f.Src, Output: port, VC: f.VC})
-		r.ejected = append(r.ejected, f)
-	})
+	r.BeginCycle(now)
 	r.toSubIn.DrainReady(now, func(f *flit.Flit) {
 		row, q := f.Src/r.p, f.Src%r.p
 		col := f.Dst / r.p
 		r.subIn[row][col][q][f.VC].MustPush(f)
-		r.subAct.inc(row*r.g + col)
-		r.subInAct[row][col].inc(q)
-		r.subDemand[row][col].inc(f.Dst % r.p)
+		r.subAct.Inc(row*r.g + col)
+		r.subInAct[row][col].Inc(q)
+		r.subDemand[row][col].Inc(f.Dst % r.p)
+		r.subInFlits++
 	})
 	r.toSubOut.DrainReady(now, func(f *flit.Flit) {
 		row := f.Src / r.p
 		col, j := f.Dst/r.p, f.Dst%r.p
 		r.subOut[row][col][j][f.VC].MustPush(f)
-		r.outAct.inc(f.Dst)
-		r.colRows[f.Dst].inc(row)
+		r.outAct.Inc(f.Dst)
+		r.colRows[f.Dst].Inc(row)
+		r.subOutFlits++
 	})
 	r.creditWire.DrainReady(now, func(c flit.Credit) {
-		r.creditIn[c.Input][c.Output][c.VC]++
-		r.cfg.observe(Event{Cycle: now, Kind: EvCredit, Input: c.Input, Output: c.Output, VC: c.VC,
-			Note: "subin", Delta: +1, Depth: r.cfg.SubInDepth})
+		r.creditIn.Return(now, r.subInPool(c.Input, c.Output, c.VC), c.Input, c.Output, c.VC)
 	})
 	r.columnStage(now)
 	r.internalStage(now)
@@ -263,20 +221,20 @@ func (r *hierarchical) Step(now int64) {
 // local-global scheme as the other architectures.
 func (r *hierarchical) columnStage(now int64) {
 	v := r.cfg.VCs
-	for o := r.outAct.next(0); o >= 0; o = r.outAct.next(o + 1) {
-		if !r.outFree[o].free(now) {
+	for o := r.outAct.Next(0); o >= 0; o = r.outAct.Next(o + 1) {
+		if !r.outFree.Free(o, now) {
 			continue
 		}
 		col, j := o/r.p, o%r.p
 		r.rowCand.Reset()
 		any := false
 		rows := r.colRows[o]
-		for row := rows.next(0); row >= 0; row = rows.next(row + 1) {
+		for row := rows.Next(0); row >= 0; row = rows.Next(row + 1) {
 			r.vcReq.Reset()
 			has := false
 			for c := 0; c < v; c++ {
 				f, ok := r.subOut[row][col][j][c].Peek()
-				if ok && (f.Head && r.owner.freeVC(o, c) || !f.Head) {
+				if ok && (f.Head && r.Owner.FreeVC(o, c) || !f.Head) {
 					r.vcReq.Set(c)
 					has = true
 				}
@@ -295,17 +253,16 @@ func (r *hierarchical) columnStage(now int64) {
 		row := r.colArb[o].ArbitrateBits(r.rowCand)
 		c := r.rowVC[row]
 		f := r.subOut[row][col][j][c].MustPop()
-		r.outAct.dec(o)
-		rows.dec(row)
-		r.cfg.observe(Event{Cycle: now, Kind: EvGrant, Flit: f, Input: f.Src, Output: o, VC: c, Note: "column"})
+		r.outAct.Dec(o)
+		rows.Dec(row)
+		r.subOutFlits--
+		r.Obs.Emit(Event{Cycle: now, Kind: EvGrant, Flit: f, Input: f.Src, Output: o, VC: c, Note: "column"})
 		if f.Head {
-			r.owner.acquire(o, c, f.PacketID)
+			r.Owner.Acquire(o, c, f.PacketID)
 		}
-		r.subOutCred[row][col][j][c]++
-		r.cfg.observe(Event{Cycle: now, Kind: EvCredit, Input: row, Output: o, VC: c,
-			Note: "subout", Delta: +1, Depth: r.cfg.SubOutDepth})
-		r.outFree[o].reserve(now, r.cfg.STCycles)
-		r.ej.push(now, o, f)
+		r.subOutCred.Return(now, r.subOutPool(row, col, j, c), row, o, c)
+		r.outFree.Reserve(o, now, r.cfg.STCycles)
+		r.Out.Push(now, o, f)
 	}
 }
 
@@ -313,19 +270,19 @@ func (r *hierarchical) columnStage(now int64) {
 // input buffers to output buffers, performing the local VC allocation.
 func (r *hierarchical) internalStage(now int64) {
 	v, p := r.cfg.VCs, r.p
-	for s := r.subAct.next(0); s >= 0; s = r.subAct.next(s + 1) {
+	for s := r.subAct.Next(0); s >= 0; s = r.subAct.Next(s + 1) {
 		row, col := s/r.g, s%r.g
 		ownerT := r.subOutOwner[row][col]
 		dem := r.subDemand[row][col]
 		occ := r.subInAct[row][col]
-		for j := dem.next(0); j >= 0; j = dem.next(j + 1) {
-			if !r.intOutFree[row][col][j].free(now) {
+		for j := dem.Next(0); j >= 0; j = dem.Next(j + 1) {
+			if !r.intOutFree[row][col].Free(j, now) {
 				continue
 			}
 			r.cand.Reset()
 			any := false
-			for q := occ.next(0); q >= 0; q = occ.next(q + 1) {
-				if !r.intInFree[row][col][q].free(now) {
+			for q := occ.Next(0); q >= 0; q = occ.Next(q + 1) {
+				if !r.intInFree[row][col].Free(q, now) {
 					continue
 				}
 				r.vcReq.Reset()
@@ -333,8 +290,8 @@ func (r *hierarchical) internalStage(now int64) {
 				for c := 0; c < v; c++ {
 					f, ok := r.subIn[row][col][q][c].Peek()
 					if ok && f.Dst%p == j &&
-						r.subOutCred[row][col][j][c] > 0 &&
-						(f.Head && ownerT.freeVC(j, c) || !f.Head && ownerT.ownedBy(j, c, f.PacketID)) {
+						r.subOutCred.Avail(r.subOutPool(row, col, j, c)) &&
+						(f.Head && ownerT.FreeVC(j, c) || !f.Head && ownerT.OwnedBy(j, c, f.PacketID)) {
 						r.vcReq.Set(c)
 						has = true
 					}
@@ -353,21 +310,20 @@ func (r *hierarchical) internalStage(now int64) {
 			q := r.intArb[row][col][j].ArbitrateBits(r.cand)
 			c := r.candVC[q]
 			f := r.subIn[row][col][q][c].MustPop()
-			r.subAct.dec(s)
-			occ.dec(q)
-			dem.dec(f.Dst % p)
+			r.subAct.Dec(s)
+			occ.Dec(q)
+			dem.Dec(f.Dst % p)
+			r.subInFlits--
 			if f.Head {
-				ownerT.acquire(j, c, f.PacketID)
+				ownerT.Acquire(j, c, f.PacketID)
 			}
 			if f.Tail {
-				ownerT.release(j, c, f.PacketID)
+				ownerT.Release(j, c, f.PacketID)
 			}
-			r.subOutCred[row][col][j][c]--
-			r.cfg.observe(Event{Cycle: now, Kind: EvCredit, Input: row, Output: col*p + j, VC: c,
-				Note: "subout", Delta: -1, Depth: r.cfg.SubOutDepth})
-			r.intInFree[row][col][q].reserve(now, r.cfg.STCycles)
-			r.intOutFree[row][col][j].reserve(now, r.cfg.STCycles)
-			r.cfg.observe(Event{Cycle: now, Kind: EvGrant, Flit: f, Input: row*r.p + q, Output: f.Dst, VC: c, Note: "subswitch"})
+			r.subOutCred.Spend(now, r.subOutPool(row, col, j, c), row, col*p+j, c)
+			r.intInFree[row][col].Reserve(q, now, r.cfg.STCycles)
+			r.intOutFree[row][col].Reserve(j, now, r.cfg.STCycles)
+			r.Obs.Emit(Event{Cycle: now, Kind: EvGrant, Flit: f, Input: row*r.p + q, Output: f.Dst, VC: c, Note: "subswitch"})
 			r.toSubOut.Push(now, f)
 			// Freed subswitch input slot: return a credit to the
 			// router input that feeds local port q of this row.
@@ -381,15 +337,16 @@ func (r *hierarchical) internalStage(now int64) {
 // subject to subswitch input buffer credits.
 func (r *hierarchical) inputStage(now int64) {
 	v := r.cfg.VCs
-	for i := r.inOcc.next(0); i >= 0; i = r.inOcc.next(i + 1) {
-		if !r.inFree[i].free(now) {
+	for i := r.In.NextOccupied(0); i >= 0; i = r.In.NextOccupied(i + 1) {
+		if !r.inFree.Free(i, now) {
 			continue
 		}
 		r.vcReq.Reset()
 		any := false
+		fronts := r.In.Fronts(i)
 		for c := 0; c < v; c++ {
-			f, ok := r.in[i][c].front()
-			if ok && now > f.InjectedAt && r.creditIn[i][f.Dst/r.p][c] > 0 {
+			fr := &fronts[c]
+			if now > fr.Inj && r.creditIn.Avail(r.subInPool(i, int(fr.Dst)/r.p, c)) {
 				r.vcReq.Set(c)
 				any = true
 			}
@@ -398,13 +355,10 @@ func (r *hierarchical) inputStage(now int64) {
 			continue
 		}
 		c := r.inputArb[i].ArbitrateBits(r.vcReq)
-		f := r.in[i][c].q.MustPop()
-		r.inOcc.dec(i)
-		r.creditIn[i][f.Dst/r.p][c]--
-		r.cfg.observe(Event{Cycle: now, Kind: EvCredit, Input: i, Output: f.Dst / r.p, VC: c,
-			Note: "subin", Delta: -1, Depth: r.cfg.SubInDepth})
-		r.inFree[i].reserve(now, r.cfg.STCycles)
-		r.cfg.observe(Event{Cycle: now, Kind: EvGrant, Flit: f, Input: i, Output: f.Dst, VC: c, Note: "row-bus"})
+		f := r.In.Pop(i, c)
+		r.creditIn.Spend(now, r.subInPool(i, f.Dst/r.p, c), i, f.Dst/r.p, c)
+		r.inFree.Reserve(i, now, r.cfg.STCycles)
+		r.Obs.Emit(Event{Cycle: now, Kind: EvGrant, Flit: f, Input: i, Output: f.Dst, VC: c, Note: "row-bus"})
 		r.toSubIn.Push(now, f)
 	}
 }

@@ -2,7 +2,7 @@ package router
 
 import (
 	"highradix/internal/arb"
-	"highradix/internal/flit"
+	"highradix/internal/router/core"
 )
 
 // lowRadix is the conventional input-queued virtual-channel router of
@@ -16,21 +16,13 @@ import (
 // allocation "does not scale" to high radix.
 type lowRadix struct {
 	cfg Config
+	core.Base
 
-	in       [][]*inputVC // [input][vc]
-	owner    *vcOwnerTable
-	inFree   []serializer
-	outFree  []serializer
+	inFree   core.SerializerBank
+	outFree  core.SerializerBank
 	inputArb []*arb.RoundRobin // per input, over VCs
 	outArb   []*arb.RoundRobin // per output, over inputs
 	vaPtr    [][]int           // [output][outVC] rotating pointer over input-VC flat index
-
-	ej      *ejectQueue
-	ejected []*flit.Flit
-
-	// inOcc tracks inputs holding buffered flits; idle inputs cost
-	// nothing in either allocator.
-	inOcc *activeSet
 
 	// scratch
 	saReqVC      []int         // per input: requesting VC this iteration
@@ -44,15 +36,12 @@ func newLowRadix(cfg Config) *lowRadix {
 	k, v := cfg.Radix, cfg.VCs
 	r := &lowRadix{
 		cfg:          cfg,
-		in:           make([][]*inputVC, k),
-		owner:        newVCOwnerTable(k, v),
-		inFree:       make([]serializer, k),
-		outFree:      make([]serializer, k),
+		Base:         core.MakeBase(core.Obs{O: cfg.Observer}, k, v, cfg.InputBufDepth, cfg.STCycles),
+		inFree:       core.NewSerializerBank(k),
+		outFree:      core.NewSerializerBank(k),
 		inputArb:     make([]*arb.RoundRobin, k),
 		outArb:       make([]*arb.RoundRobin, k),
 		vaPtr:        make([][]int, k),
-		ej:           newEjectQueue(cfg.STCycles),
-		inOcc:        newActiveSet(k),
 		saReqVC:      make([]int, k),
 		outReqs:      make([]*arb.BitVec, k),
 		outActive:    arb.NewBitVec(k),
@@ -61,10 +50,6 @@ func newLowRadix(cfg Config) *lowRadix {
 	}
 	for i := 0; i < k; i++ {
 		r.outReqs[i] = arb.NewBitVec(k)
-		r.in[i] = make([]*inputVC, v)
-		for c := 0; c < v; c++ {
-			r.in[i][c] = newInputVC(cfg.InputBufDepth)
-		}
 		r.inputArb[i] = arb.NewRoundRobin(v)
 		r.outArb[i] = arb.NewRoundRobin(k)
 		r.vaPtr[i] = make([]int, v)
@@ -74,36 +59,8 @@ func newLowRadix(cfg Config) *lowRadix {
 
 func (r *lowRadix) Config() Config { return r.cfg }
 
-func (r *lowRadix) CanAccept(input, vc int) bool { return !r.in[input][vc].q.Full() }
-
-func (r *lowRadix) Accept(now int64, f *flit.Flit) {
-	f.InjectedAt = now
-	r.in[f.Src][f.VC].q.MustPush(f)
-	r.inOcc.inc(f.Src)
-	r.cfg.observe(Event{Cycle: now, Kind: EvAccept, Flit: f, Input: f.Src, Output: f.Dst, VC: f.VC})
-}
-
-func (r *lowRadix) Ejected() []*flit.Flit { return r.ejected }
-
-func (r *lowRadix) InFlight() int {
-	n := r.ej.len()
-	for _, vcs := range r.in {
-		for _, v := range vcs {
-			n += v.q.Len()
-		}
-	}
-	return n
-}
-
 func (r *lowRadix) Step(now int64) {
-	r.ejected = r.ejected[:0]
-	r.ej.drain(now, func(port int, f *flit.Flit) {
-		if f.Tail {
-			r.owner.release(port, f.VC, f.PacketID)
-		}
-		r.cfg.observe(Event{Cycle: now, Kind: EvEject, Flit: f, Input: f.Src, Output: port, VC: f.VC})
-		r.ejected = append(r.ejected, f)
-	})
+	r.BeginCycle(now)
 	r.switchAllocate(now)
 	r.vcAllocate(now)
 }
@@ -119,26 +76,27 @@ func (r *lowRadix) vcAllocate(now int64) {
 	// requests[o][ov] collects flat input-VC indices.
 	type reqList struct{ reqs []int }
 	var table map[int]*reqList // key o*v+ov
-	for i := r.inOcc.next(0); i >= 0; i = r.inOcc.next(i + 1) {
+	for i := r.In.NextOccupied(0); i >= 0; i = r.In.NextOccupied(i + 1) {
+		fronts := r.In.Fronts(i)
 		for c := 0; c < v; c++ {
-			ivc := r.in[i][c]
-			f, ok := ivc.front()
-			if !ok || !f.Head || ivc.outVC >= 0 || now <= f.InjectedAt {
+			fr := &fronts[c]
+			// now <= Inj also rejects empty buffers (FrontNone).
+			if !fr.Head || fr.OutVC >= 0 || now <= fr.Inj {
 				continue
 			}
-			o := f.Dst
+			o := int(fr.Dst)
 			// Rotating scan for a free output VC; the centralized
 			// allocator sees VC status, so only free VCs are requested.
 			cand := -1
 			for s := 0; s < v; s++ {
-				ov := (ivc.reqRotate + s) % v
-				if r.owner.freeVC(o, ov) {
+				ov := (int(fr.Rot) + s) % v
+				if r.Owner.FreeVC(o, ov) {
 					cand = ov
 					break
 				}
 			}
 			if cand < 0 {
-				ivc.reqRotate = (ivc.reqRotate + 1) % v
+				fr.Rot = uint8((int(fr.Rot) + 1) % v)
 				continue
 			}
 			if table == nil {
@@ -166,10 +124,9 @@ func (r *lowRadix) vcAllocate(now int64) {
 		}
 		r.vaPtr[o][ov] = (best + 1) % (k * v)
 		i, c := best/v, best%v
-		ivc := r.in[i][c]
-		f, _ := ivc.front()
-		r.owner.acquire(o, ov, f.PacketID)
-		ivc.outVC = ov
+		fr := r.In.Front(i, c)
+		r.Owner.Acquire(o, ov, fr.Pkt)
+		fr.OutVC = int16(ov)
 	}
 }
 
@@ -184,23 +141,23 @@ func (r *lowRadix) switchAllocate(now int64) {
 	st := r.cfg.STCycles
 	for iter := 0; iter < r.cfg.AllocIters; iter++ {
 		anyReq := false
-		for i := r.inOcc.next(0); i >= 0; i = r.inOcc.next(i + 1) {
-			if r.inputMatched.Get(i) || !r.inFree[i].free(now) {
+		for i := r.In.NextOccupied(0); i >= 0; i = r.In.NextOccupied(i + 1) {
+			if r.inputMatched.Get(i) || !r.inFree.Free(i, now) {
 				continue
 			}
 			r.vcReq.Reset()
 			any := false
+			fronts := r.In.Fronts(i)
 			for c := 0; c < v; c++ {
-				ivc := r.in[i][c]
-				f, ok := ivc.front()
+				fr := &fronts[c]
 				// On the first iteration the input stage is blind to
 				// output status (a busy-output bid wastes the input's
 				// cycle — the head-of-line behavior that caps
 				// input-queued switches near 60%, Section 4.3). Later
 				// iterations only re-bid toward outputs that can still
 				// be granted, which is what the refinement is for.
-				eligible := ok && now > f.InjectedAt && ivc.outVC >= 0
-				if eligible && iter > 0 && !r.outFree[f.Dst].free(now) {
+				eligible := now > fr.Inj && fr.OutVC >= 0
+				if eligible && iter > 0 && !r.outFree.Free(int(fr.Dst), now) {
 					eligible = false
 				}
 				if eligible {
@@ -212,10 +169,10 @@ func (r *lowRadix) switchAllocate(now int64) {
 				continue
 			}
 			c := r.inputArb[i].ArbitrateBits(r.vcReq)
-			f, _ := r.in[i][c].front()
 			r.saReqVC[i] = c
-			r.outReqs[f.Dst].Set(i)
-			r.outActive.Set(f.Dst)
+			o := int(fronts[c].Dst)
+			r.outReqs[o].Set(i)
+			r.outActive.Set(o)
 			anyReq = true
 		}
 		if !anyReq {
@@ -223,22 +180,21 @@ func (r *lowRadix) switchAllocate(now int64) {
 		}
 		for o := r.outActive.Next(0); o >= 0; o = r.outActive.Next(o + 1) {
 			reqs := r.outReqs[o]
-			if r.outFree[o].free(now) {
+			if r.outFree.Free(o, now) {
 				win := r.outArb[o].ArbitrateBits(reqs)
 				c := r.saReqVC[win]
-				ivc := r.in[win][c]
-				f := ivc.q.MustPop()
-				r.inOcc.dec(win)
-				f.VC = ivc.outVC
+				fr := r.In.Front(win, c)
+				f := r.In.Pop(win, c)
+				f.VC = int(fr.OutVC)
 				if f.Tail {
-					ivc.outVC = -1
+					fr.OutVC = -1
 				}
 				// Traversal occupies cycles now+1 .. now+STCycles; the flit
 				// ejects on the final traversal cycle.
-				r.inFree[win].reserve(now, st)
-				r.outFree[o].reserve(now, st)
-				r.cfg.observe(Event{Cycle: now, Kind: EvGrant, Flit: f, Input: win, Output: o, VC: f.VC, Note: "switch"})
-				r.ej.push(now, o, f)
+				r.inFree.Reserve(win, now, st)
+				r.outFree.Reserve(o, now, st)
+				r.Obs.Emit(Event{Cycle: now, Kind: EvGrant, Flit: f, Input: win, Output: o, VC: f.VC, Note: "switch"})
+				r.Out.Push(now, o, f)
 				r.inputMatched.Set(win)
 			}
 			reqs.Reset()

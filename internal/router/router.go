@@ -1,14 +1,16 @@
 package router
 
-import (
-	"highradix/internal/flit"
-	"highradix/internal/sim"
-)
+import "highradix/internal/flit"
 
 // Router is the external contract shared by every architecture. A
 // router is advanced one cycle at a time; the caller injects flits into
 // input virtual channels subject to CanAccept (the upstream side of
 // credit flow control) and collects ejected flits after each Step.
+//
+// The shared datapath behind this contract — input-buffer bank,
+// ejection pipe, credit ledgers, VC owner tables — lives in the
+// router/core package; each architecture file here holds only its
+// allocation logic.
 type Router interface {
 	// Config returns the (defaulted) configuration the router was built
 	// with.
@@ -42,126 +44,3 @@ type Router interface {
 	// testbenches run until this reaches zero.
 	InFlight() int
 }
-
-// serializer models a port that carries one flit every STCycles cycles:
-// input rows, output columns, subswitch ports.
-type serializer struct{ freeAt int64 }
-
-func (s *serializer) free(now int64) bool { return s.freeAt <= now }
-
-func (s *serializer) reserve(now int64, cycles int) { s.freeAt = now + int64(cycles) }
-
-// vcOwnerTable tracks which packet currently owns each output virtual
-// channel. A packet acquires the VC with its head flit and releases it
-// when the tail departs — the per-packet VC allocation of Section 3.
-type vcOwnerTable struct {
-	owner []uint64 // flat [port*vcs+vc]; 0 = free
-	vcs   int
-}
-
-func newVCOwnerTable(ports, vcs int) *vcOwnerTable {
-	return &vcOwnerTable{owner: make([]uint64, ports*vcs), vcs: vcs}
-}
-
-func (t *vcOwnerTable) freeVC(port, vc int) bool { return t.owner[port*t.vcs+vc] == 0 }
-
-func (t *vcOwnerTable) ownedBy(port, vc int, pkt uint64) bool { return t.owner[port*t.vcs+vc] == pkt }
-
-func (t *vcOwnerTable) acquire(port, vc int, pkt uint64) {
-	if t.owner[port*t.vcs+vc] != 0 {
-		panic("router: output VC double allocation")
-	}
-	t.owner[port*t.vcs+vc] = pkt
-}
-
-func (t *vcOwnerTable) release(port, vc int, pkt uint64) {
-	if t.owner[port*t.vcs+vc] != pkt {
-		panic("router: output VC released by non-owner")
-	}
-	t.owner[port*t.vcs+vc] = 0
-}
-
-// ejEntry is a flit scheduled to leave an output port at the end of its
-// switch traversal.
-type ejEntry struct {
-	f    *flit.Flit
-	port int32
-}
-
-// ejectQueue schedules flits to leave output ports exactly delay cycles
-// after they are pushed. Every architecture's traversal time is fixed at
-// construction, so the queue is a ring of delay+1 per-cycle slots: a
-// push at cycle t lands in slot t mod (delay+1) and is drained when the
-// ring wraps back around, with no per-entry queue rotation. The ring
-// relies on Step being invoked once per consecutive cycle, which is the
-// contract every driver in this repository follows (the previous
-// any-order scan delivered late pushes too, but no caller ever made
-// one).
-type ejectQueue struct {
-	slots [][]ejEntry
-	count int
-}
-
-func newEjectQueue(delay int) *ejectQueue {
-	if delay < 1 {
-		panic("router: eject delay must be at least one cycle")
-	}
-	return &ejectQueue{slots: make([][]ejEntry, delay+1)}
-}
-
-func (e *ejectQueue) push(now int64, port int, f *flit.Flit) {
-	i := int(now % int64(len(e.slots)))
-	e.slots[i] = append(e.slots[i], ejEntry{f: f, port: int32(port)})
-	e.count++
-}
-
-func (e *ejectQueue) len() int { return e.count }
-
-// drain calls fn for every flit due at cycle now, in push order, and
-// removes them. With delay d and d+1 slots, the due slot at cycle now
-// is the one filled at now-d, i.e. (now+1) mod (d+1).
-func (e *ejectQueue) drain(now int64, fn func(port int, f *flit.Flit)) {
-	i := int((now + 1) % int64(len(e.slots)))
-	due := e.slots[i]
-	if len(due) == 0 {
-		return
-	}
-	e.slots[i] = due[:0]
-	e.count -= len(due)
-	for _, en := range due {
-		fn(int(en.port), en.f)
-	}
-}
-
-// inputVC is one virtual-channel buffer at a router input, shared by
-// every architecture. Route state lives with the VC because per-packet
-// steps (route computation, VC allocation) are performed once per
-// packet at the head flit.
-type inputVC struct {
-	// q is embedded by value so routers that keep their input VCs in one
-	// flat slice reach the buffer without a pointer dereference.
-	q sim.Queue[*flit.Flit]
-	// outVC is the allocated output virtual channel of the packet whose
-	// flits currently occupy the front of the queue; -1 when the head
-	// packet has not completed VC allocation.
-	outVC int
-	// reqRotate rotates the speculative output-VC choice across
-	// allocation attempts so a failed speculation eventually finds a
-	// free VC (Section 4.4's re-bidding).
-	reqRotate int
-}
-
-func newInputVC(depth int) *inputVC {
-	vq := &inputVC{}
-	vq.init(depth)
-	return vq
-}
-
-// init prepares a zero inputVC in place (used by flat []inputVC storage).
-func (v *inputVC) init(depth int) {
-	v.q = *sim.NewQueue[*flit.Flit](depth)
-	v.outVC = -1
-}
-
-// front returns the flit at the head of the buffer.
-func (v *inputVC) front() (*flit.Flit, bool) { return v.q.Peek() }

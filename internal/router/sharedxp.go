@@ -3,6 +3,7 @@ package router
 import (
 	"highradix/internal/arb"
 	"highradix/internal/flit"
+	"highradix/internal/router/core"
 	"highradix/internal/sim"
 )
 
@@ -17,24 +18,20 @@ import (
 // and the input re-sends it later.
 type sharedXpoint struct {
 	cfg Config
+	core.Base
 
-	in       [][]*inputVC
 	awaiting [][]bool // [input][vc]: sent speculatively, ACK/NACK pending
-	inFree   []serializer
+	inFree   core.SerializerBank
 	inputArb []*arb.RoundRobin
 
-	credit  [][]int                    // [input][output] shared-buffer credits
+	credit  core.Ledger                // shared-buffer pools flat [input*k+output]
 	xp      [][]*sim.Queue[*flit.Flit] // [input][output] shared FIFO
 	outLG   []arb.BitArbiter
-	owner   *vcOwnerTable
-	outFree []serializer
+	outFree core.SerializerBank
 
 	toXp *sim.DelayLine[*flit.Flit]
 	ack  *sim.DelayLine[xpAck]
-	bus  []*creditBus
-
-	ej      *ejectQueue
-	ejected []*flit.Flit
+	bus  []*core.CreditBus
 
 	// The crosspoint grid is walked in two orders — row-major by the
 	// NACK scan (input outer) and column-major by the output stage
@@ -42,11 +39,15 @@ type sharedXpoint struct {
 	// marks outputs with flits queued from input i, colAct[o] marks
 	// inputs with flits queued for output o; rowAny/outAct summarize
 	// which rows/columns are nonempty at all.
-	inOcc  *activeSet
-	rowAct []*activeSet // [input] over outputs
-	rowAny *activeSet   // inputs with any crosspoint occupancy
-	colAct []*activeSet // [output] over inputs
-	outAct *activeSet   // outputs with any crosspoint occupancy
+	rowAct []*core.ActiveSet // [input] over outputs
+	rowAny *core.ActiveSet   // inputs with any crosspoint occupancy
+	colAct []*core.ActiveSet // [output] over inputs
+	outAct *core.ActiveSet   // outputs with any crosspoint occupancy
+	// xpBody counts body and tail flits inside crosspoint buffers —
+	// the flits that live only there (heads are retained input-side
+	// until ACKed). Maintained as flits land and drain so InFlight
+	// never walks the grid.
+	xpBody int
 
 	candidates *arb.BitVec // sized k
 	vcReq      *arb.BitVec // sized v
@@ -59,124 +60,78 @@ type xpAck struct {
 
 func newSharedXpoint(cfg Config) *sharedXpoint {
 	k, v := cfg.Radix, cfg.VCs
+	obs := core.Obs{O: cfg.Observer}
 	r := &sharedXpoint{
 		cfg:        cfg,
-		in:         make([][]*inputVC, k),
+		Base:       core.MakeBase(obs, k, v, cfg.InputBufDepth, cfg.STCycles),
 		awaiting:   make([][]bool, k),
-		inFree:     make([]serializer, k),
+		inFree:     core.NewSerializerBank(k),
 		inputArb:   make([]*arb.RoundRobin, k),
-		credit:     make([][]int, k),
+		credit:     core.MakeLedger(obs, "xp-shared", k*k, cfg.XpointBufDepth),
 		xp:         make([][]*sim.Queue[*flit.Flit], k),
 		outLG:      make([]arb.BitArbiter, k),
-		owner:      newVCOwnerTable(k, v),
-		outFree:    make([]serializer, k),
+		outFree:    core.NewSerializerBank(k),
 		toXp:       sim.NewDelayLine[*flit.Flit](cfg.STCycles),
 		ack:        sim.NewDelayLine[xpAck](1),
-		bus:        make([]*creditBus, k),
-		ej:         newEjectQueue(cfg.STCycles),
-		inOcc:      newActiveSet(k),
-		rowAct:     make([]*activeSet, k),
-		rowAny:     newActiveSet(k),
-		colAct:     make([]*activeSet, k),
-		outAct:     newActiveSet(k),
+		bus:        make([]*core.CreditBus, k),
+		rowAct:     make([]*core.ActiveSet, k),
+		rowAny:     core.NewActiveSet(k),
+		colAct:     make([]*core.ActiveSet, k),
+		outAct:     core.NewActiveSet(k),
 		candidates: arb.NewBitVec(k),
 		vcReq:      arb.NewBitVec(v),
 	}
 	for i := 0; i < k; i++ {
-		r.rowAct[i] = newActiveSet(k)
-		r.colAct[i] = newActiveSet(k)
-		r.in[i] = make([]*inputVC, v)
-		for c := 0; c < v; c++ {
-			r.in[i][c] = newInputVC(cfg.InputBufDepth)
-		}
+		r.rowAct[i] = core.NewActiveSet(k)
+		r.colAct[i] = core.NewActiveSet(k)
 		r.awaiting[i] = make([]bool, v)
 		r.inputArb[i] = arb.NewRoundRobin(v)
-		r.credit[i] = make([]int, k)
 		r.xp[i] = make([]*sim.Queue[*flit.Flit], k)
 		for o := 0; o < k; o++ {
-			r.credit[i][o] = cfg.XpointBufDepth
 			r.xp[i][o] = sim.NewQueue[*flit.Flit](cfg.XpointBufDepth)
 		}
 		r.outLG[i] = arb.NewBitOutputArbiter(k, cfg.LocalGroup)
-		r.bus[i] = newCreditBus(k, cfg.LocalGroup)
+		r.bus[i] = core.NewCreditBus(k, cfg.LocalGroup)
 	}
 	return r
 }
 
 // xpPushed/xpPopped keep the four crosspoint-occupancy views in sync.
 func (r *sharedXpoint) xpPushed(i, o int) {
-	r.rowAct[i].inc(o)
-	r.rowAny.inc(i)
-	r.colAct[o].inc(i)
-	r.outAct.inc(o)
+	r.rowAct[i].Inc(o)
+	r.rowAny.Inc(i)
+	r.colAct[o].Inc(i)
+	r.outAct.Inc(o)
 }
 
 func (r *sharedXpoint) xpPopped(i, o int) {
-	r.rowAct[i].dec(o)
-	r.rowAny.dec(i)
-	r.colAct[o].dec(i)
-	r.outAct.dec(o)
+	r.rowAct[i].Dec(o)
+	r.rowAny.Dec(i)
+	r.colAct[o].Dec(i)
+	r.outAct.Dec(o)
 }
 
 func (r *sharedXpoint) Config() Config { return r.cfg }
 
-func (r *sharedXpoint) CanAccept(input, vc int) bool { return !r.in[input][vc].q.Full() }
-
-func (r *sharedXpoint) Accept(now int64, f *flit.Flit) {
-	f.InjectedAt = now
-	r.in[f.Src][f.VC].q.MustPush(f)
-	r.inOcc.inc(f.Src)
-	r.cfg.observe(Event{Cycle: now, Kind: EvAccept, Flit: f, Input: f.Src, Output: f.Dst, VC: f.VC})
-}
-
-func (r *sharedXpoint) Ejected() []*flit.Flit { return r.ejected }
+// xpPool flattens a shared crosspoint buffer's (input, output)
+// coordinates into its credit-ledger pool index.
+func (r *sharedXpoint) xpPool(i, o int) int { return i*r.cfg.Radix + o }
 
 func (r *sharedXpoint) InFlight() int {
-	// A flit awaiting ACK exists both input-side (retained copy) and
-	// crosspoint-side, so this is an upper bound rather than an exact
-	// occupancy; it is zero exactly when the router is empty, which is
-	// the property drain loops rely on.
-	n := r.ej.len() + r.toXp.Len() + r.inflightXpOnly()
-	for i := range r.in {
-		for _, v := range r.in[i] {
-			n += v.q.Len()
-		}
-	}
-	return n
-}
-
-// inflightXpOnly counts flits that live only in crosspoint buffers (body
-// flits, which are ACKed on arrival and popped from the input).
-func (r *sharedXpoint) inflightXpOnly() int {
-	n := 0
-	for i := range r.xp {
-		for o := range r.xp[i] {
-			q := r.xp[i][o]
-			for idx := 0; idx < q.Len(); idx++ {
-				f, _ := q.PeekAt(idx)
-				if !f.Head {
-					n++
-				}
-			}
-		}
-	}
-	return n
+	// A head flit awaiting ACK exists both input-side (retained copy)
+	// and crosspoint-side, so this is an upper bound rather than an
+	// exact occupancy; it is zero exactly when the router is empty,
+	// which is the property drain loops rely on. xpBody covers the
+	// flits living only in crosspoint buffers.
+	return r.In.Buffered() + r.Out.Len() + r.toXp.Len() + r.xpBody
 }
 
 func (r *sharedXpoint) Step(now int64) {
-	r.ejected = r.ejected[:0]
-	r.ej.drain(now, func(port int, f *flit.Flit) {
-		if f.Tail {
-			r.owner.release(port, f.VC, f.PacketID)
-		}
-		r.cfg.observe(Event{Cycle: now, Kind: EvEject, Flit: f, Input: f.Src, Output: port, VC: f.VC})
-		r.ejected = append(r.ejected, f)
-	})
+	r.BeginCycle(now)
 	r.ack.DrainReady(now, func(a xpAck) {
 		r.awaiting[a.input][a.vc] = false
 		if a.ack {
-			r.in[a.input][a.vc].q.MustPop()
-			r.inOcc.dec(a.input)
+			r.In.Pop(a.input, a.vc)
 		}
 	})
 	r.toXp.DrainReady(now, func(f *flit.Flit) {
@@ -185,6 +140,7 @@ func (r *sharedXpoint) Step(now int64) {
 		if !f.Head {
 			// Body and tail flits cannot fail VC allocation; ACK on
 			// arrival so the input can proceed.
+			r.xpBody++
 			r.ack.Push(now, xpAck{input: f.Src, vc: f.VC, ack: true})
 		}
 	})
@@ -194,10 +150,8 @@ func (r *sharedXpoint) Step(now int64) {
 	if !r.cfg.IdealCredit {
 		for i := range r.bus {
 			i := i
-			r.bus[i].step(now, func(output, vc int) {
-				r.credit[i][output]++
-				r.cfg.observe(Event{Cycle: now, Kind: EvCredit, Input: i, Output: output,
-					Note: "xp-shared", Delta: +1, Depth: r.cfg.XpointBufDepth})
+			r.bus[i].Step(now, func(output, vc int) {
+				r.credit.Return(now, r.xpPool(i, output), i, output, vc)
 			})
 		}
 	}
@@ -209,17 +163,17 @@ func (r *sharedXpoint) Step(now int64) {
 func (r *sharedXpoint) nackBlockedHeads(now int64) {
 	// The row-major (input-outer) walk matches the original dense scan so
 	// NACK events keep their observed order.
-	for i := r.rowAny.next(0); i >= 0; i = r.rowAny.next(i + 1) {
+	for i := r.rowAny.Next(0); i >= 0; i = r.rowAny.Next(i + 1) {
 		row := r.rowAct[i]
-		for o := row.next(0); o >= 0; o = row.next(o + 1) {
+		for o := row.Next(0); o >= 0; o = row.Next(o + 1) {
 			f, ok := r.xp[i][o].Peek()
 			if !ok || !f.Head {
 				continue
 			}
-			if !r.owner.freeVC(o, f.VC) {
+			if !r.Owner.FreeVC(o, f.VC) {
 				r.xp[i][o].MustPop()
 				r.xpPopped(i, o)
-				r.cfg.observe(Event{Cycle: now, Kind: EvNack, Flit: f, Input: i, Output: o, VC: f.VC, Note: "xpoint-vc-busy"})
+				r.Obs.Emit(Event{Cycle: now, Kind: EvNack, Flit: f, Input: i, Output: o, VC: f.VC, Note: "xpoint-vc-busy"})
 				r.ack.Push(now, xpAck{input: i, vc: f.VC, ack: false})
 				r.returnCredit(now, i, o)
 			}
@@ -229,26 +183,24 @@ func (r *sharedXpoint) nackBlockedHeads(now int64) {
 
 func (r *sharedXpoint) returnCredit(now int64, i, o int) {
 	if r.cfg.IdealCredit {
-		r.credit[i][o]++
-		r.cfg.observe(Event{Cycle: now, Kind: EvCredit, Input: i, Output: o,
-			Note: "xp-shared", Delta: +1, Depth: r.cfg.XpointBufDepth})
+		r.credit.Return(now, r.xpPool(i, o), i, o, 0)
 	} else {
-		r.bus[i].enqueue(o, 0)
+		r.bus[i].Enqueue(o, 0)
 	}
 }
 
 func (r *sharedXpoint) outputStage(now int64) {
-	for o := r.outAct.next(0); o >= 0; o = r.outAct.next(o + 1) {
-		if !r.outFree[o].free(now) {
+	for o := r.outAct.Next(0); o >= 0; o = r.outAct.Next(o + 1) {
+		if !r.outFree.Free(o, now) {
 			continue
 		}
 		r.candidates.Reset()
 		any := false
 		col := r.colAct[o]
-		for i := col.next(0); i >= 0; i = col.next(i + 1) {
+		for i := col.Next(0); i >= 0; i = col.Next(i + 1) {
 			f, ok := r.xp[i][o].Peek()
-			if ok && (!f.Head && r.owner.ownedBy(o, f.VC, f.PacketID) ||
-				f.Head && r.owner.freeVC(o, f.VC)) {
+			if ok && (!f.Head && r.Owner.OwnedBy(o, f.VC, f.PacketID) ||
+				f.Head && r.Owner.FreeVC(o, f.VC)) {
 				r.candidates.Set(i)
 				any = true
 			}
@@ -259,30 +211,33 @@ func (r *sharedXpoint) outputStage(now int64) {
 		win := r.outLG[o].ArbitrateBits(r.candidates)
 		f := r.xp[win][o].MustPop()
 		r.xpPopped(win, o)
-		r.cfg.observe(Event{Cycle: now, Kind: EvGrant, Flit: f, Input: win, Output: o, VC: f.VC, Note: "output"})
+		r.Obs.Emit(Event{Cycle: now, Kind: EvGrant, Flit: f, Input: win, Output: o, VC: f.VC, Note: "output"})
 		if f.Head {
-			r.owner.acquire(o, f.VC, f.PacketID)
+			r.Owner.Acquire(o, f.VC, f.PacketID)
 			// Successful VC allocation: ACK so the input releases its
 			// retained copy.
 			r.ack.Push(now, xpAck{input: win, vc: f.VC, ack: true})
+		} else {
+			r.xpBody--
 		}
-		r.outFree[o].reserve(now, r.cfg.STCycles)
-		r.ej.push(now, o, f)
+		r.outFree.Reserve(o, now, r.cfg.STCycles)
+		r.Out.Push(now, o, f)
 		r.returnCredit(now, win, o)
 	}
 }
 
 func (r *sharedXpoint) inputStage(now int64) {
 	v := r.cfg.VCs
-	for i := r.inOcc.next(0); i >= 0; i = r.inOcc.next(i + 1) {
-		if !r.inFree[i].free(now) {
+	for i := r.In.NextOccupied(0); i >= 0; i = r.In.NextOccupied(i + 1) {
+		if !r.inFree.Free(i, now) {
 			continue
 		}
 		r.vcReq.Reset()
 		any := false
+		fronts := r.In.Fronts(i)
 		for c := 0; c < v; c++ {
-			f, ok := r.in[i][c].front()
-			if ok && !r.awaiting[i][c] && now > f.InjectedAt && r.credit[i][f.Dst] > 0 {
+			fr := &fronts[c]
+			if !r.awaiting[i][c] && now > fr.Inj && r.credit.Avail(r.xpPool(i, int(fr.Dst))) {
 				r.vcReq.Set(c)
 				any = true
 			}
@@ -291,21 +246,15 @@ func (r *sharedXpoint) inputStage(now int64) {
 			continue
 		}
 		c := r.inputArb[i].ArbitrateBits(r.vcReq)
-		f, _ := r.in[i][c].front()
-		r.credit[i][f.Dst]--
-		r.cfg.observe(Event{Cycle: now, Kind: EvCredit, Input: i, Output: f.Dst,
-			Note: "xp-shared", Delta: -1, Depth: r.cfg.XpointBufDepth})
-		r.inFree[i].reserve(now, r.cfg.STCycles)
-		r.cfg.observe(Event{Cycle: now, Kind: EvGrant, Flit: f, Input: i, Output: f.Dst, VC: c, Note: "input-row"})
-		if f.Head {
-			// Speculative: retain in the input buffer until ACK/NACK.
-			r.awaiting[i][c] = true
-			r.toXp.Push(now, f)
-		} else {
-			// Nonspeculative body flits are ACKed on arrival; mark the
-			// VC awaiting so the same flit is not re-sent meanwhile.
-			r.awaiting[i][c] = true
-			r.toXp.Push(now, f)
-		}
+		f, _ := r.In.Peek(i, c)
+		r.credit.Spend(now, r.xpPool(i, f.Dst), i, f.Dst, 0)
+		r.inFree.Reserve(i, now, r.cfg.STCycles)
+		r.Obs.Emit(Event{Cycle: now, Kind: EvGrant, Flit: f, Input: i, Output: f.Dst, VC: c, Note: "input-row"})
+		// Retain the flit in the input buffer until the crosspoint
+		// ACKs: speculatively for heads (the ACK is the VC allocation),
+		// and to keep the same flit from being re-sent for bodies
+		// (their ACK is immediate on arrival).
+		r.awaiting[i][c] = true
+		r.toXp.Push(now, f)
 	}
 }
