@@ -23,8 +23,10 @@ import (
 	"fmt"
 	"os"
 	"testing"
+	"time"
 
 	"highradix"
+	"highradix/internal/experiments"
 )
 
 // point is one (architecture, radix) measurement.
@@ -37,13 +39,23 @@ type point struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 }
 
+// figPoint records the wall-clock of one Quick-scale figure
+// regeneration, run serially (Workers=1) so the number reflects
+// simulation cost rather than host parallelism. Like ns/op it is
+// machine-dependent and informational: -check never compares it.
+type figPoint struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+}
+
 // sweep is the file format: the configurations swept plus enough
 // metadata to interpret the numbers.
 type sweep struct {
-	Note      string  `json:"note"`
-	Load      float64 `json:"load"`
-	Benchtime string  `json:"benchtime"`
-	Points    []point `json:"points"`
+	Note      string     `json:"note"`
+	Load      float64    `json:"load"`
+	Benchtime string     `json:"benchtime"`
+	Points    []point    `json:"points"`
+	Figures   []figPoint `json:"figures,omitempty"`
 }
 
 // configs lists the swept (arch, radix) pairs. The low-radix router is
@@ -121,6 +133,33 @@ func runSweep(benchtime string, verbose bool) sweep {
 	return s
 }
 
+// figureTimings times the Quick-scale regeneration of the figures whose
+// wall-clock the repository tracks (the cheapest single-router figure
+// and the Clos-network figure), serially, one run each.
+func figureTimings(verbose bool) []figPoint {
+	scale := experiments.Quick
+	scale.Workers = 1
+	var out []figPoint
+	for _, name := range []string{"fig9", "fig19"} {
+		gen, err := experiments.ByName(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hrbench:", err)
+			os.Exit(1)
+		}
+		t0 := time.Now()
+		if _, err := gen(scale); err != nil {
+			fmt.Fprintln(os.Stderr, "hrbench:", err)
+			os.Exit(1)
+		}
+		p := figPoint{Name: name, Seconds: time.Since(t0).Seconds()}
+		if verbose {
+			fmt.Fprintf(os.Stderr, "%-12s quick scale %12.2f s\n", p.Name, p.Seconds)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
 // check compares a fresh sweep against the committed baseline and
 // reports every point whose allocs/op exceeds the recorded value.
 // ns/op is deliberately not checked: it varies with the host.
@@ -195,6 +234,7 @@ func main() {
 	}
 
 	s := runSweep(*benchtime, !*quiet)
+	s.Figures = figureTimings(!*quiet)
 	data, err := json.MarshalIndent(s, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hrbench:", err)

@@ -39,6 +39,7 @@ func main() {
 		jobs    = flag.Int("j", 0, "sweep pool workers (0 = GOMAXPROCS, 1 = serial)")
 		profile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		chk     = flag.Bool("check", false, "arm the end-to-end network auditor (drains each run to empty and fails on any violation)")
+		noff    = flag.Bool("noff", false, "force dense per-cycle stepping (disable quiescence fast-forward; results are byte-identical)")
 	)
 	flag.Parse()
 
@@ -62,6 +63,7 @@ func main() {
 		WarmupCycles:  *warmup,
 		MeasureCycles: *measure,
 		Seed:          *seed,
+		NoFastForward: *noff,
 	}
 	full := cfg.WithDefaults()
 	fmt.Printf("clos: radix=%d stages=%d terminals=%d router-delay=%d ser=%d\n",

@@ -38,6 +38,7 @@ func main() {
 		plot    = flag.Bool("plot", false, "append an ASCII plot of the series")
 		jobs    = flag.Int("j", 0, "sweep pool workers (0 = GOMAXPROCS, 1 = serial)")
 		profile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		noff    = flag.Bool("noff", false, "force dense per-cycle stepping (disable quiescence fast-forward; results are byte-identical)")
 	)
 	flag.Parse()
 
@@ -73,6 +74,7 @@ func main() {
 	}
 	scale.Seed = *seed
 	scale.Workers = *jobs
+	scale.NoFastForward = *noff
 
 	run := func(name string, gen experiments.Generator) {
 		t0 := time.Now()

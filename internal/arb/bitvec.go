@@ -102,6 +102,18 @@ func (v *BitVec) FillBools(dst []bool) {
 	}
 }
 
+// SetWord re-initializes a vector of at most 64 lines from a packed
+// word (bit i = line i). It is the bulk load behind the routers'
+// head-mask scans, where a request vector over the VCs of one buffer
+// is computed with word arithmetic instead of per-line Sets. Bits at
+// or above Len must be zero.
+func (v *BitVec) SetWord(w uint64) {
+	if v.n > 64 {
+		panic("arb: SetWord on a vector wider than one word")
+	}
+	v.words[0] = w
+}
+
 // Next returns the lowest raised line at or after i, or -1 when none
 // remains. Iterating `for i := v.Next(0); i >= 0; i = v.Next(i + 1)`
 // visits the raised lines in ascending order, skipping idle spans a

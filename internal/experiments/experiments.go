@@ -36,6 +36,11 @@ type Scale struct {
 	// forces serial execution. Every run owns its RNG (seeded from
 	// Seed), so the produced tables are identical for every value.
 	Workers int
+	// NoFastForward forces dense per-cycle stepping in every run
+	// (testbench.Options.NoFastForward / network.Options.NoFastForward).
+	// Results are byte-identical either way; the flag exists for A/B
+	// verification of the fast-forward machinery.
+	NoFastForward bool
 }
 
 // Full is the publication-quality scale.
@@ -69,6 +74,7 @@ func (s Scale) opts(cfg router.Config) testbench.Options {
 		WarmupCycles:  s.Warmup,
 		MeasureCycles: s.Measure,
 		Seed:          s.Seed,
+		NoFastForward: s.NoFastForward,
 	}
 }
 

@@ -49,6 +49,7 @@ func Fig19(s Scale) (*stats.Table, error) {
 			WarmupCycles:  s.NetWarmup,
 			MeasureCycles: s.NetMeasure,
 			Seed:          s.Seed,
+			NoFastForward: s.NoFastForward,
 		}
 		series, err := sweep.Curve(p, c.name, s.NetLoads, func(load float64) (sweep.Point, error) {
 			o := base

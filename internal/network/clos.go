@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"math"
 
+	"highradix/internal/arb"
 	"highradix/internal/flit"
 	"highradix/internal/sim"
 )
@@ -176,6 +177,18 @@ type Network struct {
 	// reused across routers and cycles.
 	reqScratch [][]int
 
+	// Occupancy tracking, so Step visits only routers that hold flits
+	// (O(active) per cycle, not O(routers)) and InFlight is O(1):
+	// act[stage] marks routers with any buffered flit, occ[stage][router]
+	// marks occupied flat (port*VCs+vc) input VCs, bufCount[stage][router]
+	// counts a router's buffered flits and buffered sums them all.
+	// outReqd is grant-phase scratch marking outputs with requests.
+	act      []arb.BitVec
+	occ      [][]arb.BitVec
+	bufCount [][]int32
+	buffered int
+	outReqd  arb.BitVec
+
 	ejected []*flit.Flit
 }
 
@@ -201,6 +214,10 @@ func New(cfg Config) (*Network, error) {
 		credits:    sim.NewDelayLine[creditMsg](cfg.CreditDelay),
 		rng:        sim.NewRNG(cfg.Seed ^ 0x632be59bd9b4e019),
 		reqScratch: make([][]int, k),
+		act:        make([]arb.BitVec, s),
+		occ:        make([][]arb.BitVec, s),
+		bufCount:   make([][]int32, s),
+		outReqd:    arb.MakeBitVec(k),
 	}
 	nw.linkOwner = make([][][][]uint64, s)
 	nw.routeOf = make([][][][]int, s)
@@ -211,7 +228,11 @@ func New(cfg Config) (*Network, error) {
 		nw.outPtr[st] = make([][]int, rpl)
 		nw.linkOwner[st] = make([][][]uint64, rpl)
 		nw.routeOf[st] = make([][][]int, rpl)
+		nw.act[st] = arb.MakeBitVec(rpl)
+		nw.occ[st] = make([]arb.BitVec, rpl)
+		nw.bufCount[st] = make([]int32, rpl)
 		for r := 0; r < rpl; r++ {
+			nw.occ[st][r] = arb.MakeBitVec(k * v)
 			nw.buf[st][r] = make([][]*sim.Queue[*flit.Flit], k)
 			nw.credit[st][r] = make([][]int, k)
 			nw.outFree[st][r] = make([]serial, k)
@@ -301,19 +322,45 @@ func (nw *Network) Inject(now int64, f *flit.Flit, vc int) {
 // the slice is reused across steps.
 func (nw *Network) Ejected() []*flit.Flit { return nw.ejected }
 
-// InFlight counts flits inside the network.
+// InFlight counts flits inside the network. The buffered count is
+// maintained as flits land and drain, so this never walks the grid.
 func (nw *Network) InFlight() int {
-	cnt := nw.inFlight.Len() + nw.toTerm.Len()
-	for st := range nw.buf {
-		for r := range nw.buf[st] {
-			for p := range nw.buf[st][r] {
-				for c := range nw.buf[st][r][p] {
-					cnt += nw.buf[st][r][p][c].Len()
-				}
-			}
-		}
+	return nw.inFlight.Len() + nw.toTerm.Len() + nw.buffered
+}
+
+// Quiescent reports that Step is a provable no-op until new traffic is
+// injected: no flit is buffered, on an inter-stage wire, or serializing
+// toward a terminal, and no credit is in flight (a draining credit
+// mutates counters, so a cycle with pending credits may not be
+// skipped). It is the network-scale analogue of the router-core
+// quiescence contract (internal/router/core).
+func (nw *Network) Quiescent() bool {
+	return nw.buffered == 0 && nw.inFlight.Len() == 0 &&
+		nw.toTerm.Len() == 0 && nw.credits.Len() == 0
+}
+
+// NextWake returns a lower bound (>= now+1) on the next cycle at which
+// Step can change state absent new injections, or sim.NoWake when the
+// network is empty forever. Buffered flits drive allocation every
+// cycle; otherwise the earliest delay-line arrival is exact.
+func (nw *Network) NextWake(now int64) int64 {
+	if nw.buffered > 0 {
+		return now + 1
 	}
-	return cnt
+	w := sim.NoWake
+	if at, ok := nw.inFlight.NextAt(); ok && at < w {
+		w = at
+	}
+	if at, ok := nw.toTerm.NextAt(); ok && at < w {
+		w = at
+	}
+	if at, ok := nw.credits.NextAt(); ok && at < w {
+		w = at
+	}
+	if w <= now {
+		return now + 1
+	}
+	return w
 }
 
 // Step advances the network one cycle.
@@ -329,6 +376,10 @@ func (nw *Network) Step(now int64) {
 	})
 	nw.inFlight.DrainReady(now, func(a arrival) {
 		nw.buf[a.stage][a.router][a.port][a.vc].MustPush(a.f)
+		nw.occ[a.stage][a.router].Set(a.port*v + a.vc)
+		nw.bufCount[a.stage][a.router]++
+		nw.act[a.stage].Set(a.router)
+		nw.buffered++
 	})
 	nw.toTerm.DrainReady(now, func(f *flit.Flit) {
 		nw.ejected = append(nw.ejected, f)
@@ -339,28 +390,33 @@ func (nw *Network) Step(now int64) {
 	flat := k * v
 	for st := 0; st < nw.s; st++ {
 		last := st == nw.s-1
-		for r := 0; r < nw.rpl; r++ {
+		actSt := &nw.act[st]
+		// Only routers holding flits are visited; routers with empty
+		// buffers post no requests and grant nothing, so skipping them
+		// outright is draw-for-draw identical to the dense scan (the
+		// ascending bitset orders match the dense loop orders exactly).
+		for r := actSt.Next(0); r >= 0; r = actSt.Next(r + 1) {
 			bufs := nw.buf[st][r]
+			occR := &nw.occ[st][r]
 			// Request phase: every occupied input VC posts its front
 			// flit's output request (single-iteration separable
-			// allocation, requester side).
-			for i := range nw.reqScratch {
-				nw.reqScratch[i] = nw.reqScratch[i][:0]
+			// allocation, requester side). The flat (port*VCs+vc) bit
+			// order equals the dense (port, vc) double loop's.
+			for fi := occR.Next(0); fi >= 0; fi = occR.Next(fi + 1) {
+				f, _ := bufs[fi/v][fi%v].Peek()
+				nw.outReqd.Set(f.Route)
+				nw.reqScratch[f.Route] = append(nw.reqScratch[f.Route], fi)
 			}
-			for p := 0; p < k; p++ {
-				for c := 0; c < v; c++ {
-					f, ok := bufs[p][c].Peek()
-					if !ok {
-						continue
-					}
-					nw.reqScratch[f.Route] = append(nw.reqScratch[f.Route], p*v+c)
-				}
-			}
-			// Grant phase: one winner per free output, rotating
-			// priority over flat (port, vc) indices.
-			for out := 0; out < k; out++ {
+			// Grant phase: one winner per requested free output, rotating
+			// priority over flat (port, vc) indices. Each visited output's
+			// scratch is truncated in place — including when the channel
+			// is busy — so the next router starts clean without a k-wide
+			// reset.
+			for out := nw.outReqd.Next(0); out >= 0; out = nw.outReqd.Next(out + 1) {
+				nw.outReqd.Clear(out)
 				reqs := nw.reqScratch[out]
-				if len(reqs) == 0 || nw.outFree[st][r][out].freeAt > now {
+				nw.reqScratch[out] = reqs[:0]
+				if nw.outFree[st][r][out].freeAt > now {
 					continue
 				}
 				ptr := nw.outPtr[st][r][out]
@@ -394,6 +450,14 @@ func (nw *Network) Step(now int64) {
 				}
 				p, c := best/v, best%v
 				f := bufs[p][c].MustPop()
+				if bufs[p][c].Len() == 0 {
+					occR.Clear(best)
+				}
+				nw.bufCount[st][r]--
+				if nw.bufCount[st][r] == 0 {
+					actSt.Clear(r)
+				}
+				nw.buffered--
 				nw.outPtr[st][r][out] = (best + 1) % flat
 				nw.outFree[st][r][out].freeAt = now + ser
 				nw.sendCreditUpstream(now, st, r, p, c)

@@ -1,0 +1,118 @@
+package network
+
+import (
+	"fmt"
+	"testing"
+
+	"highradix/internal/check"
+	"highradix/internal/flit"
+)
+
+// The network-scale twin of testbench's fast-forward equivalence test:
+// a run with NoFastForward set and one without must see the same
+// terminal-boundary event stream (injections and deliveries), the same
+// Result, and the same auditor verdict.
+
+type netEvent struct {
+	Cycle    int64
+	Deliver  bool
+	PacketID uint64
+	Seq      int
+	Src, Dst int
+}
+
+// recHooks records every terminal-boundary event, optionally forwarding
+// to a wrapped Hooks (the auditor) so checked runs are recorded too.
+type recHooks struct {
+	events []netEvent
+	inner  Hooks
+}
+
+func (h *recHooks) Injected(now int64, f *flit.Flit) {
+	h.events = append(h.events, netEvent{Cycle: now, PacketID: f.PacketID, Seq: f.Seq, Src: f.Src, Dst: f.Dst})
+	if h.inner != nil {
+		h.inner.Injected(now, f)
+	}
+}
+
+func (h *recHooks) Delivered(now int64, f *flit.Flit) {
+	h.events = append(h.events, netEvent{Cycle: now, Deliver: true, PacketID: f.PacketID, Seq: f.Seq, Src: f.Src, Dst: f.Dst})
+	if h.inner != nil {
+		h.inner.Delivered(now, f)
+	}
+}
+
+func (h *recHooks) EndCycle(now int64, inFlight int) error {
+	if h.inner != nil {
+		return h.inner.EndCycle(now, inFlight)
+	}
+	return nil
+}
+
+func TestNetFastForwardTwin(t *testing.T) {
+	cases := []Config{
+		{Radix: 4, Digits: 2, Seed: 3},
+		{Radix: 4, Digits: 3, Seed: 5},
+		{Radix: 8, Digits: 2, Seed: 7},
+	}
+	for _, cfg := range cases {
+		cfg := cfg
+		t.Run(fmt.Sprintf("k%dd%d", cfg.Radix, cfg.Digits), func(t *testing.T) {
+			run := func(noFF bool) ([]netEvent, Result, error) {
+				full := cfg.WithDefaults()
+				rec := &recHooks{inner: check.NewNetAuditor(full.Terminals(), full.SerCycles, check.Options{})}
+				res, err := Run(Options{
+					Net:           cfg,
+					Load:          0.4,
+					WarmupCycles:  300,
+					MeasureCycles: 600,
+					Seed:          cfg.Seed,
+					Hooks:         rec,
+					NoFastForward: noFF,
+				})
+				return rec.events, res, err
+			}
+			ffEv, ffRes, ffErr := run(false)
+			dEv, dRes, dErr := run(true)
+			if (ffErr == nil) != (dErr == nil) ||
+				(ffErr != nil && ffErr.Error() != dErr.Error()) {
+				t.Fatalf("error mismatch: fast-forward %v, dense %v", ffErr, dErr)
+			}
+			if ffRes != dRes {
+				t.Fatalf("result mismatch:\nfast-forward %+v\ndense        %+v", ffRes, dRes)
+			}
+			if len(ffEv) != len(dEv) {
+				t.Fatalf("event count mismatch: fast-forward %d, dense %d", len(ffEv), len(dEv))
+			}
+			for i := range ffEv {
+				if ffEv[i] != dEv[i] {
+					t.Fatalf("event %d mismatch:\nfast-forward %+v\ndense        %+v", i, ffEv[i], dEv[i])
+				}
+			}
+		})
+	}
+}
+
+// Unhooked runs may not jump time (generation draws RNG every cycle)
+// but still skip quiescent Steps; their results must match dense runs
+// exactly too.
+func TestNetFastForwardTwinUnhooked(t *testing.T) {
+	run := func(noFF bool) (Result, error) {
+		return Run(Options{
+			Net:           Config{Radix: 4, Digits: 2, Seed: 11},
+			Load:          0.3,
+			WarmupCycles:  300,
+			MeasureCycles: 600,
+			Seed:          11,
+			NoFastForward: noFF,
+		})
+	}
+	ffRes, ffErr := run(false)
+	dRes, dErr := run(true)
+	if (ffErr == nil) != (dErr == nil) {
+		t.Fatalf("error mismatch: fast-forward %v, dense %v", ffErr, dErr)
+	}
+	if ffRes != dRes {
+		t.Fatalf("result mismatch:\nfast-forward %+v\ndense        %+v", ffRes, dRes)
+	}
+}

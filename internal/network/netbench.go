@@ -46,6 +46,12 @@ type Options struct {
 	// generated flit has drained, so end-to-end conservation can be
 	// verified; a non-nil EndCycle error aborts the run.
 	Hooks Hooks
+	// NoFastForward forces dense per-cycle stepping: the run neither
+	// skips quiescent network steps nor jumps time across provably idle
+	// stretches of a hooked drain. Fast-forwarding is cycle-exact
+	// (TestNetFastForwardTwin asserts byte-identical results), so this
+	// exists for A/B verification, not correctness.
+	NoFastForward bool
 }
 
 func (o Options) withDefaults() Options {
@@ -77,6 +83,10 @@ type Result struct {
 	Saturated  bool
 	Cycles     int64
 	AvgHops    float64
+	// DrainUsed is how many cycles past the measurement window the run
+	// actually needed before exiting (0 when it exited at the window's
+	// edge; DrainCycles when the drain bound was exhausted).
+	DrainUsed int64
 }
 
 // Run executes one network simulation.
@@ -118,11 +128,18 @@ func Run(o Options) (Result, error) {
 		measFlitsOut     int64
 		genFlits         int64
 		delFlits         int64
+		srcBacklog       int64
 		now              int64
 	)
 	measStart := o.WarmupCycles
 	measEnd := o.WarmupCycles + o.MeasureCycles
 	maxCycles := measEnd + o.DrainCycles
+	// Whole cycles may be jumped only where no RNG draw can occur.
+	// Unhooked runs draw genRng for every terminal every cycle, so they
+	// never jump (they still skip quiescent Steps, which is exact at any
+	// time); hooked runs stop generating at measEnd and may fast-forward
+	// the drain tail once every source queue is empty.
+	fastForward := !o.NoFastForward
 
 	for now = 0; now < maxCycles; now++ {
 		measuring := now >= measStart && now < measEnd
@@ -135,6 +152,7 @@ func Run(o Options) (Result, error) {
 					srcQ[t].MustPush(f)
 				}
 				genFlits += int64(o.PktLen)
+				srcBacklog += int64(o.PktLen)
 				if measuring {
 					injectedLabeled++
 				}
@@ -166,6 +184,7 @@ func Run(o Options) (Result, error) {
 				continue
 			}
 			srcQ[t].MustPop()
+			srcBacklog--
 			nw.Inject(now, f, vc)
 			if o.Hooks != nil {
 				o.Hooks.Injected(now, f)
@@ -176,21 +195,27 @@ func Run(o Options) (Result, error) {
 				curVC[t] = -1
 			}
 		}
-		nw.Step(now)
-		for _, f := range nw.Ejected() {
-			if measuring {
-				measFlitsOut++
+		// Advance the network and collect deliveries. A quiescent
+		// network's step is a provable no-op (and ejects nothing), so it
+		// is skipped outright; Ejected() must not be read on a skipped
+		// cycle, as it still holds the previous step's recycled flits.
+		if !fastForward || !nw.Quiescent() {
+			nw.Step(now)
+			for _, f := range nw.Ejected() {
+				if measuring {
+					measFlitsOut++
+				}
+				if f.Tail && f.Measured {
+					lat.Add(float64(now - f.CreatedAt))
+					hops.Add(float64(f.Hops))
+					deliveredLabeled++
+				}
+				delFlits++
+				if o.Hooks != nil {
+					o.Hooks.Delivered(now, f)
+				}
+				fl.Put(f)
 			}
-			if f.Tail && f.Measured {
-				lat.Add(float64(now - f.CreatedAt))
-				hops.Add(float64(f.Hops))
-				deliveredLabeled++
-			}
-			delFlits++
-			if o.Hooks != nil {
-				o.Hooks.Delivered(now, f)
-			}
-			fl.Put(f)
 		}
 		if o.Hooks != nil {
 			if err := o.Hooks.EndCycle(now, nw.InFlight()); err != nil {
@@ -202,9 +227,31 @@ func Run(o Options) (Result, error) {
 				now++
 				break
 			}
-		} else if now >= measEnd && deliveredLabeled >= injectedLabeled {
+		} else if now >= measEnd && (deliveredLabeled >= injectedLabeled ||
+			(srcBacklog == 0 && nw.InFlight() == 0)) {
+			// The second disjunct ends the drain the moment the network
+			// is provably empty: with no source backlog and nothing in
+			// flight, no further delivery can occur, so waiting out the
+			// drain bound would only burn cycles (and, in a run that
+			// leaked labeled packets, mask the loss — the saturation
+			// check below still flags it).
 			now++
 			break
+		}
+		// Fast-forward a hooked drain tail: generation has stopped for
+		// good, every source queue is empty, so nothing can happen until
+		// the network's next internal event. Skipped cycles draw no RNG,
+		// deliver nothing, and leave every exit check unchanged; the
+		// auditor's EndCycle is a no-op on them (no events, and the
+		// watchdog only arms against a live set that NextWake bounds).
+		if fastForward && !generating && srcBacklog == 0 {
+			wake := nw.NextWake(now)
+			if wake > maxCycles {
+				wake = maxCycles
+			}
+			if wake-1 > now {
+				now = wake - 1
+			}
 		}
 	}
 
@@ -216,6 +263,9 @@ func Run(o Options) (Result, error) {
 		Packets:    deliveredLabeled,
 		Cycles:     now,
 		AvgHops:    hops.Mean(),
+	}
+	if now > measEnd {
+		res.DrainUsed = now - measEnd
 	}
 	if deliveredLabeled < injectedLabeled || res.AvgLatency > o.SatLatency {
 		res.Saturated = true

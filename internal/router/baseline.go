@@ -167,6 +167,15 @@ func newBaseline(cfg Config) *baseline {
 
 func (r *baseline) Config() Config { return r.cfg }
 
+// Quiescent and NextWake are inherited from core.Base, which is sound
+// because every request or response in flight implies input occupancy:
+// a request issues only from an occupied input VC, and the flit it bid
+// for stays in the input bank until the grant response is processed
+// (NACKs leave it there). So In.Buffered() == 0 implies empty request
+// and grant wires, empty pending sets and a clear outPending bitset;
+// stale withdraw-wheel entries are inert (they are validated against
+// issuedAt and only consulted while a request is outstanding).
+
 func (r *baseline) Step(now int64) {
 	r.BeginCycle(now)
 	for _, f := range r.Out.Ejected() {

@@ -47,6 +47,19 @@ type buffered struct {
 	// xpFlits counts flits across all crosspoint buffers, maintained as
 	// flits land and drain so InFlight never walks the grid.
 	xpFlits int
+	// xpOcc and xpHead pack one bit per VC for each crosspoint: xpOcc
+	// bit c is raised while queue (i,o,c) holds flits, and xpHead bit c
+	// mirrors whether that queue's front flit is a head flit. Both are
+	// maintained where flits land (toXp drain) and leave (output grant),
+	// so the output scan derives a crosspoint's whole VC request vector
+	// with word arithmetic instead of peeking every queue. Requires
+	// VCs <= 64 (the paper's routers use at most a handful).
+	xpOcc  [][]uint64 // [input][output]
+	xpHead [][]uint64 // [input][output]
+	// busPending counts credits held by all row buses (queued or on the
+	// return wire), maintained at enqueue and delivery so Quiescent
+	// never walks the buses. Always zero under IdealCredit.
+	busPending int
 
 	candidates *arb.BitVec // sized k: output-stage crosspoint candidates
 	vcReq      *arb.BitVec // sized v: per-crosspoint / per-input VC requests
@@ -68,6 +81,8 @@ func newBuffered(cfg Config) *buffered {
 		outFree:    core.NewSerializerBank(k),
 		toXp:       sim.NewDelayLine[*flit.Flit](cfg.STCycles),
 		bus:        make([]*core.CreditBus, k),
+		xpOcc:      make([][]uint64, k),
+		xpHead:     make([][]uint64, k),
 		xpAct:      make([]*core.ActiveSet, k),
 		outAct:     core.NewActiveSet(k),
 		candidates: arb.NewBitVec(k),
@@ -77,6 +92,8 @@ func newBuffered(cfg Config) *buffered {
 	for i := 0; i < k; i++ {
 		r.xpAct[i] = core.NewActiveSet(k)
 		r.inputArb[i] = arb.NewRoundRobin(v)
+		r.xpOcc[i] = make([]uint64, k)
+		r.xpHead[i] = make([]uint64, k)
 		r.xp[i] = make([][]*sim.Queue[*flit.Flit], k)
 		r.xpArb[i] = make([]*arb.RoundRobin, k)
 		for o := 0; o < k; o++ {
@@ -102,11 +119,41 @@ func (r *buffered) InFlight() int {
 	return r.In.Buffered() + r.Out.Len() + r.toXp.Len() + r.xpFlits
 }
 
+// Quiescent adds the crosspoint side to the base test: the row buses
+// must hold no credits and no flit may sit in or be in flight to a
+// crosspoint buffer.
+func (r *buffered) Quiescent() bool {
+	return r.In.Buffered() == 0 && r.Out.Len() == 0 &&
+		r.toXp.Len() == 0 && r.xpFlits == 0 && r.busPending == 0
+}
+
+func (r *buffered) NextWake(now int64) int64 {
+	// Buffered flits drive allocation, and a bus credit resolves within
+	// two cycles (one arbitration, one wire hop); both pin the wake to
+	// the very next cycle.
+	if r.In.Buffered() > 0 || r.xpFlits > 0 || r.busPending > 0 {
+		return now + 1
+	}
+	w := r.Out.NextWake(now)
+	if at, ok := r.toXp.NextAt(); ok && at < w {
+		w = at
+	}
+	return w
+}
+
 func (r *buffered) Step(now int64) {
 	r.BeginCycle(now)
 	// Flits land in their crosspoint buffers after traversing the row.
 	r.toXp.DrainReady(now, func(f *flit.Flit) {
-		r.xp[f.Src][f.Dst][f.VC].MustPush(f)
+		q := r.xp[f.Src][f.Dst][f.VC]
+		if q.Len() == 0 {
+			// f becomes the queue's front: mirror it in the masks.
+			r.xpOcc[f.Src][f.Dst] |= 1 << uint(f.VC)
+			if f.Head {
+				r.xpHead[f.Src][f.Dst] |= 1 << uint(f.VC)
+			}
+		}
+		q.MustPush(f)
 		r.xpAct[f.Dst].Inc(f.Src)
 		r.outAct.Inc(f.Dst)
 		r.xpFlits++
@@ -117,6 +164,7 @@ func (r *buffered) Step(now int64) {
 		for i := range r.bus {
 			i := i
 			r.bus[i].Step(now, func(output, vc int) {
+				r.busPending--
 				r.credit.Return(now, r.xpPool(i, output, vc), i, output, vc)
 			})
 		}
@@ -133,19 +181,23 @@ func (r *buffered) outputStage(now int64) {
 		}
 		r.candidates.Reset()
 		any := false
-		for i := r.xpAct[o].Next(0); i >= 0; i = r.xpAct[o].Next(i + 1) {
-			r.vcReq.Reset()
-			hasVC := false
-			for c := 0; c < v; c++ {
-				f, ok := r.xp[i][o][c].Peek()
-				if ok && (f.Head && r.Owner.FreeVC(o, c) || !f.Head) {
-					r.vcReq.Set(c)
-					hasVC = true
-				}
+		// The VC-ownership test depends only on (o, c), so it is hoisted
+		// out of the crosspoint scan as a mask; a crosspoint's eligible
+		// VCs are then its occupied fronts that are either body flits or
+		// head flits whose VC is free — three words of bit arithmetic in
+		// place of peeking every queue.
+		freeVC := uint64(0)
+		for c := 0; c < v; c++ {
+			if r.Owner.FreeVC(o, c) {
+				freeVC |= 1 << uint(c)
 			}
-			if !hasVC {
+		}
+		for i := r.xpAct[o].Next(0); i >= 0; i = r.xpAct[o].Next(i + 1) {
+			m := r.xpOcc[i][o] & (^r.xpHead[i][o] | freeVC)
+			if m == 0 {
 				continue
 			}
+			r.vcReq.SetWord(m)
 			c := r.xpArb[i][o].ArbitrateBits(r.vcReq)
 			r.candidates.Set(i)
 			r.chosenVC[i] = c
@@ -157,6 +209,16 @@ func (r *buffered) outputStage(now int64) {
 		win := r.outLG[o].ArbitrateBits(r.candidates)
 		c := r.chosenVC[win]
 		f := r.xp[win][o][c].MustPop()
+		if nf, ok := r.xp[win][o][c].Peek(); ok {
+			if nf.Head {
+				r.xpHead[win][o] |= 1 << uint(c)
+			} else {
+				r.xpHead[win][o] &^= 1 << uint(c)
+			}
+		} else {
+			r.xpOcc[win][o] &^= 1 << uint(c)
+			r.xpHead[win][o] &^= 1 << uint(c)
+		}
 		r.xpAct[o].Dec(win)
 		r.outAct.Dec(o)
 		r.xpFlits--
@@ -170,6 +232,7 @@ func (r *buffered) outputStage(now int64) {
 			r.credit.Return(now, r.xpPool(win, o, c), win, o, c)
 		} else {
 			r.bus[win].Enqueue(o, c)
+			r.busPending++
 		}
 	}
 }

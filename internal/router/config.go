@@ -190,12 +190,19 @@ type Traits struct {
 	// output serializer in this architecture; grants carrying it (and
 	// all ejections) must respect the STCycles spacing per output.
 	TerminalGrantNote string
+	// WakeExact reports that Quiescent and NextWake account for every
+	// piece of per-cycle state the architecture owns, licensing
+	// drivers to skip quiescent Step calls and to fast-forward time to
+	// NextWake once injection has stopped, cycle-exactly. True for all
+	// built-in architectures; a future architecture with untracked
+	// per-cycle state must leave it false to keep dense stepping.
+	WakeExact bool
 }
 
 // Traits returns the cross-cutting properties of the configured
 // architecture.
 func (c Config) Traits() Traits {
-	t := Traits{ExactInFlight: c.Arch != ArchSharedXpoint}
+	t := Traits{ExactInFlight: c.Arch != ArchSharedXpoint, WakeExact: true}
 	switch c.Arch {
 	case ArchBuffered, ArchSharedXpoint:
 		t.TerminalGrantNote = "output"

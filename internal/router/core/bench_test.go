@@ -73,3 +73,34 @@ func BenchmarkEjectPipe(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkQuiescent measures the O(1) quiescence test drivers run
+// every cycle to decide whether a router's Step can be skipped. It must
+// stay a pair of counter reads — independent of radix.
+func BenchmarkQuiescent(b *testing.B) {
+	base := core.MakeBase(core.Obs{}, 64, 4, 16, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	sink := false
+	for n := 0; n < b.N; n++ {
+		sink = base.Quiescent()
+	}
+	_ = sink
+}
+
+// BenchmarkEjectPipeNextWake measures the slot-ring due-time scan with
+// one flit in flight — the only NextWake component that is not a plain
+// counter or delay-line front read. The ring has delay+1 slots, so the
+// scan is O(eject delay), not O(radix).
+func BenchmarkEjectPipeNextWake(b *testing.B) {
+	p := core.MakeEjectPipe(4)
+	f := flit.MakePacket(1, 0, 5, 1, 1, 0, false)[0]
+	p.Push(0, 5, f)
+	b.ReportAllocs()
+	b.ResetTimer()
+	sink := int64(0)
+	for n := 0; n < b.N; n++ {
+		sink += p.NextWake(int64(n))
+	}
+	_ = sink
+}

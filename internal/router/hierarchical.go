@@ -78,6 +78,29 @@ type hierarchical struct {
 	vcReq   *arb.BitVec // sized v
 	cand    *arb.BitVec // sized p: internal-stage local-input candidates
 	candVC  []int       // sized p
+	// subHeads caches, per subswitch, the head flit of every (local
+	// input, VC) input queue — the only fields the internal stage's
+	// per-output candidate scan reads. A queue's front changes only
+	// where flits land (toSubIn drain) and leave (internal-stage grant),
+	// so the cache is patched at those two sites and the scan never
+	// peeks a queue, let alone once per demanded output.
+	subHeads [][]subHead // [row*g+col][q*v+c]
+	// subOutOcc and subOutHead pack one bit per VC for each subswitch
+	// output buffer: occ bit c is raised while queue (row,col,j,c)
+	// holds flits, head bit c mirrors whether its front flit is a head
+	// flit. Maintained at the toSubOut drain and the column-stage
+	// grant, they let the column scan build a row's VC request vector
+	// with word arithmetic. Requires VCs <= 64.
+	subOutOcc  [][]uint64 // [row][col*p+j]
+	subOutHead [][]uint64 // [row][col*p+j]
+}
+
+// subHead is one internalStage head-cache entry: the head flit's local
+// destination (dst, -1 when the queue is empty), Head bit and packet ID.
+type subHead struct {
+	id   uint64
+	dst  int32
+	head bool
 }
 
 func newHierarchical(cfg Config) *hierarchical {
@@ -109,13 +132,23 @@ func newHierarchical(cfg Config) *hierarchical {
 		vcReq:      arb.NewBitVec(v),
 		cand:       arb.NewBitVec(p),
 		candVC:     make([]int, p),
+		subHeads:   make([][]subHead, g*g),
+		subOutOcc:  make([][]uint64, g),
+		subOutHead: make([][]uint64, g),
 	}
 	for row := 0; row < g; row++ {
 		r.subInAct[row] = make([]*core.ActiveSet, g)
 		r.subDemand[row] = make([]*core.ActiveSet, g)
+		r.subOutOcc[row] = make([]uint64, g*p)
+		r.subOutHead[row] = make([]uint64, g*p)
 		for col := 0; col < g; col++ {
 			r.subInAct[row][col] = core.NewActiveSet(p)
 			r.subDemand[row][col] = core.NewActiveSet(p)
+			hs := make([]subHead, p*v)
+			for i := range hs {
+				hs[i].dst = -1 // all queues start empty
+			}
+			r.subHeads[row*g+col] = hs
 		}
 	}
 	for i := 0; i < k; i++ {
@@ -188,12 +221,42 @@ func (r *hierarchical) InFlight() int {
 		r.subInFlits + r.subOutFlits
 }
 
+// Quiescent adds the subswitch side to the base test: no flit may sit
+// in (or be in flight to) a subswitch buffer and no subswitch-input
+// credit may be on the return wire.
+func (r *hierarchical) Quiescent() bool {
+	return r.InFlight() == 0 && r.creditWire.Len() == 0
+}
+
+func (r *hierarchical) NextWake(now int64) int64 {
+	if r.In.Buffered() > 0 || r.subInFlits > 0 || r.subOutFlits > 0 {
+		return now + 1
+	}
+	w := r.Out.NextWake(now)
+	if at, ok := r.toSubIn.NextAt(); ok && at < w {
+		w = at
+	}
+	if at, ok := r.toSubOut.NextAt(); ok && at < w {
+		w = at
+	}
+	if at, ok := r.creditWire.NextAt(); ok && at < w {
+		w = at
+	}
+	return w
+}
+
 func (r *hierarchical) Step(now int64) {
 	r.BeginCycle(now)
 	r.toSubIn.DrainReady(now, func(f *flit.Flit) {
 		row, q := f.Src/r.p, f.Src%r.p
 		col := f.Dst / r.p
-		r.subIn[row][col][q][f.VC].MustPush(f)
+		qq := r.subIn[row][col][q][f.VC]
+		if qq.Len() == 0 {
+			// f becomes the queue's front: mirror it in the head cache.
+			h := &r.subHeads[row*r.g+col][q*r.cfg.VCs+f.VC]
+			h.id, h.dst, h.head = f.PacketID, int32(f.Dst%r.p), f.Head
+		}
+		qq.MustPush(f)
 		r.subAct.Inc(row*r.g + col)
 		r.subInAct[row][col].Inc(q)
 		r.subDemand[row][col].Inc(f.Dst % r.p)
@@ -202,7 +265,15 @@ func (r *hierarchical) Step(now int64) {
 	r.toSubOut.DrainReady(now, func(f *flit.Flit) {
 		row := f.Src / r.p
 		col, j := f.Dst/r.p, f.Dst%r.p
-		r.subOut[row][col][j][f.VC].MustPush(f)
+		qq := r.subOut[row][col][j][f.VC]
+		if qq.Len() == 0 {
+			// f becomes the queue's front: mirror it in the masks.
+			r.subOutOcc[row][col*r.p+j] |= 1 << uint(f.VC)
+			if f.Head {
+				r.subOutHead[row][col*r.p+j] |= 1 << uint(f.VC)
+			}
+		}
+		qq.MustPush(f)
 		r.outAct.Inc(f.Dst)
 		r.colRows[f.Dst].Inc(row)
 		r.subOutFlits++
@@ -229,19 +300,23 @@ func (r *hierarchical) columnStage(now int64) {
 		r.rowCand.Reset()
 		any := false
 		rows := r.colRows[o]
-		for row := rows.Next(0); row >= 0; row = rows.Next(row + 1) {
-			r.vcReq.Reset()
-			has := false
-			for c := 0; c < v; c++ {
-				f, ok := r.subOut[row][col][j][c].Peek()
-				if ok && (f.Head && r.Owner.FreeVC(o, c) || !f.Head) {
-					r.vcReq.Set(c)
-					has = true
-				}
+		// The VC-ownership test depends only on (o, c), so it is hoisted
+		// out of the row scan as a mask; a row's eligible VCs are then
+		// its occupied fronts that are either body flits or head flits
+		// whose VC is free — word arithmetic in place of peeking every
+		// subswitch output queue.
+		freeVC := uint64(0)
+		for c := 0; c < v; c++ {
+			if r.Owner.FreeVC(o, c) {
+				freeVC |= 1 << uint(c)
 			}
-			if !has {
+		}
+		for row := rows.Next(0); row >= 0; row = rows.Next(row + 1) {
+			m := r.subOutOcc[row][col*r.p+j] & (^r.subOutHead[row][col*r.p+j] | freeVC)
+			if m == 0 {
 				continue
 			}
+			r.vcReq.SetWord(m)
 			c := r.subOutVC[o][row].ArbitrateBits(r.vcReq)
 			r.rowCand.Set(row)
 			r.rowVC[row] = c
@@ -253,6 +328,16 @@ func (r *hierarchical) columnStage(now int64) {
 		row := r.colArb[o].ArbitrateBits(r.rowCand)
 		c := r.rowVC[row]
 		f := r.subOut[row][col][j][c].MustPop()
+		if nf, ok := r.subOut[row][col][j][c].Peek(); ok {
+			if nf.Head {
+				r.subOutHead[row][col*r.p+j] |= 1 << uint(c)
+			} else {
+				r.subOutHead[row][col*r.p+j] &^= 1 << uint(c)
+			}
+		} else {
+			r.subOutOcc[row][col*r.p+j] &^= 1 << uint(c)
+			r.subOutHead[row][col*r.p+j] &^= 1 << uint(c)
+		}
 		r.outAct.Dec(o)
 		rows.Dec(row)
 		r.subOutFlits--
@@ -275,23 +360,27 @@ func (r *hierarchical) internalStage(now int64) {
 		ownerT := r.subOutOwner[row][col]
 		dem := r.subDemand[row][col]
 		occ := r.subInAct[row][col]
+		qs := r.subIn[row][col]
+		inFree := r.intInFree[row][col]
+		hs := r.subHeads[s]
 		for j := dem.Next(0); j >= 0; j = dem.Next(j + 1) {
 			if !r.intOutFree[row][col].Free(j, now) {
 				continue
 			}
 			r.cand.Reset()
 			any := false
+			poolJ := r.subOutPool(row, col, j, 0)
 			for q := occ.Next(0); q >= 0; q = occ.Next(q + 1) {
-				if !r.intInFree[row][col].Free(q, now) {
+				if !inFree.Free(q, now) {
 					continue
 				}
 				r.vcReq.Reset()
 				has := false
 				for c := 0; c < v; c++ {
-					f, ok := r.subIn[row][col][q][c].Peek()
-					if ok && f.Dst%p == j &&
-						r.subOutCred.Avail(r.subOutPool(row, col, j, c)) &&
-						(f.Head && ownerT.FreeVC(j, c) || !f.Head && ownerT.OwnedBy(j, c, f.PacketID)) {
+					h := &hs[q*v+c]
+					if int(h.dst) == j &&
+						r.subOutCred.Avail(poolJ+c) &&
+						(h.head && ownerT.FreeVC(j, c) || !h.head && ownerT.OwnedBy(j, c, h.id)) {
 						r.vcReq.Set(c)
 						has = true
 					}
@@ -309,7 +398,13 @@ func (r *hierarchical) internalStage(now int64) {
 			}
 			q := r.intArb[row][col][j].ArbitrateBits(r.cand)
 			c := r.candVC[q]
-			f := r.subIn[row][col][q][c].MustPop()
+			f := qs[q][c].MustPop()
+			if nf, ok := qs[q][c].Peek(); ok {
+				h := &hs[q*v+c]
+				h.id, h.dst, h.head = nf.PacketID, int32(nf.Dst%p), nf.Head
+			} else {
+				hs[q*v+c].dst = -1
+			}
 			r.subAct.Dec(s)
 			occ.Dec(q)
 			dem.Dec(f.Dst % p)

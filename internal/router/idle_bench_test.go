@@ -1,0 +1,70 @@
+package router_test
+
+import (
+	"fmt"
+	"testing"
+
+	"highradix/internal/router"
+)
+
+// Idle-router microbenchmarks: the cost a driver pays per cycle for a
+// router that holds no flits. Dense stepping pays BenchmarkIdleStep
+// (the full stage scan, O(radix) even when nothing happens); a
+// quiescence-aware driver pays only BenchmarkIdleQuiescent (two counter
+// reads, O(1)). The radix-64 vs radix-256 pairs make the asymptotic
+// difference visible: the Step cost grows with radix, the Quiescent
+// cost does not.
+func benchIdle(b *testing.B, arch router.Arch, radix int, step bool) {
+	b.Helper()
+	cfg := router.Config{Arch: arch, Radix: radix}
+	if radix > 64 {
+		cfg.VCs = 2
+		cfg.LocalGroup = 8
+		if arch == router.ArchHierarchical {
+			cfg.SubSize = 16
+		}
+	}
+	r, err := router.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if step {
+		for n := 0; n < b.N; n++ {
+			r.Step(int64(n))
+		}
+		return
+	}
+	sink := false
+	for n := 0; n < b.N; n++ {
+		sink = r.Quiescent()
+	}
+	_ = sink
+}
+
+func BenchmarkIdleStep(b *testing.B) {
+	for _, arch := range []router.Arch{
+		router.ArchLowRadix, router.ArchBaseline, router.ArchBuffered,
+		router.ArchSharedXpoint, router.ArchHierarchical,
+	} {
+		for _, radix := range []int{64, 256} {
+			b.Run(fmt.Sprintf("%s/k%d", arch, radix), func(b *testing.B) {
+				benchIdle(b, arch, radix, true)
+			})
+		}
+	}
+}
+
+func BenchmarkIdleQuiescent(b *testing.B) {
+	for _, arch := range []router.Arch{
+		router.ArchLowRadix, router.ArchBaseline, router.ArchBuffered,
+		router.ArchSharedXpoint, router.ArchHierarchical,
+	} {
+		for _, radix := range []int{64, 256} {
+			b.Run(fmt.Sprintf("%s/k%d", arch, radix), func(b *testing.B) {
+				benchIdle(b, arch, radix, false)
+			})
+		}
+	}
+}

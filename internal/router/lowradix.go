@@ -59,6 +59,11 @@ func newLowRadix(cfg Config) *lowRadix {
 
 func (r *lowRadix) Config() Config { return r.cfg }
 
+// Quiescent and NextWake are inherited from core.Base: beyond the input
+// bank and ejection pipe the low-radix router holds only serializer
+// timestamps, arbiter rotation state (which moves only on grants) and
+// per-cycle scratch, so an empty base datapath means Step is a no-op.
+
 func (r *lowRadix) Step(now int64) {
 	r.BeginCycle(now)
 	r.switchAllocate(now)

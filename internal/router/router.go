@@ -1,6 +1,13 @@
 package router
 
-import "highradix/internal/flit"
+import (
+	"highradix/internal/flit"
+	"highradix/internal/router/core"
+)
+
+// NoWake is the NextWake sentinel for "no future internal event"; see
+// the quiescence contract in router/core.
+const NoWake = core.NoWake
 
 // Router is the external contract shared by every architecture. A
 // router is advanced one cycle at a time; the caller injects flits into
@@ -43,4 +50,19 @@ type Router interface {
 	// buffers, intermediate buffers and traversal pipelines). Draining
 	// testbenches run until this reaches zero.
 	InFlight() int
+	// Quiescent reports that Step is provably a no-op at every future
+	// cycle absent a new Accept: no flits anywhere, no requests, ACKs
+	// or credits in flight. A driver may skip the Step call of a
+	// quiescent router cycle-exactly (a quiescent step invokes no
+	// arbiter, so no rotation state would have advanced). O(1).
+	Quiescent() bool
+	// NextWake returns a lower bound, at least now+1, on the earliest
+	// future cycle at which Step is not provably a no-op assuming no
+	// further Accepts, or NoWake when the router is quiescent. The
+	// bound is now+1 whenever a buffer holds a flit (buffered flits
+	// drive arbitration every cycle); only purely timed residual state
+	// (ejection slots, traversal and credit wires) yields a jump. See
+	// the quiescence contract in router/core, and Traits.WakeExact for
+	// whether a driver may rely on it.
+	NextWake(now int64) int64
 }

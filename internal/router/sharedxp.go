@@ -48,6 +48,10 @@ type sharedXpoint struct {
 	// until ACKed). Maintained as flits land and drain so InFlight
 	// never walks the grid.
 	xpBody int
+	// busPending counts credits held by all row buses (queued or on the
+	// return wire), maintained at enqueue and delivery so Quiescent
+	// never walks the buses. Always zero under IdealCredit.
+	busPending int
 
 	candidates *arb.BitVec // sized k
 	vcReq      *arb.BitVec // sized v
@@ -126,6 +130,30 @@ func (r *sharedXpoint) InFlight() int {
 	return r.In.Buffered() + r.Out.Len() + r.toXp.Len() + r.xpBody
 }
 
+// Quiescent adds the crosspoint side to the base test. Head flits
+// inside crosspoint buffers always have a retained copy input-side
+// (they are Peeked, not Popped, when sent), and so do flits on the row
+// wires or with an ACK in flight — In.Buffered() == 0 rules those out;
+// xpBody covers the body/tail flits that live only crosspoint-side.
+func (r *sharedXpoint) Quiescent() bool {
+	return r.In.Buffered() == 0 && r.Out.Len() == 0 && r.toXp.Len() == 0 &&
+		r.ack.Len() == 0 && r.xpBody == 0 && r.busPending == 0
+}
+
+func (r *sharedXpoint) NextWake(now int64) int64 {
+	if r.In.Buffered() > 0 || r.xpBody > 0 || r.busPending > 0 {
+		return now + 1
+	}
+	w := r.Out.NextWake(now)
+	if at, ok := r.toXp.NextAt(); ok && at < w {
+		w = at
+	}
+	if at, ok := r.ack.NextAt(); ok && at < w {
+		w = at
+	}
+	return w
+}
+
 func (r *sharedXpoint) Step(now int64) {
 	r.BeginCycle(now)
 	r.ack.DrainReady(now, func(a xpAck) {
@@ -151,6 +179,7 @@ func (r *sharedXpoint) Step(now int64) {
 		for i := range r.bus {
 			i := i
 			r.bus[i].Step(now, func(output, vc int) {
+				r.busPending--
 				r.credit.Return(now, r.xpPool(i, output), i, output, vc)
 			})
 		}
@@ -186,6 +215,7 @@ func (r *sharedXpoint) returnCredit(now int64, i, o int) {
 		r.credit.Return(now, r.xpPool(i, o), i, o, 0)
 	} else {
 		r.bus[i].Enqueue(o, 0)
+		r.busPending++
 	}
 }
 

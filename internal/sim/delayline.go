@@ -17,6 +17,11 @@ type timed[T any] struct {
 	v  T
 }
 
+// NoWake is the NextAt/NextWake sentinel for "no future event": far
+// enough ahead that it never compares below a real cycle, yet far from
+// int64 overflow when offsets are added to it.
+const NoWake = int64(1) << 62
+
 // NewDelayLine returns a delay line with the given latency in cycles.
 func NewDelayLine[T any](latency int) *DelayLine[T] {
 	if latency < 0 {
@@ -40,6 +45,18 @@ func (d *DelayLine[T]) Push(now int64, v T) {
 // earlier than previously pushed arrivals (FIFO ordering is assumed).
 func (d *DelayLine[T]) PushAt(at int64, v T) {
 	d.items.MustPush(timed[T]{at: at, v: v})
+}
+
+// NextAt returns the arrival cycle of the earliest item in flight.
+// Arrivals are FIFO-ordered (Push adds a fixed latency, PushAt requires
+// nondecreasing arrival cycles), so the front item is the earliest. ok
+// is false when the line is empty.
+func (d *DelayLine[T]) NextAt() (int64, bool) {
+	front, exists := d.items.Peek()
+	if !exists {
+		return 0, false
+	}
+	return front.at, true
 }
 
 // PopReady removes and returns the front item if it has arrived by cycle

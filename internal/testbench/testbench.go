@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 
+	"highradix/internal/arb"
 	"highradix/internal/check"
 	"highradix/internal/flit"
 	"highradix/internal/router"
@@ -57,6 +58,12 @@ type Options struct {
 	// conservation end to end. Any violation is returned as the run's
 	// error.
 	Check bool
+	// NoFastForward forces dense per-cycle stepping: the testbench
+	// neither skips quiescent router steps nor jumps time across
+	// provably idle stretches. Fast-forwarding is cycle-exact (results
+	// are byte-identical either way — TestFastForwardTwin asserts it),
+	// so this exists for A/B verification, not correctness.
+	NoFastForward bool
 }
 
 func (o Options) withDefaults() Options {
@@ -210,14 +217,29 @@ func Run(o Options) (Result, error) {
 		measFlitsOut     int64
 		genFlits         int64
 		delFlits         int64
+		srcBacklog       int64
 		now              int64
 	)
+	// srcAct tracks sources with a nonempty generation queue so the
+	// per-cycle injection scan walks only them; srcBacklog is the total
+	// queued flits, the O(1) "all sources empty" test fast-forwarding
+	// needs.
+	srcAct := arb.MakeBitVec(k)
 	measStart := o.WarmupCycles
 	measEnd := o.WarmupCycles + o.MeasureCycles
 	maxCycles := measEnd + o.DrainCycles
 	if o.Trace != nil && o.Trace.Duration()+o.DrainCycles > maxCycles {
 		maxCycles = o.Trace.Duration() + o.DrainCycles
 	}
+	// Fast-forwarding (see the quiescence contract in router/core) is
+	// legal only when the architecture vouches that Quiescent/NextWake
+	// cover all its per-cycle state. Synthetic generation draws RNG
+	// every cycle it is active, so whole cycles may be skipped only
+	// where no draw can occur: trace replays (generation happens at
+	// recorded cycles) and the drain tail of checked runs (injection
+	// has stopped for good). Skipping the Step of a quiescent router,
+	// by contrast, is exact at any time.
+	wakeExact := cfg.Traits().WakeExact && !o.NoFastForward
 
 	for now = 0; now < maxCycles; now++ {
 		measuring := now >= measStart && now < measEnd
@@ -229,6 +251,8 @@ func Run(o Options) (Result, error) {
 					srcs[e.Src].push(f)
 				}
 				genFlits += int64(e.Len)
+				srcBacklog += int64(e.Len)
+				srcAct.Set(e.Src)
 				if measuring {
 					injectedLabeled++
 				}
@@ -247,13 +271,17 @@ func Run(o Options) (Result, error) {
 					s.push(f)
 				}
 				genFlits += int64(o.PktLen)
+				srcBacklog += int64(o.PktLen)
+				srcAct.Set(i)
 				if measuring {
 					injectedLabeled++
 				}
 			}
 		}
 		// Move flits across the injection channels into input buffers.
-		for i := range srcs {
+		// Only sources holding queued flits are visited; ascending bit
+		// order matches the dense scan exactly.
+		for i := srcAct.Next(0); i >= 0; i = srcAct.Next(i + 1) {
 			s := &srcs[i]
 			if s.injFree > now {
 				continue
@@ -285,6 +313,10 @@ func Run(o Options) (Result, error) {
 				continue
 			}
 			s.q.MustPop()
+			srcBacklog--
+			if s.q.Len() == 0 {
+				srcAct.Clear(i)
+			}
 			f := sf.f
 			f.VC = s.curVC
 			r.Accept(now, f)
@@ -294,18 +326,23 @@ func Run(o Options) (Result, error) {
 				s.curVC = -1
 			}
 		}
-		// Advance the router and collect ejections.
-		r.Step(now)
-		for _, f := range r.Ejected() {
-			if measuring {
-				measFlitsOut++
+		// Advance the router and collect ejections. A quiescent router's
+		// step is a provable no-op (and ejects nothing), so it is
+		// skipped outright; Ejected() must not be read on a skipped
+		// cycle, as it still holds the previous step's recycled flits.
+		if !wakeExact || !r.Quiescent() {
+			r.Step(now)
+			for _, f := range r.Ejected() {
+				if measuring {
+					measFlitsOut++
+				}
+				if f.Tail && f.Measured {
+					lat.Add(float64(now - f.CreatedAt))
+					deliveredLabeled++
+				}
+				delFlits++
+				fl.Put(f)
 			}
-			if f.Tail && f.Measured {
-				lat.Add(float64(now - f.CreatedAt))
-				deliveredLabeled++
-			}
-			delFlits++
-			fl.Put(f)
 		}
 		if chk != nil {
 			if err := chk.Err(); err != nil {
@@ -320,6 +357,31 @@ func Run(o Options) (Result, error) {
 		} else if now >= measEnd && deliveredLabeled >= injectedLabeled {
 			now++
 			break
+		}
+		// Fast-forward the drain tail (and trace gaps): when no source
+		// holds a flit and no generation can occur before the router's
+		// next internal event, jump time straight there. The skipped
+		// cycles are provably identical to dense stepping: no RNG
+		// draws, no injections, no router events, and the exit checks
+		// above cannot change state they did not change at cycle now
+		// (wake is capped at measEnd so no phase boundary is crossed).
+		if wakeExact && srcBacklog == 0 &&
+			(o.Trace != nil || (o.Check && now+1 >= measEnd)) {
+			wake := r.NextWake(now)
+			if o.Trace != nil {
+				if due, ok := o.Trace.NextDue(); ok && due < wake {
+					wake = due
+				}
+			}
+			if now < measEnd && wake > measEnd {
+				wake = measEnd
+			}
+			if wake > maxCycles {
+				wake = maxCycles
+			}
+			if wake-1 > now {
+				now = wake - 1
+			}
 		}
 	}
 	if chk != nil && delFlits >= genFlits {

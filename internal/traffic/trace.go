@@ -64,6 +64,16 @@ func (t *Trace) Due(cycle int64) []TraceEntry {
 	return t.entries[start:t.cursor]
 }
 
+// NextDue returns the generation cycle of the next unreplayed entry,
+// letting a driver fast-forward over cycles in which the trace offers
+// nothing. ok is false when the trace is exhausted.
+func (t *Trace) NextDue() (int64, bool) {
+	if t.cursor >= len(t.entries) {
+		return 0, false
+	}
+	return t.entries[t.cursor].Cycle, true
+}
+
 // LoadTrace parses the text trace format: one packet per line as
 // "cycle,src,dst,len" (len optional, default 1), with blank lines and
 // '#' comments ignored.
