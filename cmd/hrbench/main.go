@@ -27,9 +27,14 @@ import (
 
 	"highradix"
 	"highradix/internal/experiments"
+	"highradix/internal/sim"
+	"highradix/internal/traffic"
 )
 
-// point is one (architecture, radix) measurement.
+// point is one (architecture, radix) measurement. The event-wheel and
+// idle-advance microbenchmarks reuse the struct with Arch "wheel"
+// (Radix = pending events) and "idle-gap"/"idle-percycle" (Radix =
+// router radix), so -check guards their allocs/op too.
 type point struct {
 	Arch        string  `json:"arch"`
 	Radix       int     `json:"radix"`
@@ -79,6 +84,58 @@ func configs() []highradix.RouterConfig {
 
 const benchLoad = 0.6
 
+// idleLoad is the offered load of the idle-advance points: low enough
+// that whole stretches of cycles hold no event anywhere (at radix 64
+// this is ~0.06 injections per cycle across all sources), which is the
+// regime the event-wheel scheduler exists for. The gap point advances
+// O(events); the per-cycle point walks every cycle. Their ns/op ratio
+// is the repository's recorded event-driven speedup.
+const idleLoad = 0.001
+
+// wheelBenchmark measures one steady-state schedule+pop cycle of the
+// event wheel at a fixed pending-event population, mirroring
+// BenchmarkWheelSteady in internal/sim.
+func wheelBenchmark(pending int) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		w := sim.NewWheel(4096)
+		rng := sim.NewRNG(1)
+		var now int64
+		for i := 0; i < pending; i++ {
+			w.Schedule(now+1+int64(rng.Intn(16384)), int32(i))
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			next, _ := w.NextAt()
+			now = next
+			w.PopDue(now, func(id int32) {
+				w.Schedule(now+1+int64(rng.Intn(16384)), id)
+			})
+		}
+	}
+}
+
+// idleBenchmark measures the per-simulated-cycle cost of a low-load
+// run under the given injection mode; identical methodology to
+// stepBenchmark apart from the load and mode.
+func idleBenchmark(mode traffic.InjMode) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		_, err := highradix.Simulate(highradix.SimOptions{
+			Router:        highradix.RouterConfig{Arch: highradix.Hierarchical, Radix: 64},
+			Load:          idleLoad,
+			WarmupCycles:  200,
+			MeasureCycles: int64(b.N) + 1,
+			DrainCycles:   1,
+			Seed:          1,
+			Injection:     mode,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // stepBenchmark adapts one router configuration to testing.Benchmark:
 // identical methodology to benchRouterStep in the root package's
 // bench_test.go, so hrbench numbers line up with `go test -bench Step`.
@@ -109,7 +166,7 @@ func runSweep(benchtime string, verbose bool) sweep {
 		os.Exit(1)
 	}
 	s := sweep{
-		Note:      "per-cycle router step cost at 60% uniform load; ns/op is machine-dependent, allocs/op is deterministic at a fixed Nx benchtime",
+		Note:      "per-cycle router step cost at 60% uniform load, plus event-wheel (radix = pending events) and 2%-load idle-advance microbenchmarks; ns/op is machine-dependent, allocs/op is deterministic at a fixed Nx benchtime",
 		Load:      benchLoad,
 		Benchtime: benchtime,
 	}
@@ -130,6 +187,27 @@ func runSweep(benchtime string, verbose bool) sweep {
 		}
 		s.Points = append(s.Points, p)
 	}
+	record := func(arch string, radix int, fn func(b *testing.B)) {
+		res := testing.Benchmark(fn)
+		p := point{
+			Arch:        arch,
+			Radix:       radix,
+			Iterations:  res.N,
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+		}
+		if verbose {
+			fmt.Fprintf(os.Stderr, "%-12s %-9d %12.1f ns/op %8d B/op %6d allocs/op\n",
+				p.Arch, p.Radix, p.NsPerOp, p.BytesPerOp, p.AllocsPerOp)
+		}
+		s.Points = append(s.Points, p)
+	}
+	for _, pending := range []int{1024, 8192, 65536} {
+		record("wheel", pending, wheelBenchmark(pending))
+	}
+	record("idle-percycle", 64, idleBenchmark(traffic.InjPerCycle))
+	record("idle-gap", 64, idleBenchmark(traffic.InjGap))
 	return s
 }
 

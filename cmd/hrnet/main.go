@@ -25,6 +25,7 @@ import (
 	"highradix/internal/check"
 	"highradix/internal/network"
 	"highradix/internal/sweep"
+	"highradix/internal/traffic"
 )
 
 func main() {
@@ -40,8 +41,15 @@ func main() {
 		profile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		chk     = flag.Bool("check", false, "arm the end-to-end network auditor (drains each run to empty and fails on any violation)")
 		noff    = flag.Bool("noff", false, "force dense per-cycle stepping (disable quiescence fast-forward; results are byte-identical)")
+		inj     = flag.String("inj", "percycle", "injection sampling: percycle|gap (gap is event-driven, O(events) at low load, distribution-equivalent)")
 	)
 	flag.Parse()
+
+	injMode, err := traffic.InjModeByName(*inj)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hrnet:", err)
+		os.Exit(2)
+	}
 
 	if *profile != "" {
 		f, err := os.Create(*profile)
@@ -64,6 +72,7 @@ func main() {
 		MeasureCycles: *measure,
 		Seed:          *seed,
 		NoFastForward: *noff,
+		Injection:     injMode,
 	}
 	full := cfg.WithDefaults()
 	fmt.Printf("clos: radix=%d stages=%d terminals=%d router-delay=%d ser=%d\n",

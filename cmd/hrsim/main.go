@@ -40,8 +40,15 @@ func main() {
 		events  = flag.Int("events", 0, "print the first N microarchitectural events (accept/grant/nack/eject)")
 		chk     = flag.Bool("check", false, "arm the cycle-level invariant checker (drains the run to empty and fails on any violation)")
 		noff    = flag.Bool("noff", false, "force dense per-cycle stepping (disable quiescence fast-forward; results are byte-identical)")
+		inj     = flag.String("inj", "percycle", "injection sampling: percycle|gap (gap is event-driven, O(events) at low load, distribution-equivalent)")
 	)
 	flag.Parse()
+
+	injMode, err := traffic.InjModeByName(*inj)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hrsim:", err)
+		os.Exit(2)
+	}
 
 	a, err := router.ArchByName(*arch)
 	if err != nil {
@@ -98,6 +105,7 @@ func main() {
 		Seed:          *seed,
 		Check:         *chk,
 		NoFastForward: *noff,
+		Injection:     injMode,
 	}
 	if *trace != "" {
 		f, err := os.Open(*trace)

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"highradix/internal/experiments"
+	"highradix/internal/traffic"
 )
 
 func main() {
@@ -39,8 +40,15 @@ func main() {
 		jobs    = flag.Int("j", 0, "sweep pool workers (0 = GOMAXPROCS, 1 = serial)")
 		profile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		noff    = flag.Bool("noff", false, "force dense per-cycle stepping (disable quiescence fast-forward; results are byte-identical)")
+		inj     = flag.String("inj", "percycle", "injection sampling: percycle|gap (gap is event-driven, O(events) at low load, distribution-equivalent)")
 	)
 	flag.Parse()
+
+	injMode, err := traffic.InjModeByName(*inj)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hrsweep:", err)
+		os.Exit(2)
+	}
 
 	if *profile != "" {
 		f, err := os.Create(*profile)
@@ -75,6 +83,7 @@ func main() {
 	scale.Seed = *seed
 	scale.Workers = *jobs
 	scale.NoFastForward = *noff
+	scale.Injection = injMode
 
 	run := func(name string, gen experiments.Generator) {
 		t0 := time.Now()

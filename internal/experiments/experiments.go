@@ -12,6 +12,7 @@ import (
 	"highradix/internal/stats"
 	"highradix/internal/sweep"
 	"highradix/internal/testbench"
+	"highradix/internal/traffic"
 )
 
 // Scale sizes the simulations: Full reproduces the figures at
@@ -41,6 +42,12 @@ type Scale struct {
 	// Results are byte-identical either way; the flag exists for A/B
 	// verification of the fast-forward machinery.
 	NoFastForward bool
+	// Injection selects the synthetic source implementation for every
+	// run (testbench.Options.Injection / network.Options.Injection).
+	// The default per-cycle mode reproduces the historical goldens;
+	// gap mode is distribution-equivalent and O(events) at low load,
+	// with its own goldens (fig9_gap, fig19_gap).
+	Injection traffic.InjMode
 }
 
 // Full is the publication-quality scale.
@@ -75,6 +82,7 @@ func (s Scale) opts(cfg router.Config) testbench.Options {
 		MeasureCycles: s.Measure,
 		Seed:          s.Seed,
 		NoFastForward: s.NoFastForward,
+		Injection:     s.Injection,
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"highradix/internal/stats"
+	"highradix/internal/traffic"
 )
 
 var update = flag.Bool("update", false, "rewrite the golden files under testdata/ with freshly generated tables")
@@ -52,4 +53,24 @@ func TestGoldenFig9(t *testing.T) {
 
 func TestGoldenTableT1(t *testing.T) {
 	golden(t, "table1", func() (*stats.Table, error) { return TableT1(Quick) })
+}
+
+// gapScale is Quick with gap-sampled injection. Gap mode is
+// distribution-equivalent but not draw-identical to per-cycle
+// injection, so it pins its own goldens; divergence between a gap
+// golden and its per-cycle counterpart beyond statistical noise would
+// indicate a sampler bug (the chi-square tests in internal/traffic
+// bound the samplers themselves).
+func gapScale() Scale {
+	s := Quick
+	s.Injection = traffic.InjGap
+	return s
+}
+
+func TestGoldenFig9Gap(t *testing.T) {
+	golden(t, "fig9_gap", func() (*stats.Table, error) { return Fig9(gapScale()) })
+}
+
+func TestGoldenFig19Gap(t *testing.T) {
+	golden(t, "fig19_gap", func() (*stats.Table, error) { return Fig19(gapScale()) })
 }

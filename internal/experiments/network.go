@@ -50,6 +50,7 @@ func Fig19(s Scale) (*stats.Table, error) {
 			MeasureCycles: s.NetMeasure,
 			Seed:          s.Seed,
 			NoFastForward: s.NoFastForward,
+			Injection:     s.Injection,
 		}
 		series, err := sweep.Curve(p, c.name, s.NetLoads, func(load float64) (sweep.Point, error) {
 			o := base

@@ -1,6 +1,7 @@
 package network
 
 import (
+	"highradix/internal/arb"
 	"highradix/internal/flit"
 	"highradix/internal/sim"
 	"highradix/internal/stats"
@@ -52,6 +53,17 @@ type Options struct {
 	// (TestNetFastForwardTwin asserts byte-identical results), so this
 	// exists for A/B verification, not correctness.
 	NoFastForward bool
+	// Injection selects the terminal source implementation. The
+	// default, traffic.InjPerCycle, draws one Bernoulli per terminal
+	// per cycle — the discipline the historical goldens were recorded
+	// under, which forbids skipping any generation-live cycle.
+	// traffic.InjGap samples each terminal's next injection cycle
+	// directly and schedules terminals on a sim.Wheel, so the run
+	// advances straight to the next event across idle stretches:
+	// O(events) at low load. Gap runs are byte-identical to their own
+	// dense twins (TestNetGapFastForwardTwin) and
+	// distribution-equivalent, not byte-identical, to per-cycle runs.
+	Injection traffic.InjMode
 }
 
 func (o Options) withDefaults() Options {
@@ -114,6 +126,38 @@ func Run(o Options) (Result, error) {
 		srcQ[t] = sim.NewQueue[*flit.Flit](0)
 		curVC[t] = -1
 	}
+	// act tracks terminals with a nonempty source queue so the
+	// channel-move scan walks only them; equivalent to scanning all n
+	// (an empty queue's move is a no-op that draws nothing).
+	act := arb.MakeBitVec(n)
+	// Gap mode replaces the per-terminal-per-cycle Bernoulli with
+	// direct next-injection sampling on a calendar queue. All terminals
+	// draw from the shared genRng, so the pop order — ascending
+	// terminal id within a cycle, the order the dense per-cycle scan
+	// visits terminals — fixes the draw sequence deterministically.
+	// BernoulliGap is stateless, so one instance serves every terminal.
+	gap := o.Injection == traffic.InjGap
+	var (
+		wheel   *sim.Wheel
+		gapProc *traffic.BernoulliGap
+	)
+	if gap {
+		// Horizon sized to a few mean inter-injection gaps per terminal;
+		// see the matching comment in testbench.Run.
+		horizon := 4096
+		if rate > 0 {
+			if g := 4.0 / rate; g < 4096 {
+				horizon = int(g)
+			}
+		}
+		wheel = sim.NewWheel(horizon)
+		gapProc = traffic.NewBernoulliGap(rate)
+		for t := 0; t < n; t++ {
+			if at := gapProc.NextInject(0, genRng); at < sim.NoWake {
+				wheel.Schedule(at, int32(t))
+			}
+		}
+	}
 
 	pattern := o.Pattern
 	if pattern == nil {
@@ -144,8 +188,14 @@ func Run(o Options) (Result, error) {
 	for now = 0; now < maxCycles; now++ {
 		measuring := now >= measStart && now < measEnd
 		generating := o.Hooks == nil || now < measEnd
-		for t := 0; t < n; t++ {
-			if generating && genRng.Bernoulli(rate) {
+		// Generation first, channel moves second. The phases are
+		// independent (generation draws only genRng and touches only the
+		// source queues; moves draw only nw.rng), so splitting them is
+		// draw-for-draw identical to the historical interleaved scan.
+		switch {
+		case gap && generating:
+			wheel.PopDue(now, func(id int32) {
+				t := int(id)
 				dst := pattern.Dest(t, genRng)
 				pktID++
 				for _, f := range fl.MakePacket(pktID, t, dst, 0, o.PktLen, now, measuring) {
@@ -153,10 +203,33 @@ func Run(o Options) (Result, error) {
 				}
 				genFlits += int64(o.PktLen)
 				srcBacklog += int64(o.PktLen)
+				act.Set(t)
+				if measuring {
+					injectedLabeled++
+				}
+				if at := gapProc.NextInject(now+1, genRng); at < sim.NoWake {
+					wheel.Schedule(at, id)
+				}
+			})
+		case generating:
+			for t := 0; t < n; t++ {
+				if !genRng.Bernoulli(rate) {
+					continue
+				}
+				dst := pattern.Dest(t, genRng)
+				pktID++
+				for _, f := range fl.MakePacket(pktID, t, dst, 0, o.PktLen, now, measuring) {
+					srcQ[t].MustPush(f)
+				}
+				genFlits += int64(o.PktLen)
+				srcBacklog += int64(o.PktLen)
+				act.Set(t)
 				if measuring {
 					injectedLabeled++
 				}
 			}
+		}
+		for t := act.Next(0); t >= 0; t = act.Next(t + 1) {
 			if injFree[t] > now {
 				continue
 			}
@@ -185,6 +258,9 @@ func Run(o Options) (Result, error) {
 			}
 			srcQ[t].MustPop()
 			srcBacklog--
+			if srcQ[t].Len() == 0 {
+				act.Clear(t)
+			}
 			nw.Inject(now, f, vc)
 			if o.Hooks != nil {
 				o.Hooks.Injected(now, f)
@@ -238,14 +314,28 @@ func Run(o Options) (Result, error) {
 			now++
 			break
 		}
-		// Fast-forward a hooked drain tail: generation has stopped for
-		// good, every source queue is empty, so nothing can happen until
-		// the network's next internal event. Skipped cycles draw no RNG,
-		// deliver nothing, and leave every exit check unchanged; the
-		// auditor's EndCycle is a no-op on them (no events, and the
-		// watchdog only arms against a live set that NextWake bounds).
-		if fastForward && !generating && srcBacklog == 0 {
+		// Fast-forward across provably idle stretches: every source
+		// queue is empty and no generation can occur before the
+		// network's next internal event, so jump time straight there.
+		// Skipped cycles draw no RNG, deliver nothing, and leave every
+		// exit check unchanged (wake is capped at measEnd so no phase
+		// boundary is crossed); the auditor's EndCycle is a no-op on
+		// them (no events, and the watchdog only arms against a live
+		// set that NextWake bounds). Per-cycle generation draws genRng
+		// every live cycle, so only a hooked drain tail may jump; gap
+		// mode schedules every future injection on the wheel, so any
+		// idle stretch may be jumped, at any load, with the wake capped
+		// at the wheel's next event.
+		if fastForward && srcBacklog == 0 && (gap || !generating) {
 			wake := nw.NextWake(now)
+			if gap && (o.Hooks == nil || now+1 < measEnd) {
+				if at, ok := wheel.NextAt(); ok && at < wake {
+					wake = at
+				}
+			}
+			if now < measEnd && wake > measEnd {
+				wake = measEnd
+			}
 			if wake > maxCycles {
 				wake = maxCycles
 			}

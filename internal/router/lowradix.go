@@ -30,6 +30,8 @@ type lowRadix struct {
 	outActive    *arb.BitVec   // outputs with at least one request
 	vcReq        *arb.BitVec   // sized v: one input's eligible VCs
 	inputMatched *arb.BitVec   // inputs matched in an earlier iteration
+	vaReqs       [][]int32     // per output VC (flat o*v+ov): requesting input VCs
+	vaActive     *arb.BitVec   // output VCs with at least one request
 }
 
 func newLowRadix(cfg Config) *lowRadix {
@@ -47,6 +49,8 @@ func newLowRadix(cfg Config) *lowRadix {
 		outActive:    arb.NewBitVec(k),
 		vcReq:        arb.NewBitVec(v),
 		inputMatched: arb.NewBitVec(k),
+		vaReqs:       make([][]int32, k*v),
+		vaActive:     arb.NewBitVec(k * v),
 	}
 	for i := 0; i < k; i++ {
 		r.outReqs[i] = arb.NewBitVec(k)
@@ -78,9 +82,8 @@ func (r *lowRadix) Step(now int64) {
 // distinct pipeline stages, Figure 5(b)).
 func (r *lowRadix) vcAllocate(now int64) {
 	k, v := r.cfg.Radix, r.cfg.VCs
-	// requests[o][ov] collects flat input-VC indices.
-	type reqList struct{ reqs []int }
-	var table map[int]*reqList // key o*v+ov
+	// vaReqs[o*v+ov] collects flat input-VC indices; slices keep their
+	// capacity across cycles, so the steady state allocates nothing.
 	for i := r.In.NextOccupied(0); i >= 0; i = r.In.NextOccupied(i + 1) {
 		fronts := r.In.Fronts(i)
 		for c := 0; c < v; c++ {
@@ -104,24 +107,22 @@ func (r *lowRadix) vcAllocate(now int64) {
 				fr.Rot = uint8((int(fr.Rot) + 1) % v)
 				continue
 			}
-			if table == nil {
-				table = make(map[int]*reqList)
-			}
 			key := o*v + cand
-			l := table[key]
-			if l == nil {
-				l = &reqList{}
-				table[key] = l
-			}
-			l.reqs = append(l.reqs, i*v+c)
+			r.vaReqs[key] = append(r.vaReqs[key], int32(i*v+c))
+			r.vaActive.Set(key)
 		}
 	}
-	for key, l := range table {
+	// Grants on distinct output VCs are independent (each input VC
+	// requests exactly one key), so the ascending-key order here and the
+	// old map's random order produce identical state.
+	for key := r.vaActive.Next(0); key >= 0; key = r.vaActive.Next(key + 1) {
+		l := r.vaReqs[key]
 		o, ov := key/v, key%v
 		// Rotating-priority grant over flat input-VC index.
 		ptr := r.vaPtr[o][ov]
 		best, bestRank := -1, 1<<62
-		for _, fi := range l.reqs {
+		for _, fi32 := range l {
+			fi := int(fi32)
 			rank := (fi - ptr + k*v) % (k * v)
 			if rank < bestRank {
 				bestRank, best = rank, fi
@@ -132,7 +133,9 @@ func (r *lowRadix) vcAllocate(now int64) {
 		fr := r.In.Front(i, c)
 		r.Owner.Acquire(o, ov, fr.Pkt)
 		fr.OutVC = int16(ov)
+		r.vaReqs[key] = l[:0]
 	}
+	r.vaActive.Reset()
 }
 
 // switchAllocate is the single-cycle separable input-first switch

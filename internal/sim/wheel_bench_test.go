@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The wheel's job is to keep schedule/advance O(1) amortized at any
+// backlog, so each benchmark holds a steady population of pending
+// events (1K-64K) and measures one schedule+pop cycle per op — the
+// steady-state work an event-driven testbench does per event.
+
+func benchWheelSteady(b *testing.B, pending int) {
+	b.ReportAllocs()
+	w := NewWheel(4096)
+	rng := NewRNG(1)
+	var now int64
+	// Pre-populate: events spread over ~4 laps, like a low-load sweep's
+	// source population.
+	for i := 0; i < pending; i++ {
+		w.Schedule(now+1+int64(rng.Intn(16384)), int32(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		next, _ := w.NextAt()
+		now = next
+		w.PopDue(now, func(id int32) {
+			w.Schedule(now+1+int64(rng.Intn(16384)), id)
+		})
+	}
+}
+
+func BenchmarkWheelSteady(b *testing.B) {
+	for _, pending := range []int{1024, 8192, 65536} {
+		b.Run(fmt.Sprintf("pending=%d", pending), func(b *testing.B) {
+			benchWheelSteady(b, pending)
+		})
+	}
+}
+
+// BenchmarkWheelSchedulePop measures the two halves without a steady
+// population: schedule b.N events then drain them, so the per-op cost
+// of the bucket append and the sorted pop are visible in isolation.
+func BenchmarkWheelSchedulePop(b *testing.B) {
+	b.ReportAllocs()
+	w := NewWheel(4096)
+	rng := NewRNG(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Schedule(int64(i)+int64(rng.Intn(64)), int32(i&1023))
+	}
+	w.PopDue(int64(b.N)+64, func(int32) {})
+	if w.Len() != 0 {
+		b.Fatal("wheel not drained")
+	}
+}
+
+// BenchmarkWheelIdleJump measures a pathological drain tail: one far
+// event and a jump across millions of idle cycles, which must cost a
+// handful of lap rebases, not a per-cycle walk.
+func BenchmarkWheelIdleJump(b *testing.B) {
+	b.ReportAllocs()
+	w := NewWheel(4096)
+	var now int64
+	w.Schedule(1, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.PopDue(now, func(id int32) {
+			w.Schedule(now+1_000_000, id)
+		})
+		next, _ := w.NextAt()
+		now = next
+	}
+}

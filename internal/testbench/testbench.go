@@ -64,6 +64,19 @@ type Options struct {
 	// are byte-identical either way — TestFastForwardTwin asserts it),
 	// so this exists for A/B verification, not correctness.
 	NoFastForward bool
+	// Injection selects the synthetic source implementation (ignored
+	// for trace replays). The default, traffic.InjPerCycle, draws one
+	// Bernoulli per source per cycle — the discipline every historical
+	// golden was recorded under, which forbids skipping any cycle while
+	// injection is live. traffic.InjGap samples each source's next
+	// injection cycle directly (same arrival distribution, one draw per
+	// event — see traffic.InjGap) and schedules sources on a sim.Wheel,
+	// so the run advances straight to the next event across idle
+	// stretches: O(events) at low load instead of O(cycles). Gap runs
+	// are byte-identical to their own dense twins (NoFastForward with
+	// Injection still gap — TestGapFastForwardTwin) and
+	// distribution-equivalent, not byte-identical, to per-cycle runs.
+	Injection traffic.InjMode
 }
 
 func (o Options) withDefaults() Options {
@@ -127,10 +140,11 @@ type source struct {
 	// q is embedded by value so the per-cycle injection scan peeks the
 	// ring buffer without an extra dereference.
 	q       sim.Queue[srcFlit]
-	injFree int64 // cycle the injection channel frees
-	curVC   int   // VC of the packet currently crossing the channel
-	vcPtr   int   // rotating VC assignment pointer
-	proc    traffic.Process
+	injFree int64              // cycle the injection channel frees
+	curVC   int                // VC of the packet currently crossing the channel
+	vcPtr   int                // rotating VC assignment pointer
+	proc    traffic.Process    // per-cycle mode
+	gap     traffic.GapProcess // gap mode
 	rng     *sim.RNG
 }
 
@@ -187,18 +201,30 @@ func Run(o Options) (Result, error) {
 	pattern := o.Pattern
 	// Sources live in one value slice: the two per-cycle scans below
 	// walk them contiguously instead of chasing a pointer per source.
+	// Gap mode replaces the per-cycle Bernoulli/Markov processes with
+	// gap-sampled twins and drives generation from a calendar queue of
+	// per-source next-injection cycles. Trace replays have their own
+	// event feed (Trace.NextDue) and ignore the mode.
+	gap := o.Injection == traffic.InjGap && o.Trace == nil
 	srcs := make([]source, k)
-	var markovs []*traffic.MarkovOnOff
+	var bursters []traffic.Burster
 	for i := range srcs {
 		s := &srcs[i]
 		s.q = *sim.NewQueue[srcFlit](0)
 		s.curVC = -1
 		s.rng = master.Split()
-		if o.Bursty {
+		switch {
+		case o.Bursty && gap:
+			m := traffic.NewMarkovOnOffGap(pktRate, o.BurstLen)
+			bursters = append(bursters, m)
+			s.gap = m
+		case o.Bursty:
 			m := traffic.NewMarkovOnOff(pktRate, o.BurstLen)
-			markovs = append(markovs, m)
+			bursters = append(bursters, m)
 			s.proc = m
-		} else {
+		case gap:
+			s.gap = traffic.NewBernoulliGap(pktRate)
+		default:
 			s.proc = traffic.NewBernoulli(pktRate)
 		}
 	}
@@ -206,7 +232,28 @@ func Run(o Options) (Result, error) {
 		pattern = traffic.NewUniform(k)
 	}
 	if o.Bursty {
-		pattern = traffic.NewBurstPattern(pattern, markovs)
+		pattern = traffic.NewBurstPattern(pattern, bursters)
+	}
+	var wheel *sim.Wheel
+	if gap {
+		// Size the horizon to a few mean inter-injection gaps: large
+		// enough that overflow migration is rare, small enough that the
+		// bucket arrays stay hot (a 4096-bucket wheel under dense events
+		// touches every bucket once per lap, which is pure allocation
+		// churn when the run is shorter than a lap).
+		horizon := 4096
+		if pktRate > 0 {
+			if g := 4.0 / pktRate; g < 4096 {
+				horizon = int(g)
+			}
+		}
+		wheel = sim.NewWheel(horizon)
+		for i := range srcs {
+			s := &srcs[i]
+			if at := s.gap.NextInject(0, s.rng); at < sim.NoWake {
+				wheel.Schedule(at, int32(i))
+			}
+		}
 	}
 
 	lat := stats.NewSample(8192)
@@ -256,6 +303,33 @@ func Run(o Options) (Result, error) {
 				if measuring {
 					injectedLabeled++
 				}
+			}
+		} else if gap {
+			// Event-driven generation: only sources whose scheduled
+			// injection cycle has arrived are visited, in ascending
+			// source order within a cycle — the order the dense scan
+			// visits them, so the dense twin is draw-for-draw identical.
+			// A checked run stops popping at the end of the window, the
+			// same cutoff as the per-cycle path.
+			if !o.Check || now < measEnd {
+				wheel.PopDue(now, func(id int32) {
+					i := int(id)
+					s := &srcs[i]
+					dst := pattern.Dest(i, s.rng)
+					pktID++
+					for _, f := range fl.MakePacket(pktID, i, dst, 0, o.PktLen, now, measuring) {
+						s.push(f)
+					}
+					genFlits += int64(o.PktLen)
+					srcBacklog += int64(o.PktLen)
+					srcAct.Set(i)
+					if measuring {
+						injectedLabeled++
+					}
+					if at := s.gap.NextInject(now+1, s.rng); at < sim.NoWake {
+						wheel.Schedule(at, int32(i))
+					}
+				})
 			}
 		} else if !o.Check || now < measEnd {
 			// A checked run stops injecting at the end of the window so
@@ -358,20 +432,40 @@ func Run(o Options) (Result, error) {
 			now++
 			break
 		}
-		// Fast-forward the drain tail (and trace gaps): when no source
+		// Fast-forward across provably idle stretches: when no source
 		// holds a flit and no generation can occur before the router's
 		// next internal event, jump time straight there. The skipped
 		// cycles are provably identical to dense stepping: no RNG
 		// draws, no injections, no router events, and the exit checks
 		// above cannot change state they did not change at cycle now
 		// (wake is capped at measEnd so no phase boundary is crossed).
-		if wakeExact && srcBacklog == 0 &&
-			(o.Trace != nil || (o.Check && now+1 >= measEnd)) {
-			wake := r.NextWake(now)
-			if o.Trace != nil {
+		// Per-cycle injection draws RNG every live cycle, so jumps are
+		// legal only in trace replays and the drain tail of checked
+		// runs; gap mode schedules every future injection on the wheel,
+		// so any idle stretch may be jumped, at any load, with the wake
+		// capped at the wheel's next event.
+		if wakeExact && srcBacklog == 0 {
+			// now+1 when no case applies: per-cycle injection is live,
+			// so no cycle may be skipped.
+			wake := now + 1
+			switch {
+			case gap:
+				wake = r.NextWake(now)
+				// Generation stays live forever in unchecked runs and
+				// until measEnd in checked ones; beyond that the wheel's
+				// remaining events can never fire.
+				if !o.Check || now+1 < measEnd {
+					if at, ok := wheel.NextAt(); ok && at < wake {
+						wake = at
+					}
+				}
+			case o.Trace != nil:
+				wake = r.NextWake(now)
 				if due, ok := o.Trace.NextDue(); ok && due < wake {
 					wake = due
 				}
+			case o.Check && now+1 >= measEnd:
+				wake = r.NextWake(now)
 			}
 			if now < measEnd && wake > measEnd {
 				wake = measEnd

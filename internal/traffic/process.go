@@ -43,23 +43,28 @@ type MarkovOnOff struct {
 	rate        float64
 }
 
-// NewMarkovOnOff returns a bursty process with the given long-run packet
-// rate per cycle and average burst length in packets (the paper uses 8).
-func NewMarkovOnOff(rate, avgBurst float64) *MarkovOnOff {
+// markovRates solves the two-state chain's transition probabilities for
+// a long-run packet rate and average burst length; shared by the
+// per-cycle and gap-sampled forms so both walk the same chain.
+func markovRates(rate, avgBurst float64) (alpha, beta float64) {
 	if avgBurst < 1 {
 		panic("traffic: average burst length must be >= 1")
 	}
-	beta := 1.0 / avgBurst
-	var alpha float64
+	beta = 1.0 / avgBurst
 	if rate >= 1 {
-		alpha = 1
-		beta = 0
-	} else {
-		alpha = rate * beta / (1 - rate)
-		if alpha > 1 {
-			alpha = 1
-		}
+		return 1, 0
 	}
+	alpha = rate * beta / (1 - rate)
+	if alpha > 1 {
+		alpha = 1
+	}
+	return alpha, beta
+}
+
+// NewMarkovOnOff returns a bursty process with the given long-run packet
+// rate per cycle and average burst length in packets (the paper uses 8).
+func NewMarkovOnOff(rate, avgBurst float64) *MarkovOnOff {
+	alpha, beta := markovRates(rate, avgBurst)
 	return &MarkovOnOff{alpha: alpha, beta: beta, avgBurst: avgBurst, rate: rate}
 }
 
@@ -99,13 +104,20 @@ func (m *MarkovOnOff) Name() string { return "markov" }
 // exercises intermediate buffering, the effect Figure 18(c) reports).
 type BurstPattern struct {
 	Base  Pattern
-	procs []*MarkovOnOff
+	procs []Burster
 	dests []int
+}
+
+// Burster is the slice of a bursty process BurstPattern needs: whether
+// the current injection continues a burst whose destination must be
+// held. Implemented by MarkovOnOff and MarkovOnOffGap.
+type Burster interface {
+	InBurst() bool
 }
 
 // NewBurstPattern couples a base pattern with the per-source Markov
 // processes so destinations persist per burst.
-func NewBurstPattern(base Pattern, procs []*MarkovOnOff) *BurstPattern {
+func NewBurstPattern(base Pattern, procs []Burster) *BurstPattern {
 	dests := make([]int, len(procs))
 	for i := range dests {
 		dests[i] = -1

@@ -87,14 +87,14 @@ func TestMarkovPanicsOnShortBurst(t *testing.T) {
 // re-drawn across bursts.
 func TestBurstPatternHoldsDestination(t *testing.T) {
 	const k = 64
-	procs := []*MarkovOnOff{NewMarkovOnOff(0.3, 8)}
-	bp := NewBurstPattern(NewUniform(k), procs)
+	m := NewMarkovOnOff(0.3, 8)
+	bp := NewBurstPattern(NewUniform(k), []Burster{m})
 	rng := sim.NewRNG(5)
 	var burstDests []int // first destination of each burst
 	cur := -1
 	inBurst := false
 	for i := 0; i < 200000; i++ {
-		if procs[0].Inject(rng) {
+		if m.Inject(rng) {
 			d := bp.Dest(0, rng)
 			if !inBurst {
 				inBurst = true
