@@ -213,25 +213,41 @@ func runSweep(benchtime string, verbose bool) sweep {
 
 // figureTimings times the Quick-scale regeneration of the figures whose
 // wall-clock the repository tracks (the cheapest single-router figure
-// and the Clos-network figure), serially, one run each.
+// and the Clos-network figure), serially (Workers=1), one run each. The
+// network figure is timed twice — through the serial network driver and
+// through the sharded runner at 4 workers — so the file records the A/B
+// wall-clock of the shard layer on byte-identical output.
 func figureTimings(verbose bool) []figPoint {
-	scale := experiments.Quick
-	scale.Workers = 1
+	base := experiments.Quick
+	base.Workers = 1
+	serial := base
+	serial.NetWorkers = 0
+	sharded := base
+	sharded.NetWorkers = 4
+	runs := []struct {
+		label string
+		exp   string
+		scale experiments.Scale
+	}{
+		{"fig9", "fig9", serial},
+		{"fig19", "fig19", serial},
+		{"fig19-sharded", "fig19", sharded},
+	}
 	var out []figPoint
-	for _, name := range []string{"fig9", "fig19"} {
-		gen, err := experiments.ByName(name)
+	for _, r := range runs {
+		gen, err := experiments.ByName(r.exp)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "hrbench:", err)
 			os.Exit(1)
 		}
 		t0 := time.Now()
-		if _, err := gen(scale); err != nil {
+		if _, err := gen(r.scale); err != nil {
 			fmt.Fprintln(os.Stderr, "hrbench:", err)
 			os.Exit(1)
 		}
-		p := figPoint{Name: name, Seconds: time.Since(t0).Seconds()}
+		p := figPoint{Name: r.label, Seconds: time.Since(t0).Seconds()}
 		if verbose {
-			fmt.Fprintf(os.Stderr, "%-12s quick scale %12.2f s\n", p.Name, p.Seconds)
+			fmt.Fprintf(os.Stderr, "%-14s quick scale %12.2f s\n", p.Name, p.Seconds)
 		}
 		out = append(out, p)
 	}

@@ -1,17 +1,24 @@
-// Command hrnet runs the Clos network simulation of the paper's
-// Figure 19: N = k^d terminals connected by 2d-1 stages of radix-k
-// routers with oblivious (random middle stage) routing.
+// Command hrnet runs the network-scale simulation: the Clos of the
+// paper's Figure 19 (N = k^d terminals, 2d-1 stages of radix-k routers,
+// oblivious random-middle-stage routing) or the ring and 2D-torus
+// extensions, serially or sharded across workers.
 //
 // Examples:
 //
 //	hrnet -radix 64 -digits 2 -load 0.6        # 4096 nodes, 3 stages
 //	hrnet -radix 16 -digits 3 -load 0.6        # 4096 nodes, 5 stages
 //	hrnet -radix 64 -loads 0.1,0.3,0.5,0.7,0.9 # latency-load sweep
+//	hrnet -topo ring -nodes 16 -load 0.3       # 16-node ring, dateline VCs
+//	hrnet -topo torus -dimx 4 -dimy 4 -load 0.4
+//	hrnet -radix 64 -workers 8 -load 0.6       # sharded run, 8 workers
 //
-// With -loads, the listed offered-load points run in parallel on a
-// worker pool (-j workers, default GOMAXPROCS; each run owns its RNG,
-// so the table is identical at every -j) and the sweep stops at the
-// first saturated point, like the paper's curves.
+// With -workers N (N >= 1) the run goes through the deterministic
+// sharded runner (internal/network/shard), which is byte-identical to
+// the serial driver at every worker count; -workers 0 (the default)
+// runs serially. With -loads, the listed offered-load points run in
+// parallel on a worker pool (-j workers, default GOMAXPROCS; each run
+// owns its RNG, so the table is identical at every -j) and the sweep
+// stops at the first saturated point, like the paper's curves.
 package main
 
 import (
@@ -24,24 +31,30 @@ import (
 
 	"highradix/internal/check"
 	"highradix/internal/network"
+	"highradix/internal/network/shard"
 	"highradix/internal/sweep"
 	"highradix/internal/traffic"
 )
 
 func main() {
 	var (
-		radix   = flag.Int("radix", 64, "router radix k")
-		digits  = flag.Int("digits", 0, "d with N=k^d terminals (0 = paper default)")
-		load    = flag.Float64("load", 0.5, "offered load (fraction of terminal capacity)")
-		loads   = flag.String("loads", "", "comma-separated loads to sweep in parallel (overrides -load)")
-		warmup  = flag.Int64("warmup", 1500, "warmup cycles")
-		measure = flag.Int64("measure", 3000, "measurement cycles")
-		seed    = flag.Uint64("seed", 1, "random seed")
-		jobs    = flag.Int("j", 0, "sweep pool workers (0 = GOMAXPROCS, 1 = serial)")
-		profile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		chk     = flag.Bool("check", false, "arm the end-to-end network auditor (drains each run to empty and fails on any violation)")
-		noff    = flag.Bool("noff", false, "force dense per-cycle stepping (disable quiescence fast-forward; results are byte-identical)")
-		inj     = flag.String("inj", "percycle", "injection sampling: percycle|gap (gap is event-driven, O(events) at low load, distribution-equivalent)")
+		topoName = flag.String("topo", "clos", "topology family: clos|ring|torus")
+		radix    = flag.Int("radix", 64, "clos: router radix k")
+		digits   = flag.Int("digits", 0, "clos: d with N=k^d terminals (0 = paper default)")
+		nodes    = flag.Int("nodes", 16, "ring: router/terminal count")
+		dimx     = flag.Int("dimx", 4, "torus: X dimension")
+		dimy     = flag.Int("dimy", 4, "torus: Y dimension")
+		load     = flag.Float64("load", 0.5, "offered load (fraction of terminal capacity)")
+		loads    = flag.String("loads", "", "comma-separated loads to sweep in parallel (overrides -load)")
+		warmup   = flag.Int64("warmup", 1500, "warmup cycles")
+		measure  = flag.Int64("measure", 3000, "measurement cycles")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		workers  = flag.Int("workers", 0, "shard the simulation across N workers (0 = serial driver; results are byte-identical at every count)")
+		jobs     = flag.Int("j", 0, "sweep pool workers (0 = GOMAXPROCS, 1 = serial)")
+		profile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		chk      = flag.Bool("check", false, "arm the end-to-end network auditor (drains each run to empty and fails on any violation)")
+		noff     = flag.Bool("noff", false, "force dense per-cycle stepping (disable quiescence fast-forward; results are byte-identical)")
+		inj      = flag.String("inj", "percycle", "injection sampling: percycle|gap (gap is event-driven, O(events) at low load, distribution-equivalent)")
 	)
 	flag.Parse()
 
@@ -65,21 +78,38 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	cfg := network.Config{Radix: *radix, Digits: *digits, Seed: *seed}
+	var topo network.Topology
+	switch *topoName {
+	case "clos":
+		topo, err = network.NewClos(network.Config{Radix: *radix, Digits: *digits})
+	case "ring":
+		topo, err = network.NewRing(network.RingConfig{Routers: *nodes})
+	case "torus":
+		topo, err = network.NewTorus(network.TorusConfig{X: *dimx, Y: *dimy})
+	default:
+		err = fmt.Errorf("unknown -topo %q (want clos, ring or torus)", *topoName)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hrnet:", err)
+		os.Exit(2)
+	}
 	base := network.Options{
-		Net:           cfg,
+		Topo:          topo,
 		WarmupCycles:  *warmup,
 		MeasureCycles: *measure,
 		Seed:          *seed,
 		NoFastForward: *noff,
 		Injection:     injMode,
 	}
-	full := cfg.WithDefaults()
-	fmt.Printf("clos: radix=%d stages=%d terminals=%d router-delay=%d ser=%d\n",
-		full.Radix, full.Stages(), full.Terminals(), full.RouterDelay(), full.SerCycles)
+	fmt.Printf("%s: routers=%d terminals=%d vcs=%d hop-delay=%d ser=%d",
+		topo.Name(), topo.Routers(), topo.Terminals(), topo.VCs(), topo.HopDelay(), topo.SerCycles())
+	if *workers > 0 {
+		fmt.Printf(" shard-workers=%d lookahead=%d", *workers, network.Lookahead(topo))
+	}
+	fmt.Println()
 
 	if *loads != "" {
-		if err := sweepLoads(base, *loads, *jobs, *chk); err != nil {
+		if err := sweepLoads(base, *loads, *jobs, *workers, *chk); err != nil {
 			fmt.Fprintln(os.Stderr, "hrnet:", err)
 			os.Exit(1)
 		}
@@ -89,10 +119,10 @@ func main() {
 	base.Load = *load
 	var aud *check.NetAuditor
 	if *chk {
-		aud = check.NewNetAuditor(full.Terminals(), full.SerCycles, check.Options{})
+		aud = check.NewNetAuditor(topo.Terminals(), topo.SerCycles(), check.Options{})
 		base.Hooks = aud
 	}
-	res, err := network.Run(base)
+	res, err := runPoint(base, *workers)
 	if err == nil && aud != nil && !res.Saturated {
 		// A saturated run legitimately fails to drain inside the cycle
 		// budget; only a completed drain is held to the empty-network
@@ -116,9 +146,17 @@ func main() {
 	}
 }
 
+// runPoint dispatches one run to the serial or sharded driver.
+func runPoint(o network.Options, workers int) (network.Result, error) {
+	if workers > 0 {
+		return shard.Run(shard.Options{Options: o, Workers: workers})
+	}
+	return network.Run(o)
+}
+
 // sweepLoads fans the listed offered-load points out on the worker pool
 // and prints one line per point, truncated at the first saturation.
-func sweepLoads(base network.Options, list string, jobs int, chk bool) error {
+func sweepLoads(base network.Options, list string, jobs, workers int, chk bool) error {
 	var xs []float64
 	for _, s := range strings.Split(list, ",") {
 		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
@@ -143,11 +181,14 @@ func sweepLoads(base network.Options, list string, jobs int, chk bool) error {
 		if chk {
 			// Each point runs on its own goroutine, so each needs its
 			// own auditor; a shared one would race.
-			full := o.Net.WithDefaults()
-			aud = check.NewNetAuditor(full.Terminals(), full.SerCycles, check.Options{})
+			topo, err := o.Topology()
+			if err != nil {
+				return sweep.Point{}, err
+			}
+			aud = check.NewNetAuditor(topo.Terminals(), topo.SerCycles(), check.Options{})
 			o.Hooks = aud
 		}
-		res, err := network.Run(o)
+		res, err := runPoint(o, workers)
 		if err == nil && aud != nil && !res.Saturated {
 			err = aud.Final(res.Cycles)
 		}

@@ -41,6 +41,7 @@ func main() {
 		profile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		noff    = flag.Bool("noff", false, "force dense per-cycle stepping (disable quiescence fast-forward; results are byte-identical)")
 		inj     = flag.String("inj", "percycle", "injection sampling: percycle|gap (gap is event-driven, O(events) at low load, distribution-equivalent)")
+		netw    = flag.Int("netw", -1, "network-run shard workers: 0 = serial driver, >= 1 = sharded (-1 keeps the scale default; results are byte-identical at every value)")
 	)
 	flag.Parse()
 
@@ -84,6 +85,9 @@ func main() {
 	scale.Workers = *jobs
 	scale.NoFastForward = *noff
 	scale.Injection = injMode
+	if *netw >= 0 {
+		scale.NetWorkers = *netw
+	}
 
 	run := func(name string, gen experiments.Generator) {
 		t0 := time.Now()

@@ -6,6 +6,7 @@ import (
 
 	"highradix/internal/check"
 	"highradix/internal/network"
+	"highradix/internal/network/shard"
 	"highradix/internal/router"
 	"highradix/internal/testbench"
 	"highradix/internal/traffic"
@@ -144,6 +145,74 @@ func TestClosConformance(t *testing.T) {
 					t.Fatal("no packets delivered; the run was vacuous")
 				}
 			})
+		}
+	}
+}
+
+// TestTopologyConformance extends the network audit to the ring and
+// torus families, serial and sharded: conservation, in-order per-packet
+// delivery, terminal serializer spacing, and a drained final state,
+// under every traffic pattern. Loads sit under each family's worst
+// pattern capacity (the diagonal is the ring's tornado, whose capacity
+// on 16 nodes is ~0.12).
+func TestTopologyConformance(t *testing.T) {
+	ring, err := network.NewRing(network.RingConfig{Routers: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	torus, err := network.NewTorus(network.TorusConfig{X: 4, Y: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		topo network.Topology
+		load float64
+	}{{ring, 0.08}, {torus, 0.15}}
+	for _, tc := range cases {
+		for _, pat := range conformancePatterns {
+			for _, pktLen := range []int{1, 3} {
+				// Workers 0 runs the serial driver; the sharded runs keep
+				// the same auditor armed across the barrier replay.
+				for _, workers := range []int{0, 3} {
+					tc, pat, pktLen, workers := tc, pat, pktLen, workers
+					t.Run(fmt.Sprintf("%s/%s/pkt%d/w%d", tc.topo.Name(), pat, pktLen, workers), func(t *testing.T) {
+						t.Parallel()
+						p, err := traffic.ByName(pat, tc.topo.Terminals(), 4, 4)
+						if err != nil {
+							t.Fatal(err)
+						}
+						aud := check.NewNetAuditor(tc.topo.Terminals(), tc.topo.SerCycles(), check.Options{})
+						o := network.Options{
+							Topo:          tc.topo,
+							Load:          tc.load,
+							PktLen:        pktLen,
+							WarmupCycles:  300,
+							MeasureCycles: 700,
+							Seed:          5,
+							Pattern:       p,
+							Hooks:         aud,
+						}
+						var res network.Result
+						if workers == 0 {
+							res, err = network.Run(o)
+						} else {
+							res, err = shard.Run(shard.Options{Options: o, Workers: workers})
+						}
+						if err != nil {
+							t.Fatalf("invariant violation: %v", err)
+						}
+						if res.Saturated {
+							t.Fatalf("saturated at load %v — the conformance load must be sustainable", tc.load)
+						}
+						if err := aud.Final(res.Cycles); err != nil {
+							t.Fatalf("final audit: %v", err)
+						}
+						if aud.DeliveredPackets() == 0 {
+							t.Fatal("no packets delivered; the run was vacuous")
+						}
+					})
+				}
+			}
 		}
 	}
 }

@@ -37,6 +37,13 @@ type Scale struct {
 	// forces serial execution. Every run owns its RNG (seeded from
 	// Seed), so the produced tables are identical for every value.
 	Workers int
+	// NetWorkers selects the network-run driver: 0 is the serial
+	// network.Run, >= 1 runs every network point through the sharded
+	// runner (network/shard) with that many workers. The sharded runner
+	// is byte-identical to the serial one at every worker count, so this
+	// knob changes wall-clock only, never a table — the goldens pin that
+	// by running the default scales through the sharded path.
+	NetWorkers int
 	// NoFastForward forces dense per-cycle stepping in every run
 	// (testbench.Options.NoFastForward / network.Options.NoFastForward).
 	// Results are byte-identical either way; the flag exists for A/B
@@ -61,6 +68,7 @@ var Full = Scale{
 	NetMeasure:  3000,
 	FullNetwork: true,
 	Seed:        1,
+	NetWorkers:  1,
 }
 
 // Quick is the reduced scale for tests and benchmarks.
@@ -72,6 +80,7 @@ var Quick = Scale{
 	NetWarmup:  600,
 	NetMeasure: 1200,
 	Seed:       1,
+	NetWorkers: 1,
 }
 
 // opts builds testbench options for a router config at this scale.
@@ -180,6 +189,7 @@ var Registry = []struct {
 	{"fig17d", "storage bits vs radix, hierarchical vs fully buffered", Fig17d},
 	{"fig18", "nonuniform traffic: diagonal, hotspot, bursty (Table 1)", Fig18},
 	{"fig19", "4096-node Clos network: radix-64 (3 stages) vs radix-16 (5 stages)", Fig19},
+	{"topo", "extension: ring and 2D-torus topologies, latency vs offered load", FigTopo},
 	{"table1", "saturation throughput of every architecture on every Table 1 pattern", TableT1},
 	{"creditbus", "ablation: shared credit-return bus vs ideal credit return", AblCreditBus},
 	{"sharedxp", "ablation: shared-buffer (ACK/NACK) crosspoints vs per-VC buffers", AblSharedXpoint},

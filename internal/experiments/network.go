@@ -2,9 +2,21 @@ package experiments
 
 import (
 	"highradix/internal/network"
+	"highradix/internal/network/shard"
 	"highradix/internal/stats"
 	"highradix/internal/sweep"
 )
+
+// netRun executes one network point through the driver the scale
+// selects: serial when NetWorkers is 0, sharded otherwise. The two are
+// byte-identical (shard's determinism suite), so generators use this
+// interchangeably.
+func (s Scale) netRun(o network.Options) (network.Result, error) {
+	if s.NetWorkers > 0 {
+		return shard.Run(shard.Options{Options: o, Workers: s.NetWorkers})
+	}
+	return network.Run(o)
+}
 
 // Fig19 reproduces Figure 19: latency versus offered load for a
 // 4096-node Clos network built from radix-64 routers (three stages,
@@ -55,7 +67,7 @@ func Fig19(s Scale) (*stats.Table, error) {
 		series, err := sweep.Curve(p, c.name, s.NetLoads, func(load float64) (sweep.Point, error) {
 			o := base
 			o.Load = load
-			res, err := network.Run(o)
+			res, err := s.netRun(o)
 			if err != nil {
 				return sweep.Point{}, err
 			}
@@ -67,7 +79,7 @@ func Fig19(s Scale) (*stats.Table, error) {
 		zero, err := sweep.Do(p, func() (network.Result, error) {
 			o := base
 			o.Load = 0.05
-			return network.Run(o)
+			return s.netRun(o)
 		})
 		if err != nil {
 			return caseOut{}, err
@@ -83,5 +95,90 @@ func Fig19(s Scale) (*stats.Table, error) {
 		t.AddScalar("avg hops "+cases[i].name, out.zero.AvgHops, "router traversals")
 	}
 	t.AddNote("paper: the high-radix network has lower zero-load latency network-wide despite the higher per-router latency, because hop count falls")
+	return t, nil
+}
+
+// FigTopo is an extension beyond the paper: latency versus offered load
+// for the direct topologies the generalized engine supports — a 16-node
+// bidirectional ring and a 4x4 torus, both with dateline VC deadlock
+// avoidance — contrasted against a Clos of the same terminal count. It
+// shows the classic result the paper argues from: at equal terminal
+// count, the low-degree direct networks pay more hops and saturate far
+// earlier than the multistage network (the ring's uniform-traffic
+// capacity is ~8/N of a terminal's bandwidth).
+func FigTopo(s Scale) (*stats.Table, error) {
+	t := &stats.Table{
+		Title:  "Topology extension: 16-node ring vs 4x4 torus vs 16-node Clos",
+		XLabel: "offered load",
+		YLabel: "latency (cycles)",
+	}
+	ring, err := network.NewRing(network.RingConfig{Routers: 16})
+	if err != nil {
+		return nil, err
+	}
+	torus, err := network.NewTorus(network.TorusConfig{X: 4, Y: 4})
+	if err != nil {
+		return nil, err
+	}
+	clos, err := network.NewClos(network.Config{Radix: 4, Digits: 2})
+	if err != nil {
+		return nil, err
+	}
+	cases := []struct {
+		name string
+		topo network.Topology
+	}{
+		{"ring-16", ring},
+		{"torus-4x4", torus},
+		{"clos-16 (radix-4)", clos},
+	}
+	p := s.pool()
+	type caseOut struct {
+		series *stats.Series
+		zero   network.Result
+	}
+	outs, err := sweep.Gather(cases, func(c struct {
+		name string
+		topo network.Topology
+	}) (caseOut, error) {
+		base := network.Options{
+			Topo:          c.topo,
+			WarmupCycles:  s.NetWarmup,
+			MeasureCycles: s.NetMeasure,
+			Seed:          s.Seed,
+			NoFastForward: s.NoFastForward,
+			Injection:     s.Injection,
+		}
+		series, err := sweep.Curve(p, c.name, s.NetLoads, func(load float64) (sweep.Point, error) {
+			o := base
+			o.Load = load
+			res, err := s.netRun(o)
+			if err != nil {
+				return sweep.Point{}, err
+			}
+			return sweep.Point{Y: res.AvgLatency, Saturated: res.Saturated}, nil
+		})
+		if err != nil {
+			return caseOut{}, err
+		}
+		zero, err := sweep.Do(p, func() (network.Result, error) {
+			o := base
+			o.Load = 0.05
+			return s.netRun(o)
+		})
+		if err != nil {
+			return caseOut{}, err
+		}
+		return caseOut{series: series, zero: zero}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, out := range outs {
+		t.AddSeries(out.series)
+		t.AddScalar("zero-load latency "+cases[i].name, out.zero.AvgLatency, "cycles")
+		t.AddScalar("avg hops "+cases[i].name, out.zero.AvgHops, "router traversals")
+	}
+	t.AddNote("extension: direct low-degree topologies pay hop count and early saturation; the multistage Clos trades per-hop latency for path diversity")
 	return t, nil
 }

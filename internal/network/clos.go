@@ -1,10 +1,16 @@
-// Package network implements the multistage Clos network simulation of
-// the paper's Section 7 (Figure 19): 4096 nodes connected either by
-// three stages of radix-64 routers (used as 64x64 unidirectional
-// switches, 4096 = 64^2) or by five stages of radix-16 routers
-// (4096 = 16^3), with oblivious routing that selects middle-stage
-// switches at random, uniform random traffic, and credit-based flow
-// control between stages.
+// Package network implements the network-scale simulations of the
+// paper's Section 7 (Figure 19) and their generalization: a Topology
+// interface with folded-Clos, ring and 2D-torus families, a
+// topology-agnostic input-queued engine (Network), and a serial driver
+// (Run). The sibling package network/shard partitions the same engine
+// across workers with byte-identical results.
+//
+// The flagship topology is the multistage Clos of Figure 19: 4096
+// nodes connected either by three stages of radix-64 routers (used as
+// 64x64 unidirectional switches, 4096 = 64^2) or by five stages of
+// radix-16 routers (4096 = 16^3), with oblivious routing that selects
+// middle-stage switches at random, uniform random traffic, and
+// credit-based flow control between stages.
 //
 // Per the paper, a simplified router model is used at network scale
 // (the paper cites its own reduced-accuracy methodology [19]): each
@@ -22,10 +28,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-
-	"highradix/internal/arb"
-	"highradix/internal/flit"
-	"highradix/internal/sim"
 )
 
 // Config describes one Clos network.
@@ -48,7 +50,9 @@ type Config struct {
 	SerCycles int
 	// CreditDelay is the upstream credit return latency in cycles.
 	CreditDelay int
-	// Seed drives injection and middle-stage selection.
+	// Seed drives middle-stage selection for networks built through the
+	// direct New(cfg) constructor; the Run driver seeds routing from
+	// Options.Seed instead, so one Options.Seed fixes an entire run.
 	Seed uint64
 }
 
@@ -119,390 +123,104 @@ func (c Config) RouterDelay() int {
 	return int(math.Round(c.RouterDelayX + c.RouterDelayY*math.Log2(float64(c.Radix))))
 }
 
-// arrival is a flit in flight between stages (or from a terminal).
-type arrival struct {
-	stage  int // receiving stage
-	router int
-	port   int
-	vc     int
-	f      *flit.Flit
-}
-
-// creditMsg returns a buffer slot to an upstream output (or terminal).
-type creditMsg struct {
-	stage  int // stage holding the buffer that freed a slot
-	router int
-	port   int
-	vc     int
-}
-
-type serial struct{ freeAt int64 }
-
-// Network is a running Clos simulation.
-type Network struct {
+// Clos is the folded-Clos Topology of Figure 19: 2d-1 stages of n/k
+// radix-k switches wired stage to stage by the k-ary perfect shuffle.
+// Router r = stage*(n/k) + index within the stage.
+type Clos struct {
 	cfg Config
 	n   int // terminals
 	s   int // stages
 	rpl int // routers per stage = n/k
-
-	// buf[stage][router][port][vc] are the input buffers.
-	buf [][][][]*sim.Queue[*flit.Flit]
-	// credit[stage][router][port][vc] counts free slots in the
-	// downstream buffer fed by output `port` of (stage, router); the
-	// last stage's outputs feed terminals and are uncounted.
-	credit [][][][]int
-	// injCredit[terminal][vc] counts free slots in the stage-0 buffer
-	// fed by each terminal.
-	injCredit [][]int
-	// linkOwner[stage][router][port][vc] holds the packet that owns the
-	// outgoing channel VC between head and tail (wormhole flow control:
-	// flits of different packets must not interleave on one link VC).
-	linkOwner [][][][]uint64
-	// routeOf[stage][router][port][vc] is the output port of the packet
-	// currently at (or upstream of) that buffer; body flits follow the
-	// route their head computed.
-	routeOf [][][][]int
-	// outFree[stage][router][port] serializes each channel.
-	outFree [][][]serial
-	// outPtr is the rotating allocation pointer per (stage, router,
-	// output) over flat (port*VCs+vc) requester indices.
-	outPtr [][][]int
-
-	inFlight *sim.DelayLine[arrival]
-	toTerm   *sim.DelayLine[*flit.Flit]
-	credits  *sim.DelayLine[creditMsg]
-	rng      *sim.RNG
-
-	// reqScratch[output] collects flat (port*VCs+vc) requester indices;
-	// reused across routers and cycles.
-	reqScratch [][]int
-
-	// Occupancy tracking, so Step visits only routers that hold flits
-	// (O(active) per cycle, not O(routers)) and InFlight is O(1):
-	// act[stage] marks routers with any buffered flit, occ[stage][router]
-	// marks occupied flat (port*VCs+vc) input VCs, bufCount[stage][router]
-	// counts a router's buffered flits and buffered sums them all.
-	// outReqd is grant-phase scratch marking outputs with requests.
-	act      []arb.BitVec
-	occ      [][]arb.BitVec
-	bufCount [][]int32
-	buffered int
-	outReqd  arb.BitVec
-
-	ejected []*flit.Flit
 }
 
-// New builds the network.
-func New(cfg Config) (*Network, error) {
+// NewClos builds the Clos topology, applying Config defaults.
+func NewClos(cfg Config) (*Clos, error) {
 	cfg = cfg.WithDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	k, v := cfg.Radix, cfg.VCs
 	n := cfg.Terminals()
-	s := cfg.Stages()
-	rpl := n / k
-	nw := &Network{
-		cfg: cfg, n: n, s: s, rpl: rpl,
-		buf:        make([][][][]*sim.Queue[*flit.Flit], s),
-		credit:     make([][][][]int, s),
-		injCredit:  make([][]int, n),
-		outFree:    make([][][]serial, s),
-		outPtr:     make([][][]int, s),
-		inFlight:   sim.NewDelayLine[arrival](0),
-		toTerm:     sim.NewDelayLine[*flit.Flit](cfg.SerCycles),
-		credits:    sim.NewDelayLine[creditMsg](cfg.CreditDelay),
-		rng:        sim.NewRNG(cfg.Seed ^ 0x632be59bd9b4e019),
-		reqScratch: make([][]int, k),
-		act:        make([]arb.BitVec, s),
-		occ:        make([][]arb.BitVec, s),
-		bufCount:   make([][]int32, s),
-		outReqd:    arb.MakeBitVec(k),
-	}
-	nw.linkOwner = make([][][][]uint64, s)
-	nw.routeOf = make([][][][]int, s)
-	for st := 0; st < s; st++ {
-		nw.buf[st] = make([][][]*sim.Queue[*flit.Flit], rpl)
-		nw.credit[st] = make([][][]int, rpl)
-		nw.outFree[st] = make([][]serial, rpl)
-		nw.outPtr[st] = make([][]int, rpl)
-		nw.linkOwner[st] = make([][][]uint64, rpl)
-		nw.routeOf[st] = make([][][]int, rpl)
-		nw.act[st] = arb.MakeBitVec(rpl)
-		nw.occ[st] = make([]arb.BitVec, rpl)
-		nw.bufCount[st] = make([]int32, rpl)
-		for r := 0; r < rpl; r++ {
-			nw.occ[st][r] = arb.MakeBitVec(k * v)
-			nw.buf[st][r] = make([][]*sim.Queue[*flit.Flit], k)
-			nw.credit[st][r] = make([][]int, k)
-			nw.outFree[st][r] = make([]serial, k)
-			nw.outPtr[st][r] = make([]int, k)
-			nw.linkOwner[st][r] = make([][]uint64, k)
-			nw.routeOf[st][r] = make([][]int, k)
-			for p := 0; p < k; p++ {
-				nw.buf[st][r][p] = make([]*sim.Queue[*flit.Flit], v)
-				nw.credit[st][r][p] = make([]int, v)
-				nw.linkOwner[st][r][p] = make([]uint64, v)
-				nw.routeOf[st][r][p] = make([]int, v)
-				for c := 0; c < v; c++ {
-					nw.buf[st][r][p][c] = sim.NewQueue[*flit.Flit](cfg.BufDepth)
-					nw.credit[st][r][p][c] = cfg.BufDepth
-				}
-			}
-		}
-	}
-	for t := 0; t < n; t++ {
-		nw.injCredit[t] = make([]int, v)
-		for c := 0; c < v; c++ {
-			nw.injCredit[t][c] = cfg.BufDepth
-		}
-	}
-	return nw, nil
+	return &Clos{cfg: cfg, n: n, s: cfg.Stages(), rpl: n / cfg.Radix}, nil
 }
 
 // Config returns the defaulted configuration.
-func (nw *Network) Config() Config { return nw.cfg }
+func (c *Clos) Config() Config { return c.cfg }
 
-// Terminals returns the node count.
-func (nw *Network) Terminals() int { return nw.n }
+func (c *Clos) Name() string     { return "clos" }
+func (c *Clos) Routers() int     { return c.s * c.rpl }
+func (c *Clos) Ports() int       { return c.cfg.Radix }
+func (c *Clos) VCs() int         { return c.cfg.VCs }
+func (c *Clos) Terminals() int   { return c.n }
+func (c *Clos) BufDepth() int    { return c.cfg.BufDepth }
+func (c *Clos) SerCycles() int   { return c.cfg.SerCycles }
+func (c *Clos) CreditDelay() int { return c.cfg.CreditDelay }
+func (c *Clos) HopDelay() int    { return c.cfg.RouterDelay() }
+func (c *Clos) InjectVCs() int   { return c.cfg.VCs }
 
 // shuffle applies the k-ary perfect shuffle to a wire position: the
 // base-k digits of w rotate left by one, which is the inter-stage
 // wiring of the k-ary Clos.
-func (nw *Network) shuffle(w int) int {
-	k := nw.cfg.Radix
-	msb := w / (nw.n / k)
-	return (w%(nw.n/k))*k + msb
+func (c *Clos) shuffle(w int) int {
+	k := c.cfg.Radix
+	msb := w / (c.n / k)
+	return (w%(c.n/k))*k + msb
 }
 
-// routePort returns the output port a flit takes at the given stage:
-// random during the ascent (oblivious middle-stage selection), then the
-// destination digits MSB-first during the descent. The digit schedule
-// composes with the shuffle wiring so the flit exits exactly at its
-// destination terminal; TestRoutingReachesDestination proves this for
-// every (src, dst) pair.
-func (nw *Network) routePort(stage, dst int) int {
-	k, d := nw.cfg.Radix, nw.cfg.Digits
-	if stage < d-1 {
-		return nw.rng.Intn(k)
+// unshuffle inverts shuffle: the wire entering (stage, router, port)
+// left the previous stage at unshuffle(router*k+port).
+func (c *Clos) unshuffle(w int) int {
+	k := c.cfg.Radix
+	lsb := w % k
+	return lsb*(c.n/k) + w/k
+}
+
+// Link wires output p of router r to the next stage through the
+// shuffle; last-stage outputs eject at terminal index*k + p.
+func (c *Clos) Link(r, p int) Link {
+	k := c.cfg.Radix
+	st, ri := r/c.rpl, r%c.rpl
+	if st == c.s-1 {
+		return Link{Router: -1, Terminal: ri*k + p}
 	}
-	digit := 2*d - 2 - stage
+	w := c.shuffle(ri*k + p)
+	return Link{Router: (st+1)*c.rpl + w/k, Port: w % k}
+}
+
+// Feeder inverts Link: stage-0 inputs are fed by terminals, deeper
+// inputs by the unshuffled previous-stage output.
+func (c *Clos) Feeder(r, p int) Link {
+	k := c.cfg.Radix
+	st, ri := r/c.rpl, r%c.rpl
+	if st == 0 {
+		return Link{Router: -1, Terminal: ri*k + p}
+	}
+	w := c.unshuffle(ri*k + p)
+	return Link{Router: (st-1)*c.rpl + w/k, Port: w % k}
+}
+
+// Entry injects terminal t at stage-0 router t/k, port t%k.
+func (c *Clos) Entry(t int) (router, port int) {
+	k := c.cfg.Radix
+	return t / k, t % k
+}
+
+// NextHop routes obliviously: a key-hashed random output during the
+// ascent (middle-stage selection), then the destination digits
+// MSB-first during the descent. The digit schedule composes with the
+// shuffle wiring so the flit exits exactly at its destination terminal;
+// TestRoutingReachesDestination proves this for every (src, dst) pair.
+// VCs pass through unchanged (the Clos is cycle-free, so no dateline
+// classes are needed).
+func (c *Clos) NextHop(r, inPort, dst, vc int, key uint64) (outPort, outVC int) {
+	k, d := c.cfg.Radix, c.cfg.Digits
+	st := r / c.rpl
+	if st < d-1 {
+		return keyUniform(key, k), vc
+	}
+	digit := 2*d - 2 - st
 	div := 1
 	for i := 0; i < digit; i++ {
 		div *= k
 	}
-	return (dst / div) % k
-}
-
-// CanInject reports whether terminal src can send a flit on vc.
-func (nw *Network) CanInject(src, vc int) bool { return nw.injCredit[src][vc] > 0 }
-
-// Inject launches a flit from terminal f.Src on virtual channel vc.
-// The caller enforces the terminal channel's serialization rate.
-func (nw *Network) Inject(now int64, f *flit.Flit, vc int) {
-	k := nw.cfg.Radix
-	if nw.injCredit[f.Src][vc] <= 0 {
-		panic("network: injection without credit")
-	}
-	nw.injCredit[f.Src][vc]--
-	f.VC = vc
-	f.InjectedAt = now
-	r, p := f.Src/k, f.Src%k
-	if f.Head {
-		// Route computation happens once per packet per hop; body flits
-		// follow the head's choice through the same buffer.
-		nw.routeOf[0][r][p][vc] = nw.routePort(0, f.Dst)
-	}
-	f.Route = nw.routeOf[0][r][p][vc]
-	nw.inFlight.PushAt(now+int64(nw.cfg.RouterDelay())+1,
-		arrival{stage: 0, router: r, port: p, vc: vc, f: f})
-}
-
-// Ejected returns flits delivered to terminals during the last Step;
-// the slice is reused across steps.
-func (nw *Network) Ejected() []*flit.Flit { return nw.ejected }
-
-// InFlight counts flits inside the network. The buffered count is
-// maintained as flits land and drain, so this never walks the grid.
-func (nw *Network) InFlight() int {
-	return nw.inFlight.Len() + nw.toTerm.Len() + nw.buffered
-}
-
-// Quiescent reports that Step is a provable no-op until new traffic is
-// injected: no flit is buffered, on an inter-stage wire, or serializing
-// toward a terminal, and no credit is in flight (a draining credit
-// mutates counters, so a cycle with pending credits may not be
-// skipped). It is the network-scale analogue of the router-core
-// quiescence contract (internal/router/core).
-func (nw *Network) Quiescent() bool {
-	return nw.buffered == 0 && nw.inFlight.Len() == 0 &&
-		nw.toTerm.Len() == 0 && nw.credits.Len() == 0
-}
-
-// NextWake returns a lower bound (>= now+1) on the next cycle at which
-// Step can change state absent new injections, or sim.NoWake when the
-// network is empty forever. Buffered flits drive allocation every
-// cycle; otherwise the earliest delay-line arrival is exact.
-func (nw *Network) NextWake(now int64) int64 {
-	if nw.buffered > 0 {
-		return now + 1
-	}
-	w := sim.NoWake
-	if at, ok := nw.inFlight.NextAt(); ok && at < w {
-		w = at
-	}
-	if at, ok := nw.toTerm.NextAt(); ok && at < w {
-		w = at
-	}
-	if at, ok := nw.credits.NextAt(); ok && at < w {
-		w = at
-	}
-	if w <= now {
-		return now + 1
-	}
-	return w
-}
-
-// Step advances the network one cycle.
-func (nw *Network) Step(now int64) {
-	k, v := nw.cfg.Radix, nw.cfg.VCs
-	nw.ejected = nw.ejected[:0]
-	nw.credits.DrainReady(now, func(c creditMsg) {
-		if c.stage < 0 {
-			nw.injCredit[c.router][c.vc]++
-			return
-		}
-		nw.credit[c.stage][c.router][c.port][c.vc]++
-	})
-	nw.inFlight.DrainReady(now, func(a arrival) {
-		nw.buf[a.stage][a.router][a.port][a.vc].MustPush(a.f)
-		nw.occ[a.stage][a.router].Set(a.port*v + a.vc)
-		nw.bufCount[a.stage][a.router]++
-		nw.act[a.stage].Set(a.router)
-		nw.buffered++
-	})
-	nw.toTerm.DrainReady(now, func(f *flit.Flit) {
-		nw.ejected = append(nw.ejected, f)
-	})
-
-	ser := int64(nw.cfg.SerCycles)
-	rd := int64(nw.cfg.RouterDelay())
-	flat := k * v
-	for st := 0; st < nw.s; st++ {
-		last := st == nw.s-1
-		actSt := &nw.act[st]
-		// Only routers holding flits are visited; routers with empty
-		// buffers post no requests and grant nothing, so skipping them
-		// outright is draw-for-draw identical to the dense scan (the
-		// ascending bitset orders match the dense loop orders exactly).
-		for r := actSt.Next(0); r >= 0; r = actSt.Next(r + 1) {
-			bufs := nw.buf[st][r]
-			occR := &nw.occ[st][r]
-			// Request phase: every occupied input VC posts its front
-			// flit's output request (single-iteration separable
-			// allocation, requester side). The flat (port*VCs+vc) bit
-			// order equals the dense (port, vc) double loop's.
-			for fi := occR.Next(0); fi >= 0; fi = occR.Next(fi + 1) {
-				f, _ := bufs[fi/v][fi%v].Peek()
-				nw.outReqd.Set(f.Route)
-				nw.reqScratch[f.Route] = append(nw.reqScratch[f.Route], fi)
-			}
-			// Grant phase: one winner per requested free output, rotating
-			// priority over flat (port, vc) indices. Each visited output's
-			// scratch is truncated in place — including when the channel
-			// is busy — so the next router starts clean without a k-wide
-			// reset.
-			for out := nw.outReqd.Next(0); out >= 0; out = nw.outReqd.Next(out + 1) {
-				nw.outReqd.Clear(out)
-				reqs := nw.reqScratch[out]
-				nw.reqScratch[out] = reqs[:0]
-				if nw.outFree[st][r][out].freeAt > now {
-					continue
-				}
-				ptr := nw.outPtr[st][r][out]
-				best, bestRank := -1, flat
-				for _, fi := range reqs {
-					p, c := fi/v, fi%v
-					if !last && nw.credit[st][r][out][c] <= 0 {
-						continue
-					}
-					// Wormhole link-VC ownership: a head flit needs the
-					// channel VC free; body flits must own it. This is
-					// what keeps packets from interleaving on a link.
-					fr, _ := bufs[p][c].Peek()
-					owner := nw.linkOwner[st][r][out][c]
-					if fr.Head && !fr.Tail {
-						if owner != 0 {
-							continue
-						}
-					} else if !fr.Head && owner != fr.PacketID {
-						continue
-					} else if fr.Head && fr.Tail && owner != 0 {
-						continue
-					}
-					rank := (fi - ptr + flat) % flat
-					if rank < bestRank {
-						bestRank, best = rank, fi
-					}
-				}
-				if best < 0 {
-					continue
-				}
-				p, c := best/v, best%v
-				f := bufs[p][c].MustPop()
-				if bufs[p][c].Len() == 0 {
-					occR.Clear(best)
-				}
-				nw.bufCount[st][r]--
-				if nw.bufCount[st][r] == 0 {
-					actSt.Clear(r)
-				}
-				nw.buffered--
-				nw.outPtr[st][r][out] = (best + 1) % flat
-				nw.outFree[st][r][out].freeAt = now + ser
-				nw.sendCreditUpstream(now, st, r, p, c)
-				if f.Head && !f.Tail {
-					nw.linkOwner[st][r][out][c] = f.PacketID
-				}
-				if f.Tail && !f.Head {
-					nw.linkOwner[st][r][out][c] = 0
-				}
-				f.Hops++
-				if last {
-					// The exit wire position must equal the destination
-					// terminal (routing invariant); the packet pays
-					// serialization once (Eq. 1).
-					if r*k+out != f.Dst {
-						panic("network: routing delivered flit to wrong terminal")
-					}
-					nw.toTerm.Push(now, f)
-				} else {
-					nw.credit[st][r][out][c]--
-					w := nw.shuffle(r*k + out)
-					if f.Head {
-						nw.routeOf[st+1][w/k][w%k][c] = nw.routePort(st+1, f.Dst)
-					}
-					f.Route = nw.routeOf[st+1][w/k][w%k][c]
-					nw.inFlight.PushAt(now+rd+1, arrival{stage: st + 1, router: w / k, port: w % k, vc: c, f: f})
-				}
-			}
-		}
-	}
-}
-
-// sendCreditUpstream routes a freed (stage, router, port, vc) buffer
-// slot back to the output (or terminal) that feeds it.
-func (nw *Network) sendCreditUpstream(now int64, stage, router, port, vc int) {
-	k := nw.cfg.Radix
-	if stage == 0 {
-		// Fed directly by terminal router*k+port.
-		nw.credits.Push(now, creditMsg{stage: -1, router: router*k + port, vc: vc})
-		return
-	}
-	// Invert the shuffle: the wire entering (stage, router, port) left
-	// the previous stage at unshuffle(router*k+port).
-	w := router*k + port
-	lsb := w % k
-	up := lsb*(nw.n/k) + w/k
-	nw.credits.Push(now, creditMsg{stage: stage - 1, router: up / k, port: up % k, vc: vc})
+	return (dst / div) % k, vc
 }

@@ -5,19 +5,20 @@ import (
 	"testing/quick"
 
 	"highradix/internal/flit"
+	"highradix/internal/sim"
 )
 
 // TestShuffleRotatesDigits checks the inter-stage wiring permutation and
 // that sendCreditUpstream's inverse really inverts it.
 func TestShuffleIsPermutation(t *testing.T) {
-	nw, err := New(Config{Radix: 4, Digits: 3})
+	cl, err := NewClos(Config{Radix: 4, Digits: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
-	n := nw.Terminals()
+	n := cl.Terminals()
 	seen := make([]bool, n)
 	for w := 0; w < n; w++ {
-		s := nw.shuffle(w)
+		s := cl.shuffle(w)
 		if s < 0 || s >= n || seen[s] {
 			t.Fatalf("shuffle(%d) = %d not a permutation", w, s)
 		}
@@ -26,20 +27,78 @@ func TestShuffleIsPermutation(t *testing.T) {
 }
 
 func TestShuffleInverse(t *testing.T) {
-	nw, err := New(Config{Radix: 4, Digits: 3})
+	cl, err := NewClos(Config{Radix: 4, Digits: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
-	k, n := nw.cfg.Radix, nw.Terminals()
-	unshuffle := func(w int) int {
-		lsb := w % k
-		return lsb*(n/k) + w/k
-	}
-	for w := 0; w < n; w++ {
-		if unshuffle(nw.shuffle(w)) != w {
-			t.Fatalf("unshuffle(shuffle(%d)) = %d", w, unshuffle(nw.shuffle(w)))
+	for w := 0; w < cl.Terminals(); w++ {
+		if cl.unshuffle(cl.shuffle(w)) != w {
+			t.Fatalf("unshuffle(shuffle(%d)) = %d", w, cl.unshuffle(cl.shuffle(w)))
 		}
 	}
+}
+
+// TestLinkFeederInverse checks, for every topology family, that Feeder
+// really inverts Link: following any router output to its downstream
+// input and asking that input who feeds it must name the original
+// output. sendCreditUpstream relies on exactly this identity.
+func TestLinkFeederInverse(t *testing.T) {
+	for _, topo := range []Topology{
+		mustClos(t, Config{Radix: 4, Digits: 2}),
+		mustClos(t, Config{Radix: 4, Digits: 3}),
+		mustRing(t, RingConfig{Routers: 7}),
+		mustTorus(t, TorusConfig{X: 3, Y: 4}),
+	} {
+		for r := 0; r < topo.Routers(); r++ {
+			for p := 0; p < topo.Ports(); p++ {
+				l := topo.Link(r, p)
+				if l.Router < 0 {
+					if l.Terminal < 0 || l.Terminal >= topo.Terminals() {
+						t.Fatalf("%s: Link(%d,%d) ejects at bad terminal %d", topo.Name(), r, p, l.Terminal)
+					}
+					continue
+				}
+				back := topo.Feeder(l.Router, l.Port)
+				if back.Router != r || back.Port != p {
+					t.Fatalf("%s: Feeder(Link(%d,%d)) = %+v", topo.Name(), r, p, back)
+				}
+			}
+		}
+		for term := 0; term < topo.Terminals(); term++ {
+			r, p := topo.Entry(term)
+			fd := topo.Feeder(r, p)
+			if fd.Router != -1 || fd.Terminal != term {
+				t.Fatalf("%s: Entry(%d) input not fed by its terminal: %+v", topo.Name(), term, fd)
+			}
+		}
+	}
+}
+
+func mustClos(t *testing.T, cfg Config) *Clos {
+	t.Helper()
+	c, err := NewClos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func mustRing(t *testing.T, cfg RingConfig) *Ring {
+	t.Helper()
+	r, err := NewRing(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func mustTorus(t *testing.T, cfg TorusConfig) *Torus {
+	t.Helper()
+	g, err := NewTorus(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
 }
 
 // TestRoutingReachesDestination drives one packet between every
@@ -96,7 +155,7 @@ func TestConservationUnderLoad(t *testing.T) {
 	}
 	n := nw.Terminals()
 	wantHops := cfg.WithDefaults().Stages()
-	rng := nw.rng.Split()
+	rng := sim.NewRNG(cfg.Seed)
 	const packets = 500
 	type pend struct {
 		src int
@@ -182,16 +241,23 @@ func TestConfigValidation(t *testing.T) {
 }
 
 func TestRoutePortDescentDigits(t *testing.T) {
-	nw, err := New(Config{Radix: 4, Digits: 3})
+	cl, err := NewClos(Config{Radix: 4, Digits: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Descent stages are d-1..2d-2 = 2,3,4 picking digits 2,1,0.
+	// Descent stages are d-1..2d-2 = 2,3,4 picking digits 2,1,0. A
+	// stage-st router is any r in [st*rpl, (st+1)*rpl); the routing key
+	// is irrelevant during the descent.
+	rpl := cl.Routers() / cl.Config().Stages()
+	port := func(st, dst int) int {
+		p, _ := cl.NextHop(st*rpl, 0, dst, 0, 0)
+		return p
+	}
 	err = quick.Check(func(d uint16) bool {
-		dst := int(d) % nw.Terminals()
-		return nw.routePort(2, dst) == dst/16 &&
-			nw.routePort(3, dst) == (dst/4)%4 &&
-			nw.routePort(4, dst) == dst%4
+		dst := int(d) % cl.Terminals()
+		return port(2, dst) == dst/16 &&
+			port(3, dst) == (dst/4)%4 &&
+			port(4, dst) == dst%4
 	}, nil)
 	if err != nil {
 		t.Fatal(err)
@@ -275,7 +341,7 @@ func TestWormholeOrdering(t *testing.T) {
 		t.Fatal(err)
 	}
 	n := nw.Terminals()
-	rng := nw.rng.Split()
+	rng := sim.NewRNG(cfg.Seed)
 	const packets, pktLen = 120, 4
 	type src struct {
 		q     []*flit.Flit

@@ -1,9 +1,7 @@
 package network
 
 import (
-	"highradix/internal/arb"
 	"highradix/internal/flit"
-	"highradix/internal/sim"
 	"highradix/internal/stats"
 	"highradix/internal/traffic"
 )
@@ -21,8 +19,11 @@ type Hooks interface {
 // Options parameterizes one network simulation run (Figure 19 uses
 // uniform random traffic and single-flit packets).
 type Options struct {
-	// Net is the network configuration.
+	// Net is the Clos configuration, used when Topo is nil.
 	Net Config
+	// Topo, when non-nil, selects the topology directly (NewRing,
+	// NewTorus, or a custom family) and Net is ignored.
+	Topo Topology
 	// Load is offered load as a fraction of terminal channel capacity
 	// (one flit per SerCycles per terminal).
 	Load float64
@@ -36,10 +37,10 @@ type Options struct {
 	MeasureCycles int64
 	DrainCycles   int64
 	SatLatency    float64
-	// Seed seeds traffic generation.
+	// Seed seeds the run: per-terminal generation streams and the
+	// per-packet routing hash all derive from it.
 	Seed uint64
-	// Pattern supplies destination terminals; nil means uniform random
-	// (draw-for-draw identical to the historical behavior).
+	// Pattern supplies destination terminals; nil means uniform random.
 	Pattern traffic.Pattern
 	// Hooks, when non-nil, observes every injection and delivery and
 	// audits each cycle. Arming hooks also stops generation at the end
@@ -55,8 +56,7 @@ type Options struct {
 	NoFastForward bool
 	// Injection selects the terminal source implementation. The
 	// default, traffic.InjPerCycle, draws one Bernoulli per terminal
-	// per cycle — the discipline the historical goldens were recorded
-	// under, which forbids skipping any generation-live cycle.
+	// per cycle, which forbids skipping any generation-live cycle.
 	// traffic.InjGap samples each terminal's next injection cycle
 	// directly and schedules terminals on a sim.Wheel, so the run
 	// advances straight to the next event across idle stretches:
@@ -66,7 +66,8 @@ type Options struct {
 	Injection traffic.InjMode
 }
 
-func (o Options) withDefaults() Options {
+// WithDefaults fills the defaulted phase lengths and packet size.
+func (o Options) WithDefaults() Options {
 	if o.PktLen == 0 {
 		o.PktLen = 1
 	}
@@ -85,6 +86,35 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// Topology resolves the run's topology: Topo when set, else the Clos
+// described by Net.
+func (o Options) Topology() (Topology, error) {
+	if o.Topo != nil {
+		return o.Topo, nil
+	}
+	return NewClos(o.Net)
+}
+
+// RouteSeed derives the routing-hash seed every engine of this run
+// (serial or sharded) must share.
+func (o Options) RouteSeed() uint64 { return o.Seed ^ 0x632be59bd9b4e019 }
+
+// SourceOpts derives the terminal-source parameters for this run over
+// the given topology.
+func (o Options) SourceOpts(topo Topology) SourceOpts {
+	pattern := o.Pattern
+	if pattern == nil {
+		pattern = traffic.NewUniform(topo.Terminals())
+	}
+	return SourceOpts{
+		Seed:      o.Seed,
+		Rate:      o.Load / float64(topo.SerCycles()*o.PktLen),
+		PktLen:    o.PktLen,
+		Pattern:   pattern,
+		Injection: o.Injection,
+	}
+}
+
 // Result mirrors testbench.Result at network scale.
 type Result struct {
 	Load       float64
@@ -101,176 +131,51 @@ type Result struct {
 	DrainUsed int64
 }
 
-// Run executes one network simulation.
+// Run executes one network simulation serially. The sharded runner
+// (internal/network/shard) reproduces this function's results
+// byte-for-byte at every worker count; changes to the cycle structure
+// here must be mirrored there (TestShardDeterminism pins the
+// equivalence).
 func Run(o Options) (Result, error) {
-	o = o.withDefaults()
-	nw, err := New(o.Net)
+	o = o.WithDefaults()
+	topo, err := o.Topology()
 	if err != nil {
 		return Result{}, err
 	}
-	cfg := nw.Config()
-	n, v, ser := nw.Terminals(), cfg.VCs, cfg.SerCycles
-	rate := o.Load / float64(ser*o.PktLen)
-
-	master := sim.NewRNG(o.Seed ^ 0x51b0944ffb2c1d85)
-	genRng := master.Split()
-	// Flits delivered at terminals are dead (see router.Router.Ejected's
-	// recycling contract, which Network.Ejected shares) and are recycled
-	// into later packets through a per-run free list.
-	fl := flit.NewFreeList()
-	srcQ := make([]*sim.Queue[*flit.Flit], n)
-	injFree := make([]int64, n)
-	vcPtr := make([]int, n)
-	curVC := make([]int, n)
-	for t := range srcQ {
-		srcQ[t] = sim.NewQueue[*flit.Flit](0)
-		curVC[t] = -1
-	}
-	// act tracks terminals with a nonempty source queue so the
-	// channel-move scan walks only them; equivalent to scanning all n
-	// (an empty queue's move is a no-op that draws nothing).
-	act := arb.MakeBitVec(n)
-	// Gap mode replaces the per-terminal-per-cycle Bernoulli with
-	// direct next-injection sampling on a calendar queue. All terminals
-	// draw from the shared genRng, so the pop order — ascending
-	// terminal id within a cycle, the order the dense per-cycle scan
-	// visits terminals — fixes the draw sequence deterministically.
-	// BernoulliGap is stateless, so one instance serves every terminal.
+	nw := NewNetwork(topo, o.RouteSeed())
+	src := NewSources(topo, o.SourceOpts(topo), 0, topo.Routers())
+	n, ser := topo.Terminals(), topo.SerCycles()
 	gap := o.Injection == traffic.InjGap
-	var (
-		wheel   *sim.Wheel
-		gapProc *traffic.BernoulliGap
-	)
-	if gap {
-		// Horizon sized to a few mean inter-injection gaps per terminal;
-		// see the matching comment in testbench.Run.
-		horizon := 4096
-		if rate > 0 {
-			if g := 4.0 / rate; g < 4096 {
-				horizon = int(g)
-			}
-		}
-		wheel = sim.NewWheel(horizon)
-		gapProc = traffic.NewBernoulliGap(rate)
-		for t := 0; t < n; t++ {
-			if at := gapProc.NextInject(0, genRng); at < sim.NoWake {
-				wheel.Schedule(at, int32(t))
-			}
-		}
-	}
 
-	pattern := o.Pattern
-	if pattern == nil {
-		pattern = traffic.NewUniform(n)
-	}
 	lat := stats.NewSample(8192)
 	hops := stats.NewSample(4096)
 	var (
-		pktID            uint64
-		injectedLabeled  int64
 		deliveredLabeled int64
 		measFlitsOut     int64
-		genFlits         int64
 		delFlits         int64
-		srcBacklog       int64
 		now              int64
 	)
 	measStart := o.WarmupCycles
 	measEnd := o.WarmupCycles + o.MeasureCycles
 	maxCycles := measEnd + o.DrainCycles
 	// Whole cycles may be jumped only where no RNG draw can occur.
-	// Unhooked runs draw genRng for every terminal every cycle, so they
-	// never jump (they still skip quiescent Steps, which is exact at any
-	// time); hooked runs stop generating at measEnd and may fast-forward
-	// the drain tail once every source queue is empty.
+	// Unhooked per-cycle runs draw every terminal's stream every cycle,
+	// so they never jump (they still skip quiescent Steps, which is
+	// exact at any time); hooked runs stop generating at measEnd and may
+	// fast-forward the drain tail once every source queue is empty.
 	fastForward := !o.NoFastForward
+	var onInject func(*flit.Flit)
+	if o.Hooks != nil {
+		onInject = func(f *flit.Flit) { o.Hooks.Injected(now, f) }
+	}
 
 	for now = 0; now < maxCycles; now++ {
 		measuring := now >= measStart && now < measEnd
 		generating := o.Hooks == nil || now < measEnd
-		// Generation first, channel moves second. The phases are
-		// independent (generation draws only genRng and touches only the
-		// source queues; moves draw only nw.rng), so splitting them is
-		// draw-for-draw identical to the historical interleaved scan.
-		switch {
-		case gap && generating:
-			wheel.PopDue(now, func(id int32) {
-				t := int(id)
-				dst := pattern.Dest(t, genRng)
-				pktID++
-				for _, f := range fl.MakePacket(pktID, t, dst, 0, o.PktLen, now, measuring) {
-					srcQ[t].MustPush(f)
-				}
-				genFlits += int64(o.PktLen)
-				srcBacklog += int64(o.PktLen)
-				act.Set(t)
-				if measuring {
-					injectedLabeled++
-				}
-				if at := gapProc.NextInject(now+1, genRng); at < sim.NoWake {
-					wheel.Schedule(at, id)
-				}
-			})
-		case generating:
-			for t := 0; t < n; t++ {
-				if !genRng.Bernoulli(rate) {
-					continue
-				}
-				dst := pattern.Dest(t, genRng)
-				pktID++
-				for _, f := range fl.MakePacket(pktID, t, dst, 0, o.PktLen, now, measuring) {
-					srcQ[t].MustPush(f)
-				}
-				genFlits += int64(o.PktLen)
-				srcBacklog += int64(o.PktLen)
-				act.Set(t)
-				if measuring {
-					injectedLabeled++
-				}
-			}
+		if generating {
+			src.Generate(now, measuring)
 		}
-		for t := act.Next(0); t >= 0; t = act.Next(t + 1) {
-			if injFree[t] > now {
-				continue
-			}
-			f, ok := srcQ[t].Peek()
-			if !ok {
-				continue
-			}
-			// All flits of a packet use the VC chosen at its head so
-			// they stay contiguous per link VC (wormhole).
-			vc := curVC[t]
-			if f.Head {
-				vc = -1
-				for i := 0; i < v; i++ {
-					c := (vcPtr[t] + i) % v
-					if nw.CanInject(t, c) {
-						vc = c
-						break
-					}
-				}
-				if vc < 0 {
-					continue
-				}
-				curVC[t] = vc
-			} else if !nw.CanInject(t, vc) {
-				continue
-			}
-			srcQ[t].MustPop()
-			srcBacklog--
-			if srcQ[t].Len() == 0 {
-				act.Clear(t)
-			}
-			nw.Inject(now, f, vc)
-			if o.Hooks != nil {
-				o.Hooks.Injected(now, f)
-			}
-			injFree[t] = now + int64(ser)
-			if f.Tail {
-				vcPtr[t] = (vc + 1) % v
-				curVC[t] = -1
-			}
-		}
+		src.InjectAll(now, nw, onInject)
 		// Advance the network and collect deliveries. A quiescent
 		// network's step is a provable no-op (and ejects nothing), so it
 		// is skipped outright; Ejected() must not be read on a skipped
@@ -290,7 +195,7 @@ func Run(o Options) (Result, error) {
 				if o.Hooks != nil {
 					o.Hooks.Delivered(now, f)
 				}
-				fl.Put(f)
+				src.Recycle(f)
 			}
 		}
 		if o.Hooks != nil {
@@ -299,12 +204,12 @@ func Run(o Options) (Result, error) {
 			}
 			// A hooked run drains every generated flit, not just the
 			// labeled sample, so conservation holds over the whole run.
-			if now >= measEnd && delFlits >= genFlits {
+			if now >= measEnd && delFlits >= src.GenFlits() {
 				now++
 				break
 			}
-		} else if now >= measEnd && (deliveredLabeled >= injectedLabeled ||
-			(srcBacklog == 0 && nw.InFlight() == 0)) {
+		} else if now >= measEnd && (deliveredLabeled >= src.InjectedLabeled() ||
+			(src.Backlog() == 0 && nw.InFlight() == 0)) {
 			// The second disjunct ends the drain the moment the network
 			// is provably empty: with no source backlog and nothing in
 			// flight, no further delivery can occur, so waiting out the
@@ -321,15 +226,15 @@ func Run(o Options) (Result, error) {
 		// exit check unchanged (wake is capped at measEnd so no phase
 		// boundary is crossed); the auditor's EndCycle is a no-op on
 		// them (no events, and the watchdog only arms against a live
-		// set that NextWake bounds). Per-cycle generation draws genRng
-		// every live cycle, so only a hooked drain tail may jump; gap
-		// mode schedules every future injection on the wheel, so any
-		// idle stretch may be jumped, at any load, with the wake capped
-		// at the wheel's next event.
-		if fastForward && srcBacklog == 0 && (gap || !generating) {
+		// set that NextWake bounds). Per-cycle generation draws every
+		// live cycle, so only a hooked drain tail may jump; gap mode
+		// schedules every future injection on the wheel, so any idle
+		// stretch may be jumped, at any load, with the wake capped at
+		// the wheel's next event.
+		if fastForward && src.Backlog() == 0 && (gap || !generating) {
 			wake := nw.NextWake(now)
 			if gap && (o.Hooks == nil || now+1 < measEnd) {
-				if at, ok := wheel.NextAt(); ok && at < wake {
+				if at, ok := src.WheelNext(); ok && at < wake {
 					wake = at
 				}
 			}
@@ -357,7 +262,7 @@ func Run(o Options) (Result, error) {
 	if now > measEnd {
 		res.DrainUsed = now - measEnd
 	}
-	if deliveredLabeled < injectedLabeled || res.AvgLatency > o.SatLatency {
+	if deliveredLabeled < src.InjectedLabeled() || res.AvgLatency > o.SatLatency {
 		res.Saturated = true
 	}
 	return res, nil

@@ -1,0 +1,148 @@
+package network
+
+import (
+	"fmt"
+)
+
+// RingConfig describes a bidirectional ring: N routers, one terminal
+// each, with clockwise and counter-clockwise channels.
+type RingConfig struct {
+	// Routers is N, the router (= terminal) count.
+	Routers int
+	// VCs is the number of virtual channels per input port. It must be
+	// even: the upper half of the VC space is the dateline class (see
+	// Ring.NextHop), so packets inject on [0, VCs/2).
+	VCs int
+	// BufDepth is the per-(port,VC) input buffer depth in flits.
+	BufDepth int
+	// SerCycles is the channel serialization time of one flit.
+	SerCycles int
+	// CreditDelay is the upstream credit return latency in cycles.
+	CreditDelay int
+	// HopDelay is the per-hop pipeline latency tr in cycles.
+	HopDelay int
+}
+
+// WithDefaults fills a small NoC-style ring.
+func (c RingConfig) WithDefaults() RingConfig {
+	if c.Routers == 0 {
+		c.Routers = 16
+	}
+	if c.VCs == 0 {
+		c.VCs = 4
+	}
+	if c.BufDepth == 0 {
+		c.BufDepth = 8
+	}
+	if c.SerCycles == 0 {
+		c.SerCycles = 1
+	}
+	if c.CreditDelay == 0 {
+		c.CreditDelay = 2
+	}
+	if c.HopDelay == 0 {
+		c.HopDelay = 3
+	}
+	return c
+}
+
+// Validate reports configuration errors.
+func (c RingConfig) Validate() error {
+	if c.Routers < 2 {
+		return fmt.Errorf("network: ring needs >= 2 routers, got %d", c.Routers)
+	}
+	if c.VCs < 2 || c.VCs%2 != 0 {
+		return fmt.Errorf("network: ring needs an even VC count >= 2 for dateline classes, got %d", c.VCs)
+	}
+	if c.BufDepth < 1 {
+		return fmt.Errorf("network: buffer depth must be >= 1")
+	}
+	return nil
+}
+
+// Ring is a bidirectional ring Topology. Ports: 0 = terminal,
+// 1 = clockwise (to r+1), 2 = counter-clockwise (to r-1). Routing is
+// minimal (ties go clockwise) with a dateline in each direction — the
+// wrap link — where packets move from VC class [0, VCs/2) to class
+// [VCs/2, VCs). Within a class the channel dependence chain breaks at
+// the dateline, and a packet crosses it at most once (minimal paths
+// are shorter than the ring), so the two-class scheme is deadlock-free
+// under wormhole flow control.
+type Ring struct {
+	cfg RingConfig
+}
+
+// NewRing builds the ring topology, applying defaults.
+func NewRing(cfg RingConfig) (*Ring, error) {
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Ring{cfg: cfg}, nil
+}
+
+// Config returns the defaulted configuration.
+func (g *Ring) Config() RingConfig { return g.cfg }
+
+func (g *Ring) Name() string     { return "ring" }
+func (g *Ring) Routers() int     { return g.cfg.Routers }
+func (g *Ring) Ports() int       { return 3 }
+func (g *Ring) VCs() int         { return g.cfg.VCs }
+func (g *Ring) Terminals() int   { return g.cfg.Routers }
+func (g *Ring) BufDepth() int    { return g.cfg.BufDepth }
+func (g *Ring) SerCycles() int   { return g.cfg.SerCycles }
+func (g *Ring) CreditDelay() int { return g.cfg.CreditDelay }
+func (g *Ring) HopDelay() int    { return g.cfg.HopDelay }
+func (g *Ring) InjectVCs() int   { return g.cfg.VCs / 2 }
+
+// Link wires output 0 to the local terminal, 1 clockwise, 2
+// counter-clockwise. Direction channels land on the matching input
+// port, so a port's buffers carry one direction only.
+func (g *Ring) Link(r, p int) Link {
+	n := g.cfg.Routers
+	switch p {
+	case 0:
+		return Link{Router: -1, Terminal: r}
+	case 1:
+		return Link{Router: (r + 1) % n, Port: 1}
+	default:
+		return Link{Router: (r - 1 + n) % n, Port: 2}
+	}
+}
+
+// Feeder inverts Link.
+func (g *Ring) Feeder(r, p int) Link {
+	n := g.cfg.Routers
+	switch p {
+	case 0:
+		return Link{Router: -1, Terminal: r}
+	case 1:
+		return Link{Router: (r - 1 + n) % n, Port: 1}
+	default:
+		return Link{Router: (r + 1) % n, Port: 2}
+	}
+}
+
+// Entry injects terminal t at router t, port 0.
+func (g *Ring) Entry(t int) (router, port int) { return t, 0 }
+
+// NextHop routes minimally, crossing to the dateline VC class on the
+// wrap link of the chosen direction.
+func (g *Ring) NextHop(r, inPort, dst, vc int, key uint64) (outPort, outVC int) {
+	n := g.cfg.Routers
+	if dst == r {
+		return 0, vc
+	}
+	half := g.cfg.VCs / 2
+	cw := (dst - r + n) % n
+	if 2*cw <= n { // clockwise no farther than counter-clockwise
+		if r == n-1 && vc < half { // wrap n-1 -> 0: the clockwise dateline
+			vc += half
+		}
+		return 1, vc
+	}
+	if r == 0 && vc < half { // wrap 0 -> n-1: the counter-clockwise dateline
+		vc += half
+	}
+	return 2, vc
+}

@@ -1,0 +1,111 @@
+package sim
+
+// Calendar is a bucketed calendar queue for events with bounded delay:
+// a power-of-two ring of buckets indexed by cycle. Unlike DelayLine it
+// accepts out-of-order Schedule calls (arrival cycles need not be
+// nondecreasing), which is what the sharded network runner requires —
+// at an epoch barrier, remote events merge into a calendar that already
+// holds locally scheduled ones with arbitrary relative order.
+//
+// The window invariant is that every pending event lies in
+// [base, base+len(buckets)); Schedule grows the ring when an event
+// falls beyond it, so the capacity hint only sizes the common case.
+// Events scheduled before base (possible only through a synchronizer
+// bug; the shard mutation tests seed exactly this) are clamped to base
+// and apply at the next drain rather than corrupting the ring.
+type Calendar[T any] struct {
+	buckets [][]calEntry[T]
+	mask    int64
+	base    int64 // every cycle < base has been drained
+	count   int
+}
+
+type calEntry[T any] struct {
+	at int64
+	v  T
+}
+
+// NewCalendar returns a calendar able to hold events up to span cycles
+// in the future without growing.
+func NewCalendar[T any](span int) *Calendar[T] {
+	size := int64(8)
+	for size < int64(span)+1 {
+		size <<= 1
+	}
+	return &Calendar[T]{buckets: make([][]calEntry[T], size), mask: size - 1}
+}
+
+// Len returns the number of pending events.
+func (c *Calendar[T]) Len() int { return c.count }
+
+// Schedule adds an event at the given cycle, in any order relative to
+// previous calls. Within one cycle, events preserve insertion order.
+func (c *Calendar[T]) Schedule(at int64, v T) {
+	if at < c.base {
+		at = c.base
+	}
+	for at-c.base >= int64(len(c.buckets)) {
+		c.grow()
+	}
+	b := at & c.mask
+	c.buckets[b] = append(c.buckets[b], calEntry[T]{at: at, v: v})
+	c.count++
+}
+
+// grow doubles the ring and rehomes pending events. Each old bucket
+// holds events of a single cycle (the window invariant), so per-cycle
+// insertion order survives the move.
+func (c *Calendar[T]) grow() {
+	old := c.buckets
+	c.buckets = make([][]calEntry[T], 2*len(old))
+	c.mask = int64(len(c.buckets)) - 1
+	for _, bkt := range old {
+		for _, e := range bkt {
+			b := e.at & c.mask
+			c.buckets[b] = append(c.buckets[b], e)
+		}
+	}
+}
+
+// NextAt returns the earliest pending cycle.
+func (c *Calendar[T]) NextAt() (int64, bool) {
+	if c.count == 0 {
+		return 0, false
+	}
+	for at := c.base; ; at++ {
+		if len(c.buckets[at&c.mask]) > 0 {
+			return at, true
+		}
+	}
+}
+
+// PopDue delivers every event with cycle <= now, in cycle order and in
+// insertion order within a cycle, then advances the window past now.
+// fn must not call Schedule on the same calendar.
+func (c *Calendar[T]) PopDue(now int64, fn func(T)) {
+	if now < c.base {
+		return
+	}
+	if c.count > 0 {
+		for at := c.base; at <= now; at++ {
+			b := at & c.mask
+			bkt := c.buckets[b]
+			if len(bkt) == 0 {
+				continue
+			}
+			c.count -= len(bkt)
+			for i := range bkt {
+				fn(bkt[i].v)
+			}
+			var zero calEntry[T]
+			for i := range bkt {
+				bkt[i] = zero // release references for the collector
+			}
+			c.buckets[b] = bkt[:0]
+			if c.count == 0 {
+				break
+			}
+		}
+	}
+	c.base = now + 1
+}
