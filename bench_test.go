@@ -95,17 +95,20 @@ func BenchmarkAblAllocIters(b *testing.B)   { benchExperiment(b, "allociters") }
 func BenchmarkExtRadixSweep(b *testing.B)   { benchExperiment(b, "radixsweep") }
 
 // Microbenchmarks of the simulator's hot paths: one router cycle at
-// 60% uniform load for each architecture.
+// 60% uniform load for each architecture. The timer restarts at the
+// first measured cycle, so ns/op and allocs/op cover steady-state
+// stepping only, not router construction or warmup.
 func benchRouterStep(b *testing.B, cfg highradix.RouterConfig) {
 	b.Helper()
 	b.ReportAllocs()
 	res, err := highradix.Simulate(highradix.SimOptions{
-		Router:        cfg,
-		Load:          0.6,
-		WarmupCycles:  200,
-		MeasureCycles: int64(b.N) + 1,
-		DrainCycles:   1,
-		Seed:          1,
+		Router:         cfg,
+		Load:           0.6,
+		WarmupCycles:   2000,
+		MeasureCycles:  int64(b.N) + 1,
+		DrainCycles:    1,
+		Seed:           1,
+		OnMeasureStart: b.ResetTimer,
 	})
 	if err != nil {
 		b.Fatal(err)

@@ -144,6 +144,30 @@ func (a *RoundRobin) arbitrateWord(grp uint64) int {
 	return w
 }
 
+// peekRange and arbitrateRange are the grouped-stage entry points for
+// nodes wider than one word: the arbiter's n request lines live at
+// [base, base+n) of a larger BitVec and are searched in place with the
+// bounded rotate-aware scan, so no per-group extraction or []bool
+// fallback is needed at any fan-in. Grant-for-grant identical to
+// peekWord/arbitrateWord on the sliced-out bits.
+func (a *RoundRobin) peekRange(v *BitVec, base int) int {
+	if idx := v.NextIn(base+a.next, base+a.n); idx >= 0 {
+		return idx - base
+	}
+	if idx := v.NextIn(base, base+a.next); idx >= 0 {
+		return idx - base
+	}
+	return -1
+}
+
+func (a *RoundRobin) arbitrateRange(v *BitVec, base int) int {
+	w := a.peekRange(v, base)
+	if w >= 0 {
+		a.advancePast(w)
+	}
+	return w
+}
+
 // advancePast commits a grant to line w: the highest priority moves to
 // w+1 (mod n).
 func (a *RoundRobin) advancePast(w int) {
@@ -151,6 +175,49 @@ func (a *RoundRobin) advancePast(w int) {
 	if a.next >= a.n {
 		a.next = 0
 	}
+}
+
+// RotorBank packs the rotation pointers of count independent
+// round-robin arbiters, each over n <= 64 lines, into one flat byte
+// array. A radix-k crossbar holds a tiny arbiter per crosspoint (k*k of
+// them); as separate RoundRobin objects each arbitration chases a
+// pointer to its own heap allocation, while a bank keeps every pointer
+// in a contiguous 1-byte-per-arbiter table that stays cache-resident.
+// Arbitrate(i, w) is grant-for-grant identical to an i-th RoundRobin's
+// ArbitrateWord(w).
+type RotorBank struct {
+	n    int
+	next []uint8
+}
+
+// NewRotorBank returns a bank of count round-robin arbiters over n
+// lines each (1 <= n <= 64).
+func NewRotorBank(count, n int) *RotorBank {
+	if count <= 0 || n <= 0 {
+		panic("arb: arbiter size must be positive")
+	}
+	if n > 64 {
+		panic("arb: RotorBank needs at most 64 lines per arbiter")
+	}
+	return &RotorBank{n: n, next: make([]uint8, count)}
+}
+
+// Size returns the number of request lines per arbiter.
+func (b *RotorBank) Size() int { return b.n }
+
+// Arbitrate grants from arbiter i's request word (line j at bit j) and
+// advances that arbiter's priority pointer past the winner. Bits at or
+// above Size must be zero.
+func (b *RotorBank) Arbitrate(i int, w uint64) int {
+	win := rotFirst(w, int(b.next[i]))
+	if win >= 0 {
+		p := win + 1
+		if p >= b.n {
+			p = 0
+		}
+		b.next[i] = uint8(p)
+	}
+	return win
 }
 
 // Fixed is a fixed-priority arbiter: lower indices always win. It exists

@@ -114,6 +114,18 @@ func (v *BitVec) SetWord(w uint64) {
 	v.words[0] = w
 }
 
+// SetWordAt stores w as word wi of the vector: lines [64*wi, 64*wi+64)
+// in one store. It is the multi-word generalization of SetWord for
+// head-mirror scans over vectors wider than 64 lines. Bits at or above
+// Len must be zero.
+func (v *BitVec) SetWordAt(wi int, w uint64) { v.words[wi] = w }
+
+// Word returns word wi of the vector (lines [64*wi, 64*wi+64)).
+func (v *BitVec) Word(wi int) uint64 { return v.words[wi] }
+
+// Words returns the number of 64-line words backing the vector.
+func (v *BitVec) Words() int { return len(v.words) }
+
 // Next returns the lowest raised line at or after i, or -1 when none
 // remains. Iterating `for i := v.Next(0); i >= 0; i = v.Next(i + 1)`
 // visits the raised lines in ascending order, skipping idle spans a
@@ -150,6 +162,96 @@ func (v *BitVec) FirstFrom(start int) int {
 	// No line at or above start: the cyclically-first requester is
 	// simply the lowest raised line.
 	return v.Next(0)
+}
+
+// NextIn returns the lowest raised line in [i, limit), or -1 when that
+// range is idle — the bounded Next behind range-restricted round-robin
+// search over a group embedded in a larger vector.
+func (v *BitVec) NextIn(i, limit int) int {
+	if limit > v.n {
+		limit = v.n
+	}
+	if idx := v.Next(i); idx >= 0 && idx < limit {
+		return idx
+	}
+	return -1
+}
+
+// GroupAny reduces v by contiguous groups of m lines: bit g of dst is
+// raised iff any of v's lines [g*m, (g+1)*m) is raised (the final group
+// may be smaller). dst must span exactly ceil(Len/m) lines; its previous
+// contents are overwritten. This is the upward "any requester in this
+// group?" pass of hierarchical arbitration, generalized from the old
+// hard-coded n=64/m=8 movemask: sub-word group widths of 8, 16 and 32
+// reduce each word by SWAR lanes, word-multiple widths reduce by
+// word-nonzero tests, and everything else falls back to visiting only
+// the raised lines — O(active) in every case.
+func (v *BitVec) GroupAny(dst *BitVec, m int) {
+	if m <= 0 {
+		panic("arb: group width must be positive")
+	}
+	if dst.n != (v.n+m-1)/m {
+		panic("arb: group vector size mismatch")
+	}
+	switch {
+	case m == 8 || m == 16 || m == 32:
+		lanes := 64 / m
+		for i := range dst.words {
+			dst.words[i] = 0
+		}
+		for wi, w := range v.words {
+			if w == 0 {
+				continue
+			}
+			base := wi * lanes
+			dst.words[base>>6] |= laneAny(w, m) << (uint(base) & 63)
+		}
+	case m == 64:
+		for i := range dst.words {
+			dst.words[i] = 0
+		}
+		for wi, w := range v.words {
+			if w != 0 {
+				dst.words[wi>>6] |= 1 << (uint(wi) & 63)
+			}
+		}
+	case m%64 == 0:
+		wpg := m >> 6
+		for i := range dst.words {
+			dst.words[i] = 0
+		}
+		for wi, w := range v.words {
+			if w != 0 {
+				g := wi / wpg
+				dst.words[g>>6] |= 1 << (uint(g) & 63)
+			}
+		}
+	default:
+		dst.Reset()
+		for i := v.Next(0); i >= 0; i = v.Next(i + 1) {
+			dst.Set(i / m)
+		}
+	}
+}
+
+// laneAny reduces each m-bit lane of w to one bit: bit L of the result
+// is set iff lane L contains any set bit. The OR folds a lane's high
+// bit in; the masked add carries into the high bit whenever any low bit
+// is set; the multiply (or shifts, for two lanes) gathers the per-lane
+// high bits into the low bits of the result.
+func laneAny(w uint64, m int) uint64 {
+	switch m {
+	case 8:
+		t := (w | ((w & 0x7f7f7f7f7f7f7f7f) + 0x7f7f7f7f7f7f7f7f)) & 0x8080808080808080
+		return t * 0x0002040810204081 >> 56
+	case 16:
+		t := (w | ((w & 0x7fff7fff7fff7fff) + 0x7fff7fff7fff7fff)) & 0x8000800080008000
+		return t * 0x0000200040008001 >> 60
+	case 32:
+		t := (w | ((w & 0x7fffffff7fffffff) + 0x7fffffff7fffffff)) & 0x8000000080000000
+		return t>>31&1 | t>>62&2
+	}
+	panic("arb: unsupported lane width")
 }
 
 // slice extracts the size bits starting at line base as one word

@@ -99,6 +99,44 @@ func TestQuickRoundRobinWordMatchesBools(t *testing.T) {
 	}
 }
 
+// TestQuickRotorBankMatchesRoundRobin pins the banked entry point the
+// buffered router's crosspoint arbiters use: every member of a
+// RotorBank must grant exactly like its own independent RoundRobin fed
+// the same word stream.
+func TestQuickRotorBankMatchesRoundRobin(t *testing.T) {
+	prop := func(seed uint64, nRaw, countRaw uint8) bool {
+		n := 1 + int(nRaw)%64
+		count := 1 + int(countRaw)%7
+		bank := arb.NewRotorBank(count, n)
+		singles := make([]*arb.RoundRobin, count)
+		for i := range singles {
+			singles[i] = arb.NewRoundRobin(n)
+		}
+		rng := sim.NewRNG(seed ^ 0x9e3779b97f4a7c15)
+		req := make([]bool, n)
+		v := arb.NewBitVec(n)
+		for round := 0; round < quickRounds; round++ {
+			i := int(rng.Uint64() % uint64(count))
+			reqStream(rng, round, req, v)
+			var w uint64
+			for j, r := range req {
+				if r {
+					w |= 1 << uint(j)
+				}
+			}
+			want := singles[i].ArbitrateWord(w)
+			if got := bank.Arbitrate(i, w); got != want {
+				t.Logf("n=%d count=%d round=%d member=%d: bank=%d, single=%d", n, count, round, i, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg(t)); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestQuickFixedBitsMatchesBools(t *testing.T) {
 	prop := func(seed uint64, nRaw uint8) bool {
 		n := 1 + int(nRaw)%128
@@ -122,9 +160,11 @@ func TestQuickFixedBitsMatchesBools(t *testing.T) {
 }
 
 func TestQuickLocalGlobalBitsMatchesBools(t *testing.T) {
-	prop := func(seed uint64, nRaw, mRaw uint8) bool {
-		n := 1 + int(nRaw)%128
-		m := 1 + int(mRaw)%16
+	prop := func(seed uint64, nRaw uint16, mRaw uint8) bool {
+		// Cover single-word, multi-word and non-power-of-two vectors,
+		// including local groups wider than one word (m > 64).
+		n := 1 + int(nRaw)%320
+		m := 1 + int(mRaw)%96
 		return localGlobalEquiv(t, seed, n, m)
 	}
 	if err := quick.Check(prop, quickCfg(t)); err != nil {
@@ -132,12 +172,28 @@ func TestQuickLocalGlobalBitsMatchesBools(t *testing.T) {
 	}
 }
 
-// TestQuickLocalGlobalMovemask pins the n=64, m=8 configuration — the
-// paper's evaluation point, where ArbitrateBits takes the SWAR movemask
-// branch instead of the per-group loop.
+// TestQuickLocalGlobalMovemask pins the configurations where
+// ArbitrateBits reduces groups with the SWAR movemask instead of a
+// per-group loop: lane widths 8, 16 and 32 at single- and multi-word
+// vector sizes (n=64/m=8 is the paper's evaluation point, n=256/m=8 the
+// radix-256 extension), plus the word-multiple and odd-width GroupAny
+// branches that multi-word LocalGlobal now routes through.
 func TestQuickLocalGlobalMovemask(t *testing.T) {
-	prop := func(seed uint64) bool { return localGlobalEquiv(t, seed, 64, 8) }
-	if err := quick.Check(prop, quickCfg(t)); err != nil {
+	shapes := []struct{ n, m int }{
+		{64, 8}, {64, 16}, {64, 32},
+		{128, 8}, {256, 8}, {256, 16}, {256, 32},
+		{192, 16}, {100, 8}, {130, 32},
+		{128, 64}, {256, 64}, {320, 128}, {257, 65}, {100, 7},
+	}
+	prop := func(seed uint64) bool {
+		for _, s := range shapes {
+			if !localGlobalEquiv(t, seed, s.n, s.m) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 16}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -160,9 +216,12 @@ func localGlobalEquiv(t *testing.T, seed uint64, n, m int) bool {
 }
 
 func TestQuickTreeBitsMatchesBools(t *testing.T) {
-	prop := func(seed uint64, nRaw, mRaw uint8) bool {
-		n := 1 + int(nRaw)%128
-		m := 2 + int(mRaw)%15
+	prop := func(seed uint64, nRaw uint16, mRaw uint8) bool {
+		// Multi-word vectors and fan-ins beyond one word (m > 64) take
+		// the range-search node path; small odd shapes take the
+		// slice/movemask paths.
+		n := 1 + int(nRaw)%320
+		m := 2 + int(mRaw)%126
 		bools := arb.NewTree(n, m)
 		bits := arb.NewTree(n, m)
 		rng := sim.NewRNG(seed ^ 0x165667b19e3779f9)
@@ -270,6 +329,72 @@ func TestQuickBitVecMatchesReference(t *testing.T) {
 			if back[j] != ref[j] {
 				t.Logf("n=%d: FillBools[%d]=%t, want %t", n, j, back[j], ref[j])
 				return false
+			}
+		}
+		// Word/SetWordAt round-trip and NextIn against the reference.
+		u := arb.NewBitVec(n)
+		for wi := 0; wi < v.Words(); wi++ {
+			u.SetWordAt(wi, v.Word(wi))
+		}
+		for j := range ref {
+			if u.Get(j) != ref[j] {
+				t.Logf("n=%d: SetWordAt round-trip bit %d = %t, want %t", n, j, u.Get(j), ref[j])
+				return false
+			}
+		}
+		from := int(rng.Uint64() % uint64(n))
+		limit := from + int(rng.Uint64()%uint64(n-from+1))
+		wantIn := -1
+		for j := from; j < limit; j++ {
+			if ref[j] {
+				wantIn = j
+				break
+			}
+		}
+		if got := v.NextIn(from, limit); got != wantIn {
+			t.Logf("n=%d: NextIn(%d,%d)=%d, want %d", n, from, limit, got, wantIn)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg(t)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickGroupAny drives the generalized group-any reduction — the
+// SWAR movemask lanes (m = 8, 16, 32), the word-multiple branches
+// (m = 64, 128, ...) and the set-bit fallback — against a direct
+// reference over every group width.
+func TestQuickGroupAny(t *testing.T) {
+	prop := func(seed uint64, nRaw uint16, mRaw uint8) bool {
+		n := 1 + int(nRaw)%400
+		rng := sim.NewRNG(seed ^ 0xbf58476d1ce4e5b9)
+		// Sweep a width mix that hits every branch: the random width plus
+		// the lane and word-multiple specializations.
+		widths := []int{1 + int(mRaw)%200, 8, 16, 32, 64, 128, 3, n}
+		ref := make([]bool, n)
+		v := arb.NewBitVec(n)
+		for round := 0; round < 32; round++ {
+			reqStream(rng, round, ref, v)
+			for _, m := range widths {
+				groups := (n + m - 1) / m
+				dst := arb.NewBitVec(groups)
+				// Pre-soil dst: GroupAny must overwrite, not accumulate.
+				for g := 0; g < groups; g += 2 {
+					dst.Set(g)
+				}
+				v.GroupAny(dst, m)
+				for g := 0; g < groups; g++ {
+					want := false
+					for i := g * m; i < (g+1)*m && i < n; i++ {
+						want = want || ref[i]
+					}
+					if dst.Get(g) != want {
+						t.Logf("n=%d m=%d: group %d = %t, want %t", n, m, g, dst.Get(g), want)
+						return false
+					}
+				}
 			}
 		}
 		return true

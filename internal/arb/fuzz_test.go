@@ -94,9 +94,11 @@ func FuzzLocalGlobal(f *testing.F) {
 	f.Add(uint64(3), uint8(9), uint8(3), uint8(8))
 	f.Add(uint64(0xfeedface), uint8(7), uint8(16), uint8(3)) // m > n degenerates to flat
 	f.Add(uint64(42), uint8(1), uint8(1), uint8(0))
+	f.Add(uint64(5), uint8(255), uint8(7), uint8(100)) // multi-word vector, byte lanes
+	f.Add(uint64(6), uint8(199), uint8(71), uint8(50)) // local group wider than one word
 	f.Fuzz(func(t *testing.T, seed uint64, nRaw, mRaw, targetRaw uint8) {
-		n := 1 + int(nRaw)%64
-		m := 1 + int(mRaw)%16
+		n := 1 + int(nRaw) // up to 256: multi-word vectors included
+		m := 1 + int(mRaw)%96
 		a := arb.NewLocalGlobal(n, m)
 		if a.Size() != n {
 			t.Fatalf("Size() = %d, want %d", a.Size(), n)
@@ -115,9 +117,11 @@ func FuzzTree(f *testing.F) {
 	f.Add(uint64(2), uint8(64), uint8(2), uint8(63))
 	f.Add(uint64(3), uint8(27), uint8(3), uint8(13))
 	f.Add(uint64(0xabad1dea), uint8(5), uint8(9), uint8(4))
+	f.Add(uint64(7), uint8(255), uint8(6), uint8(200)) // three-stage tree over four words
+	f.Add(uint64(8), uint8(250), uint8(98), uint8(17)) // nodes wider than one word
 	f.Fuzz(func(t *testing.T, seed uint64, nRaw, mRaw, targetRaw uint8) {
-		n := 1 + int(nRaw)%64
-		m := 2 + int(mRaw)%15 // tree fan-in must be >= 2
+		n := 1 + int(nRaw)     // up to 256: multi-word vectors included
+		m := 2 + int(mRaw)%126 // tree fan-in must be >= 2; > 64 takes the range path
 		a := arb.NewTree(n, m)
 		if a.Size() != n {
 			t.Fatalf("Size() = %d, want %d", a.Size(), n)
@@ -141,12 +145,13 @@ func FuzzTree(f *testing.F) {
 // single-winner contract holds across the whole family exactly as the
 // routers construct them.
 func FuzzOutputArbiter(f *testing.F) {
-	f.Add(uint64(1), uint8(64), uint8(8))
+	f.Add(uint64(1), uint8(63), uint8(6))
 	f.Add(uint64(2), uint8(8), uint8(8))
 	f.Add(uint64(3), uint8(64), uint8(2))
+	f.Add(uint64(4), uint8(255), uint8(6)) // radix-256-sized tree selection
 	f.Fuzz(func(t *testing.T, seed uint64, nRaw, mRaw uint8) {
-		n := 1 + int(nRaw)%64
-		m := 2 + int(mRaw)%15
+		n := 1 + int(nRaw)
+		m := 2 + int(mRaw)%126
 		a := arb.NewOutputArbiter(n, m)
 		bits := arb.NewBitOutputArbiter(n, m)
 		rng := sim.NewRNG(seed ^ 0x2545f4914f6cdd1d)

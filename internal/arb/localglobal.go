@@ -22,7 +22,6 @@ type LocalGlobal struct {
 	globalsReq []bool
 	globalsB   *BitVec  // bitset twin of globalsReq
 	grpMask    []uint64 // per-group request mask (group sizes <= 64)
-	boolReq    []bool   // lazy fallback when a group exceeds one word
 }
 
 // NewLocalGlobal returns a two-stage arbiter over n lines with local
@@ -137,26 +136,18 @@ func (a *LocalGlobal) Arbitrate(requests []bool) int {
 	return base + w
 }
 
-// ArbitrateBits is the bitset twin of Arbitrate: each local group's
-// request lines are one contiguous slice of the vector, so the local
-// stage peeks its winner with a rotate-aware find-first-set on a single
-// word and only the globally winning group commits its pointer —
-// identical grant for grant to the []bool path.
+// ArbitrateBits is the bitset twin of Arbitrate: one GroupAny pass
+// reduces the request vector to group-presence lines (a SWAR movemask
+// per word for the common sub-word group widths), the global stage
+// picks a group, and only that group's local pointer commits —
+// identical grant for grant to the []bool path. Every path is
+// alloc-free and O(active): single-word vectors stay entirely in
+// registers, wider vectors reduce word-at-a-time, and a local group
+// wider than one word is searched in place over its line range.
 func (a *LocalGlobal) ArbitrateBits(v *BitVec) int {
 	if v.n != a.n {
 		panic("arb: request vector size mismatch")
 	}
-	if a.m > 64 {
-		// A local group wider than one word cannot be sliced; fall back
-		// to the slice path (never hit by the paper's configurations,
-		// where m is 8 or 16).
-		if a.boolReq == nil {
-			a.boolReq = make([]bool, a.n)
-		}
-		v.FillBools(a.boolReq)
-		return a.Arbitrate(a.boolReq)
-	}
-	groups := len(a.locals)
 	if a.n <= 64 {
 		// The whole request vector is one word: group g's lines are bits
 		// [g*m, g*m+size), so group presence and the winning group's
@@ -166,16 +157,13 @@ func (a *LocalGlobal) ArbitrateBits(v *BitVec) int {
 			return -1
 		}
 		var globals uint64
-		if a.n == 64 && a.m == 8 {
-			// Eight byte-wide groups (the paper's radix-64 routers):
-			// byte-wise any-nonzero reduces to the SWAR movemask. The
-			// OR folds a byte's high bit in; the masked add carries into
-			// the high bit whenever any low bit is set; the multiply
-			// gathers the eight high bits into the top byte.
-			t := (w | ((w & 0x7f7f7f7f7f7f7f7f) + 0x7f7f7f7f7f7f7f7f)) & 0x8080808080808080
-			globals = t * 0x0002040810204081 >> 56
+		if a.m == 8 || a.m == 16 || a.m == 32 {
+			// Lane-aligned groups (the paper's radix-64 routers are eight
+			// byte-wide lanes) reduce with the SWAR movemask; lanes past
+			// the last group hold no request bits, so they stay zero.
+			globals = laneAny(w, a.m)
 		} else {
-			for g := 0; g < groups; g++ {
+			for g := range a.locals {
 				if w>>(g*a.m)&a.grpMask[g] != 0 {
 					globals |= 1 << g
 				}
@@ -185,23 +173,15 @@ func (a *LocalGlobal) ArbitrateBits(v *BitVec) int {
 		base := gw * a.m
 		return base + a.locals[gw].arbitrateWord(w>>base&a.grpMask[gw])
 	}
-	anyReq := false
-	for g := 0; g < groups; g++ {
-		if grp := v.slice(g*a.m, a.locals[g].n); grp != 0 {
-			a.globalsB.Set(g)
-			anyReq = true
-		} else {
-			a.globalsB.Clear(g)
-		}
-	}
-	if !anyReq {
+	v.GroupAny(a.globalsB, a.m)
+	if !a.globalsB.Any() {
 		return -1
 	}
 	gw := a.global.ArbitrateBits(a.globalsB)
-	if gw < 0 {
-		return -1
-	}
 	// Commit the winning group's local pointer.
 	base := gw * a.m
-	return base + a.locals[gw].arbitrateWord(v.slice(base, a.locals[gw].n))
+	if a.m <= 64 {
+		return base + a.locals[gw].arbitrateWord(v.slice(base, a.locals[gw].n))
+	}
+	return base + a.locals[gw].arbitrateRange(v, base)
 }

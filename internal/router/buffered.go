@@ -28,10 +28,10 @@ type buffered struct {
 	inFree   core.SerializerBank
 	inputArb []*arb.RoundRobin
 
-	credit  core.Ledger                  // pools flat [(input*k+output)*v+vc]
-	xp      [][][]*sim.Queue[*flit.Flit] // [input][output][vc]
-	xpArb   [][]*arb.RoundRobin          // [input][output] over VCs
-	outLG   []arb.BitArbiter             // per output over crosspoints (inputs)
+	credit  core.Ledger             // pools flat [(input*k+output)*v+vc]
+	xp      []sim.Queue[*flit.Flit] // flat [(input*k+output)*v+vc], same layout as the ledger
+	xpArb   *arb.RotorBank          // per crosspoint [input*k+output] over VCs
+	outLG   []arb.BitArbiter        // per output over crosspoints (inputs)
 	outFree core.SerializerBank
 
 	toXp *sim.DelayLine[*flit.Flit]
@@ -54,15 +54,14 @@ type buffered struct {
 	// so the output scan derives a crosspoint's whole VC request vector
 	// with word arithmetic instead of peeking every queue. Requires
 	// VCs <= 64 (the paper's routers use at most a handful).
-	xpOcc  [][]uint64 // [input][output]
-	xpHead [][]uint64 // [input][output]
+	xpOcc  []uint64 // flat [input*k+output]
+	xpHead []uint64 // flat [input*k+output]
 	// busPending counts credits held by all row buses (queued or on the
 	// return wire), maintained at enqueue and delivery so Quiescent
 	// never walks the buses. Always zero under IdealCredit.
 	busPending int
 
 	candidates *arb.BitVec // sized k: output-stage crosspoint candidates
-	vcReq      *arb.BitVec // sized v: per-crosspoint / per-input VC requests
 	chosenVC   []int
 }
 
@@ -75,36 +74,27 @@ func newBuffered(cfg Config) *buffered {
 		inFree:     core.NewSerializerBank(k),
 		inputArb:   make([]*arb.RoundRobin, k),
 		credit:     core.MakeLedger(obs, "xpoint", k*k*v, cfg.XpointBufDepth),
-		xp:         make([][][]*sim.Queue[*flit.Flit], k),
-		xpArb:      make([][]*arb.RoundRobin, k),
+		xp:         make([]sim.Queue[*flit.Flit], k*k*v),
+		xpArb:      arb.NewRotorBank(k*k, v),
 		outLG:      make([]arb.BitArbiter, k),
 		outFree:    core.NewSerializerBank(k),
 		toXp:       sim.NewDelayLine[*flit.Flit](cfg.STCycles),
 		bus:        make([]*core.CreditBus, k),
-		xpOcc:      make([][]uint64, k),
-		xpHead:     make([][]uint64, k),
+		xpOcc:      make([]uint64, k*k),
+		xpHead:     make([]uint64, k*k),
 		xpAct:      make([]*core.ActiveSet, k),
 		outAct:     core.NewActiveSet(k),
 		candidates: arb.NewBitVec(k),
-		vcReq:      arb.NewBitVec(v),
 		chosenVC:   make([]int, k),
+	}
+	for q := range r.xp {
+		r.xp[q] = sim.MakeQueue[*flit.Flit](cfg.XpointBufDepth)
 	}
 	for i := 0; i < k; i++ {
 		r.xpAct[i] = core.NewActiveSet(k)
 		r.inputArb[i] = arb.NewRoundRobin(v)
-		r.xpOcc[i] = make([]uint64, k)
-		r.xpHead[i] = make([]uint64, k)
-		r.xp[i] = make([][]*sim.Queue[*flit.Flit], k)
-		r.xpArb[i] = make([]*arb.RoundRobin, k)
-		for o := 0; o < k; o++ {
-			r.xp[i][o] = make([]*sim.Queue[*flit.Flit], v)
-			for c := 0; c < v; c++ {
-				r.xp[i][o][c] = sim.NewQueue[*flit.Flit](cfg.XpointBufDepth)
-			}
-			r.xpArb[i][o] = arb.NewRoundRobin(v)
-		}
 		r.outLG[i] = arb.NewBitOutputArbiter(k, cfg.LocalGroup)
-		r.bus[i] = core.NewCreditBus(k, cfg.LocalGroup)
+		r.bus[i] = core.NewCreditBus(k, cfg.LocalGroup, v*cfg.XpointBufDepth)
 	}
 	return r
 }
@@ -145,12 +135,13 @@ func (r *buffered) Step(now int64) {
 	r.BeginCycle(now)
 	// Flits land in their crosspoint buffers after traversing the row.
 	r.toXp.DrainReady(now, func(f *flit.Flit) {
-		q := r.xp[f.Src][f.Dst][f.VC]
+		xi := f.Src*r.cfg.Radix + f.Dst
+		q := &r.xp[xi*r.cfg.VCs+f.VC]
 		if q.Len() == 0 {
 			// f becomes the queue's front: mirror it in the masks.
-			r.xpOcc[f.Src][f.Dst] |= 1 << uint(f.VC)
+			r.xpOcc[xi] |= 1 << uint(f.VC)
 			if f.Head {
-				r.xpHead[f.Src][f.Dst] |= 1 << uint(f.VC)
+				r.xpHead[xi] |= 1 << uint(f.VC)
 			}
 		}
 		q.MustPush(f)
@@ -162,6 +153,10 @@ func (r *buffered) Step(now int64) {
 	r.inputStage(now)
 	if !r.cfg.IdealCredit {
 		for i := range r.bus {
+			if r.bus[i].Idle() {
+				// Most rows carry no credit on most cycles at high radix.
+				continue
+			}
 			i := i
 			r.bus[i].Step(now, func(output, vc int) {
 				r.busPending--
@@ -174,31 +169,25 @@ func (r *buffered) Step(now int64) {
 // outputStage performs the two-stage output VC allocation and drains one
 // flit per free output per round.
 func (r *buffered) outputStage(now int64) {
-	v := r.cfg.VCs
 	for o := r.outAct.Next(0); o >= 0; o = r.outAct.Next(o + 1) {
 		if !r.outFree.Free(o, now) {
 			continue
 		}
 		r.candidates.Reset()
 		any := false
-		// The VC-ownership test depends only on (o, c), so it is hoisted
-		// out of the crosspoint scan as a mask; a crosspoint's eligible
-		// VCs are then its occupied fronts that are either body flits or
-		// head flits whose VC is free — three words of bit arithmetic in
-		// place of peeking every queue.
-		freeVC := uint64(0)
-		for c := 0; c < v; c++ {
-			if r.Owner.FreeVC(o, c) {
-				freeVC |= 1 << uint(c)
-			}
-		}
+		// The VC-ownership test depends only on (o, c), so the owner
+		// table's maintained free mask is read once per output; a
+		// crosspoint's eligible VCs are then its occupied fronts that are
+		// either body flits or head flits whose VC is free — three words
+		// of bit arithmetic in place of peeking every queue.
+		freeVC := r.Owner.FreeMask(o)
 		for i := r.xpAct[o].Next(0); i >= 0; i = r.xpAct[o].Next(i + 1) {
-			m := r.xpOcc[i][o] & (^r.xpHead[i][o] | freeVC)
+			xi := i*r.cfg.Radix + o
+			m := r.xpOcc[xi] & (^r.xpHead[xi] | freeVC)
 			if m == 0 {
 				continue
 			}
-			r.vcReq.SetWord(m)
-			c := r.xpArb[i][o].ArbitrateBits(r.vcReq)
+			c := r.xpArb.Arbitrate(xi, m)
 			r.candidates.Set(i)
 			r.chosenVC[i] = c
 			any = true
@@ -208,16 +197,18 @@ func (r *buffered) outputStage(now int64) {
 		}
 		win := r.outLG[o].ArbitrateBits(r.candidates)
 		c := r.chosenVC[win]
-		f := r.xp[win][o][c].MustPop()
-		if nf, ok := r.xp[win][o][c].Peek(); ok {
+		xi := win*r.cfg.Radix + o
+		q := &r.xp[xi*r.cfg.VCs+c]
+		f := q.MustPop()
+		if nf, ok := q.Peek(); ok {
 			if nf.Head {
-				r.xpHead[win][o] |= 1 << uint(c)
+				r.xpHead[xi] |= 1 << uint(c)
 			} else {
-				r.xpHead[win][o] &^= 1 << uint(c)
+				r.xpHead[xi] &^= 1 << uint(c)
 			}
 		} else {
-			r.xpOcc[win][o] &^= 1 << uint(c)
-			r.xpHead[win][o] &^= 1 << uint(c)
+			r.xpOcc[xi] &^= 1 << uint(c)
+			r.xpHead[xi] &^= 1 << uint(c)
 		}
 		r.xpAct[o].Dec(win)
 		r.outAct.Dec(o)
@@ -246,20 +237,18 @@ func (r *buffered) inputStage(now int64) {
 		if !r.inFree.Free(i, now) {
 			continue
 		}
-		r.vcReq.Reset()
-		any := false
+		var req uint64
 		fronts := r.In.Fronts(i)
 		for c := 0; c < v; c++ {
 			fr := &fronts[c]
 			if now > fr.Inj && r.credit.Avail(r.xpPool(i, int(fr.Dst), c)) {
-				r.vcReq.Set(c)
-				any = true
+				req |= 1 << uint(c)
 			}
 		}
-		if !any {
+		if req == 0 {
 			continue
 		}
-		c := r.inputArb[i].ArbitrateBits(r.vcReq)
+		c := r.inputArb[i].ArbitrateWord(req)
 		f := r.In.Pop(i, c)
 		r.credit.Spend(now, r.xpPool(i, f.Dst, c), i, f.Dst, c)
 		r.inFree.Reserve(i, now, r.cfg.STCycles)

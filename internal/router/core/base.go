@@ -24,7 +24,7 @@ func MakeBase(obs Obs, ports, vcs, depth, ejectDelay int) Base {
 	return Base{
 		Obs:   obs,
 		In:    MakeInputBank(obs, ports, vcs, depth),
-		Out:   MakeEjectPipe(ejectDelay),
+		Out:   MakeEjectPipe(ejectDelay, ports),
 		Owner: MakeVCOwnerTable(ports, vcs),
 	}
 }

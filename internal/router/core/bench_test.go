@@ -60,7 +60,7 @@ func BenchmarkLedgerSpendReturn(b *testing.B) {
 // BenchmarkEjectPipe measures the push/drain cycle of the shared
 // ejection pipe with one flit in flight.
 func BenchmarkEjectPipe(b *testing.B) {
-	p := core.MakeEjectPipe(4)
+	p := core.MakeEjectPipe(4, 64)
 	owner := core.MakeVCOwnerTable(64, 4)
 	f := flit.MakePacket(1, 0, 5, 1, 2, 0, false)[0] // head, not tail: no owner churn
 	b.ReportAllocs()
@@ -93,7 +93,7 @@ func BenchmarkQuiescent(b *testing.B) {
 // counter or delay-line front read. The ring has delay+1 slots, so the
 // scan is O(eject delay), not O(radix).
 func BenchmarkEjectPipeNextWake(b *testing.B) {
-	p := core.MakeEjectPipe(4)
+	p := core.MakeEjectPipe(4, 64)
 	f := flit.MakePacket(1, 0, 5, 1, 1, 0, false)[0]
 	p.Push(0, 5, f)
 	b.ReportAllocs()

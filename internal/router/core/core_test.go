@@ -91,7 +91,7 @@ func TestEjectPipeFixedDelay(t *testing.T) {
 	// Pushes at cycle t surface exactly delay cycles later, in push
 	// order, as the ring is drained once per consecutive cycle.
 	const delay = 3
-	p := core.MakeEjectPipe(delay)
+	p := core.MakeEjectPipe(delay, 8)
 	owner := core.MakeVCOwnerTable(3, 1)
 	fa := flit.MakePacket(1, 0, 0, 0, 1, 0, false)[0]
 	fb := flit.MakePacket(2, 0, 1, 0, 1, 0, false)[0]
@@ -129,7 +129,7 @@ func TestEjectPipeFixedDelay(t *testing.T) {
 }
 
 func TestEjectPipeEmitsEject(t *testing.T) {
-	p := core.MakeEjectPipe(1)
+	p := core.MakeEjectPipe(1, 8)
 	owner := core.MakeVCOwnerTable(1, 1)
 	var events []core.Event
 	obs := core.Obs{O: core.ObserverFunc(func(e core.Event) { events = append(events, e) })}
@@ -142,7 +142,7 @@ func TestEjectPipeEmitsEject(t *testing.T) {
 }
 
 func TestCreditBusOneCreditPerCycle(t *testing.T) {
-	b := core.NewCreditBus(8, 4)
+	b := core.NewCreditBus(8, 4, 8)
 	// Queue three credits at different crosspoints in the same cycle.
 	b.Enqueue(0, 1)
 	b.Enqueue(3, 0)
@@ -164,7 +164,7 @@ func TestCreditBusOneCreditPerCycle(t *testing.T) {
 }
 
 func TestCreditBusPreservesIdentity(t *testing.T) {
-	b := core.NewCreditBus(4, 2)
+	b := core.NewCreditBus(4, 2, 8)
 	b.Enqueue(2, 3)
 	type cred struct{ o, v int }
 	var got []cred

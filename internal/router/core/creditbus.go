@@ -13,11 +13,23 @@ import (
 // which the paper shows (and our ablation confirms) costs almost
 // nothing because each flit occupies the input row for several cycles.
 type CreditBus struct {
-	pending []*sim.Queue[int] // per crosspoint (output index): queued VC numbers
-	busArb  arb.BitArbiter
-	wire    *sim.DelayLine[busCredit]
-	reqB    *arb.BitVec // crosspoints with queued credits
-	queued  int         // total queued credits across crosspoints
+	// Pending credits live in a flat bank of per-crosspoint byte rings:
+	// ring i occupies vcs[i*ringCap : (i+1)*ringCap] and holds queued VC
+	// numbers in FIFO order, with its head cursor and length in head[i]
+	// and size[i]. A crosspoint can never hold more outstanding credits
+	// than its buffer holds flits, so the caller sizes ringCap from its
+	// buffer-depth configuration and overflow indicates an accounting
+	// bug. Compared to a bank of growable queues this keeps a row's
+	// entire bus state in three small contiguous arrays.
+	ringCap int
+	vcs     []uint8
+	head    []uint16
+	size    []uint16
+
+	busArb arb.BitArbiter
+	wire   *sim.DelayLine[busCredit]
+	reqB   *arb.BitVec // crosspoints with queued credits
+	queued int         // total queued credits across crosspoints
 }
 
 type busCredit struct {
@@ -26,24 +38,36 @@ type busCredit struct {
 }
 
 // NewCreditBus builds a bus serving k crosspoints with local-global
-// arbitration groups of size m and a one-cycle return wire.
-func NewCreditBus(k, m int) *CreditBus {
-	b := &CreditBus{
-		pending: make([]*sim.Queue[int], k),
+// arbitration groups of size m and a one-cycle return wire. perXpCap
+// bounds the credits one crosspoint can have queued at once — the
+// crosspoint's buffer depth in flits, from the router's Config.
+func NewCreditBus(k, m, perXpCap int) *CreditBus {
+	if perXpCap < 1 {
+		panic("core: credit bus per-crosspoint capacity must be positive")
+	}
+	return &CreditBus{
+		ringCap: perXpCap,
+		vcs:     make([]uint8, k*perXpCap),
+		head:    make([]uint16, k),
+		size:    make([]uint16, k),
 		busArb:  arb.NewBitOutputArbiter(k, m),
 		wire:    sim.NewDelayLine[busCredit](1),
 		reqB:    arb.NewBitVec(k),
 	}
-	for i := range b.pending {
-		b.pending[i] = sim.NewQueue[int](0)
-	}
-	return b
 }
 
 // Enqueue records that crosspoint `output` freed a slot of virtual
 // channel vc and now needs the bus.
 func (b *CreditBus) Enqueue(output, vc int) {
-	b.pending[output].MustPush(vc)
+	if int(b.size[output]) >= b.ringCap {
+		panic("core: credit bus ring overflow (credit accounting bug)")
+	}
+	idx := int(b.head[output]) + int(b.size[output])
+	if idx >= b.ringCap {
+		idx -= b.ringCap
+	}
+	b.vcs[output*b.ringCap+idx] = uint8(vc)
+	b.size[output]++
 	b.reqB.Set(output)
 	b.queued++
 }
@@ -56,9 +80,15 @@ func (b *CreditBus) Step(now int64, deliver func(output, vc int)) {
 		return
 	}
 	win := b.busArb.ArbitrateBits(b.reqB)
-	vc := b.pending[win].MustPop()
+	vc := int(b.vcs[win*b.ringCap+int(b.head[win])])
+	h := int(b.head[win]) + 1
+	if h >= b.ringCap {
+		h = 0
+	}
+	b.head[win] = uint16(h)
+	b.size[win]--
 	b.queued--
-	if b.pending[win].Empty() {
+	if b.size[win] == 0 {
 		b.reqB.Clear(win)
 	}
 	b.wire.Push(now, busCredit{output: win, vc: vc})
@@ -67,9 +97,5 @@ func (b *CreditBus) Step(now int64, deliver func(output, vc int)) {
 // Backlog reports queued plus in-flight credits (used by InFlight-style
 // drain checks in tests).
 func (b *CreditBus) Backlog() int {
-	n := b.wire.Len()
-	for _, q := range b.pending {
-		n += q.Len()
-	}
-	return n
+	return b.wire.Len() + b.queued
 }

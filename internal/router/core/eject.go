@@ -29,12 +29,19 @@ type EjectPipe struct {
 }
 
 // MakeEjectPipe returns a pipe with the given traversal delay, by value
-// for embedding.
-func MakeEjectPipe(delay int) EjectPipe {
+// for embedding. ports sizes each per-cycle slot (and the ejected
+// slice): at most one flit per output port can be pushed per cycle, so
+// with that capacity preallocated the ring never regrows, keeping
+// steady-state stepping alloc-free even at radix 256.
+func MakeEjectPipe(delay, ports int) EjectPipe {
 	if delay < 1 {
 		Violatef("eject delay %d must be at least one cycle", delay)
 	}
-	return EjectPipe{slots: make([][]ejEntry, delay+1)}
+	p := EjectPipe{slots: make([][]ejEntry, delay+1), out: make([]*flit.Flit, 0, ports)}
+	for i := range p.slots {
+		p.slots[i] = make([]ejEntry, 0, ports)
+	}
+	return p
 }
 
 // Push schedules f to leave output port exactly the pipe's delay after

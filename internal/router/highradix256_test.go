@@ -17,6 +17,8 @@ func TestVeryHighRadixTreeArbitration(t *testing.T) {
 	}
 	cfgs := map[string]router.Config{
 		"baseline-256": {Arch: router.ArchBaseline, Radix: 256, VCs: 2, InputBufDepth: 8, LocalGroup: 8},
+		"buffered-256": {Arch: router.ArchBuffered, Radix: 256, VCs: 2, InputBufDepth: 8, LocalGroup: 8},
+		"sharedxp-256": {Arch: router.ArchSharedXpoint, Radix: 256, VCs: 2, InputBufDepth: 8, LocalGroup: 8},
 		"hier-256":     {Arch: router.ArchHierarchical, Radix: 256, VCs: 2, SubSize: 16, InputBufDepth: 8, LocalGroup: 8},
 	}
 	for name, cfg := range cfgs {
@@ -25,6 +27,37 @@ func TestVeryHighRadixTreeArbitration(t *testing.T) {
 			t.Parallel()
 			drive(t, cfg, 600, 1, 21)
 			drive(t, cfg, 150, 4, 22)
+		})
+	}
+}
+
+// TestRadix256Checked runs a short radix-256 load through the testbench
+// with the cycle-level invariant checker armed for all four
+// architectures — the conformance pass CI's race job drives. The flat
+// crosspoint banks, rotor banks, and credit rings must uphold every
+// credit, buffer, and ownership invariant at the full 256-port scale.
+func TestRadix256Checked(t *testing.T) {
+	if testing.Short() {
+		t.Skip("radix-256 checked run skipped in short mode")
+	}
+	for _, arch := range []router.Arch{
+		router.ArchBaseline, router.ArchBuffered, router.ArchSharedXpoint, router.ArchHierarchical,
+	} {
+		arch := arch
+		t.Run(arch.String(), func(t *testing.T) {
+			t.Parallel()
+			_, err := testbench.Run(testbench.Options{
+				Router:        router.Config{Arch: arch, Radix: 256},
+				Load:          0.5,
+				WarmupCycles:  50,
+				MeasureCycles: 300,
+				DrainCycles:   2000,
+				Seed:          31,
+				Check:         true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
 		})
 	}
 }
@@ -39,12 +72,13 @@ func benchStep256(b *testing.B, arch router.Arch) {
 	b.Helper()
 	b.ReportAllocs()
 	_, err := testbench.Run(testbench.Options{
-		Router:        router.Config{Arch: arch, Radix: 256},
-		Load:          0.6,
-		WarmupCycles:  200,
-		MeasureCycles: int64(b.N) + 1,
-		DrainCycles:   1,
-		Seed:          1,
+		Router:         router.Config{Arch: arch, Radix: 256},
+		Load:           0.6,
+		WarmupCycles:   2000,
+		MeasureCycles:  int64(b.N) + 1,
+		DrainCycles:    1,
+		Seed:           1,
+		OnMeasureStart: b.ResetTimer,
 	})
 	if err != nil {
 		b.Fatal(err)

@@ -24,8 +24,8 @@ type sharedXpoint struct {
 	inFree   core.SerializerBank
 	inputArb []*arb.RoundRobin
 
-	credit  core.Ledger                // shared-buffer pools flat [input*k+output]
-	xp      [][]*sim.Queue[*flit.Flit] // [input][output] shared FIFO
+	credit  core.Ledger             // shared-buffer pools flat [input*k+output]
+	xp      []sim.Queue[*flit.Flit] // flat [input*k+output] shared FIFO, same layout as the ledger
 	outLG   []arb.BitArbiter
 	outFree core.SerializerBank
 
@@ -72,7 +72,7 @@ func newSharedXpoint(cfg Config) *sharedXpoint {
 		inFree:     core.NewSerializerBank(k),
 		inputArb:   make([]*arb.RoundRobin, k),
 		credit:     core.MakeLedger(obs, "xp-shared", k*k, cfg.XpointBufDepth),
-		xp:         make([][]*sim.Queue[*flit.Flit], k),
+		xp:         make([]sim.Queue[*flit.Flit], k*k),
 		outLG:      make([]arb.BitArbiter, k),
 		outFree:    core.NewSerializerBank(k),
 		toXp:       sim.NewDelayLine[*flit.Flit](cfg.STCycles),
@@ -85,17 +85,16 @@ func newSharedXpoint(cfg Config) *sharedXpoint {
 		candidates: arb.NewBitVec(k),
 		vcReq:      arb.NewBitVec(v),
 	}
+	for q := range r.xp {
+		r.xp[q] = sim.MakeQueue[*flit.Flit](cfg.XpointBufDepth)
+	}
 	for i := 0; i < k; i++ {
 		r.rowAct[i] = core.NewActiveSet(k)
 		r.colAct[i] = core.NewActiveSet(k)
 		r.awaiting[i] = make([]bool, v)
 		r.inputArb[i] = arb.NewRoundRobin(v)
-		r.xp[i] = make([]*sim.Queue[*flit.Flit], k)
-		for o := 0; o < k; o++ {
-			r.xp[i][o] = sim.NewQueue[*flit.Flit](cfg.XpointBufDepth)
-		}
 		r.outLG[i] = arb.NewBitOutputArbiter(k, cfg.LocalGroup)
-		r.bus[i] = core.NewCreditBus(k, cfg.LocalGroup)
+		r.bus[i] = core.NewCreditBus(k, cfg.LocalGroup, cfg.XpointBufDepth)
 	}
 	return r
 }
@@ -163,7 +162,7 @@ func (r *sharedXpoint) Step(now int64) {
 		}
 	})
 	r.toXp.DrainReady(now, func(f *flit.Flit) {
-		r.xp[f.Src][f.Dst].MustPush(f)
+		r.xp[f.Src*r.cfg.Radix+f.Dst].MustPush(f)
 		r.xpPushed(f.Src, f.Dst)
 		if !f.Head {
 			// Body and tail flits cannot fail VC allocation; ACK on
@@ -195,12 +194,12 @@ func (r *sharedXpoint) nackBlockedHeads(now int64) {
 	for i := r.rowAny.Next(0); i >= 0; i = r.rowAny.Next(i + 1) {
 		row := r.rowAct[i]
 		for o := row.Next(0); o >= 0; o = row.Next(o + 1) {
-			f, ok := r.xp[i][o].Peek()
+			f, ok := r.xp[i*r.cfg.Radix+o].Peek()
 			if !ok || !f.Head {
 				continue
 			}
 			if !r.Owner.FreeVC(o, f.VC) {
-				r.xp[i][o].MustPop()
+				r.xp[i*r.cfg.Radix+o].MustPop()
 				r.xpPopped(i, o)
 				r.Obs.Emit(Event{Cycle: now, Kind: EvNack, Flit: f, Input: i, Output: o, VC: f.VC, Note: "xpoint-vc-busy"})
 				r.ack.Push(now, xpAck{input: i, vc: f.VC, ack: false})
@@ -228,7 +227,7 @@ func (r *sharedXpoint) outputStage(now int64) {
 		any := false
 		col := r.colAct[o]
 		for i := col.Next(0); i >= 0; i = col.Next(i + 1) {
-			f, ok := r.xp[i][o].Peek()
+			f, ok := r.xp[i*r.cfg.Radix+o].Peek()
 			if ok && (!f.Head && r.Owner.OwnedBy(o, f.VC, f.PacketID) ||
 				f.Head && r.Owner.FreeVC(o, f.VC)) {
 				r.candidates.Set(i)
@@ -239,7 +238,7 @@ func (r *sharedXpoint) outputStage(now int64) {
 			continue
 		}
 		win := r.outLG[o].ArbitrateBits(r.candidates)
-		f := r.xp[win][o].MustPop()
+		f := r.xp[win*r.cfg.Radix+o].MustPop()
 		r.xpPopped(win, o)
 		r.Obs.Emit(Event{Cycle: now, Kind: EvGrant, Flit: f, Input: win, Output: o, VC: f.VC, Note: "output"})
 		if f.Head {

@@ -15,6 +15,16 @@ type Queue[T any] struct {
 // NewQueue returns a queue with the given capacity. capacity <= 0 makes
 // the queue unbounded.
 func NewQueue[T any](capacity int) *Queue[T] {
+	q := MakeQueue[T](capacity)
+	return &q
+}
+
+// MakeQueue returns a queue by value, for storing banks of queues in
+// one flat slice: a radix-k crosspoint grid holds k*k (or k*k*v) tiny
+// queues, and laying their headers out contiguously replaces a pointer
+// dereference per access with an index — a large constant factor in the
+// routers' step loops at radix 256.
+func MakeQueue[T any](capacity int) Queue[T] {
 	initial := capacity
 	if initial <= 0 {
 		initial = 8
@@ -23,7 +33,7 @@ func NewQueue[T any](capacity int) *Queue[T] {
 	if c < 0 {
 		c = 0
 	}
-	return &Queue[T]{buf: make([]T, initial), cap: c}
+	return Queue[T]{buf: make([]T, initial), cap: c}
 }
 
 // Len reports the number of queued items.
