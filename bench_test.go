@@ -136,6 +136,14 @@ func BenchmarkStepHierarchical(b *testing.B) {
 	benchRouterStep(b, highradix.RouterConfig{Arch: highradix.Hierarchical})
 }
 
+func BenchmarkStepVOQ(b *testing.B) {
+	benchRouterStep(b, highradix.RouterConfig{Arch: highradix.VOQ})
+}
+
+func BenchmarkStepDynVC(b *testing.B) {
+	benchRouterStep(b, highradix.RouterConfig{Arch: highradix.DynVC})
+}
+
 // Guard: every registered experiment has a BenchmarkFig*/Abl*/Table*
 // counterpart above, and the cheap analytic ones run end to end. The
 // simulation experiments are exercised by their own benchmarks and the

@@ -63,19 +63,18 @@ type sweep struct {
 	Figures   []figPoint `json:"figures,omitempty"`
 }
 
-// configs lists the swept (arch, radix) pairs. The low-radix router is
-// measured at its design point (radix 16) and, for comparison, at the
-// high-radix operating point; the high-radix architectures at the
-// paper's radix 64 and at radix 128 and 256 to expose scaling.
+// configs lists the swept (arch, radix) pairs, straight from the
+// architecture registry: each registered architecture is measured at
+// its descriptor's BenchRadices (the low-radix router at its design
+// point 16 plus the high-radix operating point; the high-radix
+// architectures at the paper's radix 64 and at 128 and 256 to expose
+// scaling), so a newly registered architecture joins the sweep — and
+// the -check allocation gate — by construction.
 func configs() []highradix.RouterConfig {
 	var cfgs []highradix.RouterConfig
-	for _, radix := range []int{16, 64} {
-		cfgs = append(cfgs, highradix.RouterConfig{Arch: highradix.LowRadix, Radix: radix})
-	}
-	for _, arch := range []highradix.Arch{
-		highradix.Baseline, highradix.Buffered, highradix.SharedXpoint, highradix.Hierarchical,
-	} {
-		for _, radix := range []int{64, 128, 256} {
+	for _, arch := range highradix.Architectures() {
+		d, _ := highradix.DescribeArch(arch)
+		for _, radix := range d.BenchRadices {
 			cfgs = append(cfgs, highradix.RouterConfig{Arch: arch, Radix: radix})
 		}
 	}

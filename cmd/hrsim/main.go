@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"highradix/internal/router"
 	"highradix/internal/testbench"
@@ -21,7 +22,7 @@ import (
 
 func main() {
 	var (
-		arch    = flag.String("arch", "hierarchical", "lowradix|baseline|buffered|sharedxp|hierarchical")
+		arch    = flag.String("arch", "hierarchical", strings.Join(router.ArchNames(), "|"))
 		radix   = flag.Int("radix", 64, "router radix k")
 		vcs     = flag.Int("vcs", 4, "virtual channels v")
 		subsize = flag.Int("subsize", 8, "hierarchical subswitch size p")

@@ -31,6 +31,18 @@
 //     subswitches with per-VC buffers at subswitch boundaries and
 //     decoupled local/global VC allocation.
 //
+// Two further allocation policies from the surrounding literature plug
+// into the same registry for head-to-head comparison:
+//
+//   - VOQ — per-input virtual output queues scheduled by an iterative
+//     iSLIP grant/accept matcher (the Tiny Tera organization).
+//   - DynVC — dynamic virtual-channel allocation: each input's buffer
+//     pool is carved into VCs on demand under a congestion-aware
+//     sizing rule.
+//
+// The set is open: Architectures, DescribeArch and ArchByName expose
+// the registry, and a new policy registers itself with router.Register.
+//
 // Every experiment in the paper's evaluation can be regenerated with
 // the Experiment function or the cmd/hrsweep tool; see EXPERIMENTS.md
 // for measured-versus-paper results.
@@ -55,13 +67,30 @@ type RouterConfig = router.Config
 // Arch selects a router microarchitecture.
 type Arch = router.Arch
 
-// The architectures studied by the paper.
+// The architectures studied by the paper, plus the registry's
+// additional allocation policies.
 const (
 	LowRadix     = router.ArchLowRadix
 	Baseline     = router.ArchBaseline
 	Buffered     = router.ArchBuffered
 	SharedXpoint = router.ArchSharedXpoint
 	Hierarchical = router.ArchHierarchical
+	VOQ          = router.ArchVOQ
+	DynVC        = router.ArchDynVC
+)
+
+// ArchDescriptor is a registered architecture's registry entry:
+// constructor, checker traits, defaulting and validation hooks, bench
+// radices, and the paper section it models.
+type ArchDescriptor = router.Descriptor
+
+// Architectures lists every registered architecture in ascending
+// order; DescribeArch returns one's registry entry and ArchByName
+// resolves a CLI name ("hierarchical", "voq", ...) to its Arch.
+var (
+	Architectures = router.Registered
+	DescribeArch  = router.Describe
+	ArchByName    = router.ArchByName
 )
 
 // VAScheme selects the speculative virtual-channel allocation flavor of

@@ -1,0 +1,127 @@
+package arb
+
+import "math/bits"
+
+// ISLIP is the iterative grant/accept scheduler of the iSLIP algorithm
+// (McKeown, "The iSLIP Scheduling Algorithm for Input-Queued Switches",
+// deployed in the Tiny Tera prototype): each eligible output grants the
+// cyclically-first requesting input after its grant pointer, each input
+// that received grants accepts the cyclically-first granting output
+// after its accept pointer, and unmatched ports re-bid for a configured
+// number of iterations. Pointers advance only for matches made in the
+// first iteration — the rule that desynchronizes the pointers under
+// contention and drives a fully loaded permutation to 100% throughput.
+//
+// The scheduler is centralized state over n inputs and n outputs; one
+// Match call computes one cycle's matching. All scratch is allocated at
+// construction, so Match is allocation-free on every path.
+type ISLIP struct {
+	n         int
+	grantPtr  []int    // per output: next input with grant priority
+	acceptPtr []int    // per input: next output with accept priority
+	grantRows []BitVec // per input: outputs granting it this iteration
+	gIn       BitVec   // inputs holding at least one grant this iteration
+	inM       BitVec   // inputs matched in this Match call
+}
+
+// NewISLIP returns a scheduler over n inputs and n outputs with all
+// priority pointers at zero.
+func NewISLIP(n int) *ISLIP {
+	s := &ISLIP{
+		n:         n,
+		grantPtr:  make([]int, n),
+		acceptPtr: make([]int, n),
+		grantRows: make([]BitVec, n),
+		gIn:       MakeBitVec(n),
+		inM:       MakeBitVec(n),
+	}
+	for i := range s.grantRows {
+		s.grantRows[i] = MakeBitVec(n)
+	}
+	return s
+}
+
+// Match computes one cycle's matching. reqCols[o] holds the inputs
+// requesting output o; outEl holds the outputs eligible to grant and is
+// consumed (matched outputs are cleared from it, so afterwards it holds
+// the still-unmatched eligible outputs). Inputs ineligible this cycle
+// must already be masked out of every reqCols column by the caller;
+// matched inputs are masked internally as iterations refine the match.
+// accept is invoked once per matched (input, output) pair, and Match
+// returns the number of pairs matched.
+func (s *ISLIP) Match(iters int, reqCols []BitVec, outEl *BitVec, accept func(in, out int)) int {
+	matched := 0
+	for iter := 0; iter < iters; iter++ {
+		// Grant phase: every eligible unmatched output picks, among the
+		// unmatched inputs requesting it, the cyclically-first one at or
+		// after its grant pointer.
+		granted := false
+		for o := outEl.Next(0); o >= 0; o = outEl.Next(o + 1) {
+			g := firstFromNot(&reqCols[o], &s.inM, s.grantPtr[o])
+			if g < 0 {
+				continue
+			}
+			s.grantRows[g].Set(o)
+			s.gIn.Set(g)
+			granted = true
+		}
+		if !granted {
+			break
+		}
+		// Accept phase: every input holding grants accepts the
+		// cyclically-first granting output at or after its accept
+		// pointer. Pointers move only for first-iteration matches: a
+		// pointer that advanced for a later-iteration match could starve
+		// the input or output it skipped (the "slip" property).
+		for i := s.gIn.Next(0); i >= 0; i = s.gIn.Next(i + 1) {
+			row := &s.grantRows[i]
+			o := row.FirstFrom(s.acceptPtr[i])
+			if iter == 0 {
+				s.grantPtr[o] = (i + 1) % s.n
+				s.acceptPtr[i] = (o + 1) % s.n
+			}
+			s.inM.Set(i)
+			outEl.Clear(o)
+			accept(i, o)
+			matched++
+			row.Reset()
+		}
+		s.gIn.Reset()
+	}
+	s.inM.Reset()
+	return matched
+}
+
+// firstFromNot returns the first line at or cyclically after start that
+// is raised in v but not in not, or -1 when no such line exists — the
+// grant-phase scan over requesters excluding already-matched inputs,
+// without materializing the difference vector.
+func firstFromNot(v, not *BitVec, start int) int {
+	if idx := nextNot(v, not, start); idx >= 0 {
+		return idx
+	}
+	return nextNot(v, not, 0)
+}
+
+// nextNot returns the lowest line >= i raised in v but not in not, or
+// -1 when none remains.
+func nextNot(v, not *BitVec, i int) int {
+	if i < 0 {
+		i = 0
+	}
+	if i >= v.n {
+		return -1
+	}
+	w := i >> 6
+	word := v.words[w] &^ not.words[w] &^ (1<<(uint(i)&63) - 1)
+	for {
+		if word != 0 {
+			return w<<6 + bits.TrailingZeros64(word)
+		}
+		w++
+		if w == len(v.words) {
+			return -1
+		}
+		word = v.words[w] &^ not.words[w]
+	}
+}

@@ -13,21 +13,36 @@ import (
 )
 
 // conformanceConfigs is every router variant the suite holds to the
-// invariants: all five architectures plus the option axes that change
-// allocator behavior (OVA speculation, prioritized arbiters, ideal
-// credit return).
+// invariants: each registered architecture's representative variants at
+// radix 16 — the option axes that change allocator behavior (OVA
+// speculation, prioritized arbiters, ideal credit return, iteration
+// counts) come straight from the registry, so a newly registered
+// architecture is conformance-checked by construction.
 func conformanceConfigs() map[string]router.Config {
-	return map[string]router.Config{
-		"lowradix":     {Arch: router.ArchLowRadix, Radix: 16, VCs: 2},
-		"baseline-cva": {Arch: router.ArchBaseline, Radix: 16, VCs: 2, VA: router.CVA},
-		"baseline-ova": {Arch: router.ArchBaseline, Radix: 16, VCs: 2, VA: router.OVA},
-		"baseline-prioritized": {Arch: router.ArchBaseline, Radix: 16, VCs: 2, VA: router.OVA,
-			Prioritized: true},
-		"buffered": {Arch: router.ArchBuffered, Radix: 16, VCs: 2, LocalGroup: 4},
-		"buffered-ideal": {Arch: router.ArchBuffered, Radix: 16, VCs: 2, LocalGroup: 4,
-			IdealCredit: true},
-		"sharedxp":     {Arch: router.ArchSharedXpoint, Radix: 16, VCs: 2, LocalGroup: 4},
-		"hierarchical": {Arch: router.ArchHierarchical, Radix: 16, VCs: 2, SubSize: 4, LocalGroup: 4},
+	m := map[string]router.Config{}
+	for _, a := range router.Registered() {
+		d, _ := router.Describe(a)
+		for _, vt := range d.Variants(16, 2) {
+			m[vt.Name] = vt.Config
+		}
+	}
+	return m
+}
+
+// TestConformanceCoversRegistry asserts the suite's coverage is total:
+// every registered architecture contributes at least one variant to
+// conformanceConfigs, so no policy can be registered without being
+// held to the invariants.
+func TestConformanceCoversRegistry(t *testing.T) {
+	cfgs := conformanceConfigs()
+	covered := map[router.Arch]bool{}
+	for _, cfg := range cfgs {
+		covered[cfg.Arch] = true
+	}
+	for _, a := range router.Registered() {
+		if !covered[a] {
+			t.Errorf("architecture %v has no variant in the conformance suite", a)
+		}
 	}
 }
 

@@ -113,27 +113,33 @@ func replay(t *testing.T, cfg router.Config, sched []schedEntry) replayResult {
 }
 
 // TestDifferentialAcrossArchitectures replays one injection schedule
-// against all five architectures and asserts they agree on the
-// functional outcome: the exact set of delivered flits, and the order
-// in which packets of each (source, destination) pair complete. At low
-// load these are implementation-independent; a divergence means one
-// architecture dropped, duplicated or reordered traffic in a way the
-// single-run checker happened not to witness.
+// against every registered architecture's variants and asserts they
+// agree on the functional outcome: the exact set of delivered flits,
+// and the order in which packets of each (source, destination) pair
+// complete. At low load these are implementation-independent; a
+// divergence means one architecture dropped, duplicated or reordered
+// traffic in a way the single-run checker happened not to witness.
+// The config axis comes from the registry, so a newly registered
+// architecture is differentially tested against the low-radix
+// reference by construction.
 func TestDifferentialAcrossArchitectures(t *testing.T) {
 	const k = 8
 	sched := makeSchedule(k, 0xd1f3)
-	configs := map[string]router.Config{
-		"lowradix":     {Arch: router.ArchLowRadix, Radix: k, VCs: 2},
-		"baseline":     {Arch: router.ArchBaseline, Radix: k, VCs: 2},
-		"buffered":     {Arch: router.ArchBuffered, Radix: k, VCs: 2, LocalGroup: 4},
-		"sharedxp":     {Arch: router.ArchSharedXpoint, Radix: k, VCs: 2, LocalGroup: 4},
-		"hierarchical": {Arch: router.ArchHierarchical, Radix: k, VCs: 2, SubSize: 4, LocalGroup: 4},
+	configs := map[string]router.Config{}
+	for _, a := range router.Registered() {
+		d, _ := router.Describe(a)
+		for _, vt := range d.Variants(k, 2) {
+			configs[vt.Name] = vt.Config
+		}
 	}
 	results := make(map[string]replayResult)
 	for name, cfg := range configs {
 		results[name] = replay(t, cfg, sched)
 	}
-	ref := results["lowradix"]
+	ref, ok := results["lowradix"]
+	if !ok {
+		t.Fatal("registry lost the lowradix reference architecture")
+	}
 	// Sanity: the reference delivered exactly the scheduled flits.
 	var want int
 	for _, e := range sched {

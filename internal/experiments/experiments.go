@@ -198,6 +198,7 @@ var Registry = []struct {
 	{"allociters", "ablation: allocation iterations of the centralized low-radix router", AblAllocIters},
 	{"radixsweep", "extension: saturation throughput vs radix for the main organizations", RadixSweep},
 	{"radixscale", "extension: latency-throughput at radix 64/128/256, buffered and hierarchical", RadixScale},
+	{"fig_alloc", "extension: allocation-policy families head to head — baseline vs VOQ/iSLIP vs dynamic VC", FigAlloc},
 }
 
 // ByName finds a registered experiment.

@@ -102,6 +102,14 @@ func TestGoldenRadixScale(t *testing.T) {
 	golden(t, "radixscale", func() (*stats.Table, error) { return RadixScale(Quick) })
 }
 
+// TestGoldenFigAlloc pins the allocation-policy comparison figure —
+// baseline separable allocation vs VOQ/iSLIP (1 and 3 iterations) vs
+// dynamic VC allocation at radix 64. This is the golden that exercises
+// the iSLIP matcher and the shared-pool admission rule end to end.
+func TestGoldenFigAlloc(t *testing.T) {
+	golden(t, "fig_alloc", func() (*stats.Table, error) { return FigAlloc(Quick) })
+}
+
 // TestGoldenTopo pins the ring/torus extension figure's datapoints.
 func TestGoldenTopo(t *testing.T) {
 	golden(t, "topo", func() (*stats.Table, error) { return FigTopo(Quick) })

@@ -5,6 +5,31 @@ import (
 	"highradix/internal/router/core"
 )
 
+func init() {
+	Register(ArchBaseline, Descriptor{
+		Name:            "baseline",
+		Summary:         "distributed separable allocation with speculative VC allocation (CVA/OVA)",
+		Section:         "Section 4 (Figures 6-8)",
+		Build:           func(cfg Config) Router { return newBaseline(cfg) },
+		Traits:          Traits{ExactInFlight: true, TerminalGrantNote: "switch", WakeExact: true},
+		UsesPrioritized: true,
+		Variants: func(radix, vcs int) []Variant {
+			base := Config{Arch: ArchBaseline, Radix: radix, VCs: vcs}
+			cva, ova, prio := base, base, base
+			cva.VA = CVA
+			ova.VA = OVA
+			prio.VA = OVA
+			prio.Prioritized = true
+			return []Variant{
+				{"baseline-cva", cva},
+				{"baseline-ova", ova},
+				{"baseline-prioritized", prio},
+			}
+		},
+		BenchRadices: []int{64, 128, 256},
+	})
+}
+
 // Pipeline timing of the distributed allocator (Figure 7(b-c)). A
 // request issued at cycle t (SA1) crosses the request wires and is
 // arbitrated at the output at t+reqWireDelay (SA2/SA3); the grant or

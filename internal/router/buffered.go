@@ -1,11 +1,40 @@
 package router
 
 import (
+	"fmt"
+
 	"highradix/internal/arb"
 	"highradix/internal/flit"
 	"highradix/internal/router/core"
 	"highradix/internal/sim"
 )
+
+func init() {
+	Register(ArchBuffered, Descriptor{
+		Name:    "buffered",
+		Summary: "fully buffered crossbar, per-input-VC crosspoint buffers with credit flow control",
+		Section: "Section 5 (Figure 12(b))",
+		Build:   func(cfg Config) Router { return newBuffered(cfg) },
+		Traits:  Traits{ExactInFlight: true, TerminalGrantNote: "output", WakeExact: true},
+		Validate: func(c Config) []error {
+			if c.XpointBufDepth < 1 {
+				return []error{fmt.Errorf("crosspoint buffer depth %d < 1", c.XpointBufDepth)}
+			}
+			return nil
+		},
+		Variants: func(radix, vcs int) []Variant {
+			lg := variantLocalGroup(radix)
+			base := Config{Arch: ArchBuffered, Radix: radix, VCs: vcs, LocalGroup: lg}
+			ideal := base
+			ideal.IdealCredit = true
+			return []Variant{
+				{"buffered", base},
+				{"buffered-ideal", ideal},
+			}
+		},
+		BenchRadices: []int{64, 128, 256},
+	})
+}
 
 // buffered is the fully buffered crossbar of Section 5 (Figure 12(b)):
 // every crosspoint holds a buffer per input virtual channel, so the

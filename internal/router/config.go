@@ -30,44 +30,40 @@ import (
 	"fmt"
 )
 
-// Arch selects a router microarchitecture.
+// Arch selects a router microarchitecture. Architectures are pluggable:
+// each registers a Descriptor (see registry.go) that the dispatch
+// functions below consult, so adding an architecture never touches this
+// file.
 type Arch int
 
-// Architectures, in the order the paper develops them.
+// Built-in architectures, in the order the paper develops them,
+// followed by the extension families from related work.
 const (
 	ArchLowRadix Arch = iota
 	ArchBaseline
 	ArchBuffered
 	ArchSharedXpoint
 	ArchHierarchical
+	ArchVOQ
+	ArchDynVC
 )
 
-// String returns the report name of the architecture.
+// String returns the report name of the architecture, from its
+// registered descriptor.
 func (a Arch) String() string {
-	switch a {
-	case ArchLowRadix:
-		return "lowradix"
-	case ArchBaseline:
-		return "baseline"
-	case ArchBuffered:
-		return "buffered"
-	case ArchSharedXpoint:
-		return "sharedxp"
-	case ArchHierarchical:
-		return "hierarchical"
-	default:
-		return fmt.Sprintf("arch(%d)", int(a))
+	if d, ok := Describe(a); ok {
+		return d.Name
 	}
+	return fmt.Sprintf("arch(%d)", int(a))
 }
 
-// ArchByName parses a report name back into an Arch.
+// ArchByName parses a report name back into an Arch. The error of an
+// unknown name enumerates every registered architecture.
 func ArchByName(name string) (Arch, error) {
-	for _, a := range []Arch{ArchLowRadix, ArchBaseline, ArchBuffered, ArchSharedXpoint, ArchHierarchical} {
-		if a.String() == name {
-			return a, nil
-		}
+	if a, ok := byName[name]; ok {
+		return a, nil
 	}
-	return 0, fmt.Errorf("router: unknown architecture %q", name)
+	return 0, fmt.Errorf("router: unknown architecture %q (registered: %s)", name, archNameList(", "))
 }
 
 // VAScheme selects how the baseline architecture performs speculative
@@ -200,18 +196,12 @@ type Traits struct {
 }
 
 // Traits returns the cross-cutting properties of the configured
-// architecture.
+// architecture, from its registered descriptor.
 func (c Config) Traits() Traits {
-	t := Traits{ExactInFlight: c.Arch != ArchSharedXpoint, WakeExact: true}
-	switch c.Arch {
-	case ArchBuffered, ArchSharedXpoint:
-		t.TerminalGrantNote = "output"
-	case ArchHierarchical:
-		t.TerminalGrantNote = "column"
-	default: // lowradix, baseline
-		t.TerminalGrantNote = "switch"
+	if d, ok := Describe(c.Arch); ok {
+		return d.Traits
 	}
-	return t
+	return Traits{ExactInFlight: true, WakeExact: true, TerminalGrantNote: "switch"}
 }
 
 // WithDefaults returns a copy of c with unset fields replaced by the
@@ -247,6 +237,9 @@ func (c Config) WithDefaults() Config {
 	if c.AllocIters == 0 {
 		c.AllocIters = 1
 	}
+	if d, ok := Describe(c.Arch); ok && d.Defaults != nil {
+		d.Defaults(&c)
+	}
 	return c
 }
 
@@ -274,48 +267,28 @@ func (c Config) Validate() error {
 	if c.LocalGroup < 1 {
 		errs = append(errs, fmt.Errorf("local group %d < 1", c.LocalGroup))
 	}
-	switch c.Arch {
-	case ArchBuffered, ArchSharedXpoint:
-		if c.XpointBufDepth < 1 {
-			errs = append(errs, fmt.Errorf("crosspoint buffer depth %d < 1", c.XpointBufDepth))
-		}
-	case ArchHierarchical:
-		if c.SubSize < 1 || c.Radix%c.SubSize != 0 {
-			errs = append(errs, fmt.Errorf("subswitch size %d must divide radix %d", c.SubSize, c.Radix))
-		}
-		if c.SubInDepth < 1 || c.SubOutDepth < 1 {
-			errs = append(errs, fmt.Errorf("subswitch buffer depths must be >= 1 (got in=%d out=%d)", c.SubInDepth, c.SubOutDepth))
-		}
-	case ArchLowRadix, ArchBaseline:
-		// No extra constraints.
-	default:
+	d, registered := Describe(c.Arch)
+	if !registered {
 		errs = append(errs, fmt.Errorf("unknown architecture %d", int(c.Arch)))
+	} else if d.Validate != nil {
+		errs = append(errs, d.Validate(c)...)
 	}
-	if c.Prioritized && c.Arch != ArchBaseline {
+	if c.Prioritized && registered && !d.UsesPrioritized {
 		errs = append(errs, errors.New("prioritized allocation applies only to the baseline architecture"))
 	}
 	return errors.Join(errs...)
 }
 
-// New constructs a router for the configuration. Defaults are applied
-// and the configuration validated.
+// New constructs a router for the configuration through the registered
+// descriptor. Defaults are applied and the configuration validated.
 func New(cfg Config) (Router, error) {
 	cfg = cfg.WithDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, fmt.Errorf("router: invalid config: %w", err)
 	}
-	switch cfg.Arch {
-	case ArchLowRadix:
-		return newLowRadix(cfg), nil
-	case ArchBaseline:
-		return newBaseline(cfg), nil
-	case ArchBuffered:
-		return newBuffered(cfg), nil
-	case ArchSharedXpoint:
-		return newSharedXpoint(cfg), nil
-	case ArchHierarchical:
-		return newHierarchical(cfg), nil
-	default:
+	d, ok := Describe(cfg.Arch)
+	if !ok {
 		return nil, fmt.Errorf("router: unknown architecture %d", int(cfg.Arch))
 	}
+	return d.Build(cfg), nil
 }

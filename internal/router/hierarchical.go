@@ -1,11 +1,40 @@
 package router
 
 import (
+	"fmt"
+
 	"highradix/internal/arb"
 	"highradix/internal/flit"
 	"highradix/internal/router/core"
 	"highradix/internal/sim"
 )
+
+func init() {
+	Register(ArchHierarchical, Descriptor{
+		Name:    "hierarchical",
+		Summary: "hierarchical crossbar of p x p subswitches with decoupled local/global VC allocation",
+		Section: "Section 6 (Figure 16)",
+		Build:   func(cfg Config) Router { return newHierarchical(cfg) },
+		Traits:  Traits{ExactInFlight: true, TerminalGrantNote: "column", WakeExact: true},
+		Validate: func(c Config) []error {
+			var errs []error
+			if c.SubSize < 1 || c.Radix%c.SubSize != 0 {
+				errs = append(errs, fmt.Errorf("subswitch size %d must divide radix %d", c.SubSize, c.Radix))
+			}
+			if c.SubInDepth < 1 || c.SubOutDepth < 1 {
+				errs = append(errs, fmt.Errorf("subswitch buffer depths must be >= 1 (got in=%d out=%d)", c.SubInDepth, c.SubOutDepth))
+			}
+			return errs
+		},
+		Variants: func(radix, vcs int) []Variant {
+			return []Variant{{"hierarchical", Config{
+				Arch: ArchHierarchical, Radix: radix, VCs: vcs,
+				SubSize: variantSubSize(radix), LocalGroup: variantLocalGroup(radix),
+			}}}
+		},
+		BenchRadices: []int{64, 128, 256},
+	})
+}
 
 // hierarchical is the paper's proposed architecture (Section 6,
 // Figure 16): the k x k crossbar is decomposed into a (k/p) x (k/p)

@@ -15,15 +15,11 @@ func TestVeryHighRadixTreeArbitration(t *testing.T) {
 	if testing.Short() {
 		t.Skip("radix-256 drive skipped in short mode")
 	}
-	cfgs := map[string]router.Config{
-		"baseline-256": {Arch: router.ArchBaseline, Radix: 256, VCs: 2, InputBufDepth: 8, LocalGroup: 8},
-		"buffered-256": {Arch: router.ArchBuffered, Radix: 256, VCs: 2, InputBufDepth: 8, LocalGroup: 8},
-		"sharedxp-256": {Arch: router.ArchSharedXpoint, Radix: 256, VCs: 2, InputBufDepth: 8, LocalGroup: 8},
-		"hier-256":     {Arch: router.ArchHierarchical, Radix: 256, VCs: 2, SubSize: 16, InputBufDepth: 8, LocalGroup: 8},
-	}
-	for name, cfg := range cfgs {
-		cfg := cfg
-		t.Run(name, func(t *testing.T) {
+	for _, a := range router.Registered() {
+		d, _ := router.Describe(a)
+		cfg := d.Variants(256, 2)[0].Config
+		cfg.InputBufDepth = 8
+		t.Run(d.Name+"-256", func(t *testing.T) {
 			t.Parallel()
 			drive(t, cfg, 600, 1, 21)
 			drive(t, cfg, 150, 4, 22)
@@ -40,14 +36,13 @@ func TestRadix256Checked(t *testing.T) {
 	if testing.Short() {
 		t.Skip("radix-256 checked run skipped in short mode")
 	}
-	for _, arch := range []router.Arch{
-		router.ArchBaseline, router.ArchBuffered, router.ArchSharedXpoint, router.ArchHierarchical,
-	} {
-		arch := arch
+	for _, arch := range router.Registered() {
+		d, _ := router.Describe(arch)
+		cfg := d.Variants(256, 0)[0].Config
 		t.Run(arch.String(), func(t *testing.T) {
 			t.Parallel()
 			_, err := testbench.Run(testbench.Options{
-				Router:        router.Config{Arch: arch, Radix: 256},
+				Router:        cfg,
 				Load:          0.5,
 				WarmupCycles:  50,
 				MeasureCycles: 300,
@@ -89,3 +84,5 @@ func BenchmarkStep256Baseline(b *testing.B)     { benchStep256(b, router.ArchBas
 func BenchmarkStep256Buffered(b *testing.B)     { benchStep256(b, router.ArchBuffered) }
 func BenchmarkStep256SharedXpoint(b *testing.B) { benchStep256(b, router.ArchSharedXpoint) }
 func BenchmarkStep256Hierarchical(b *testing.B) { benchStep256(b, router.ArchHierarchical) }
+func BenchmarkStep256VOQ(b *testing.B)          { benchStep256(b, router.ArchVOQ) }
+func BenchmarkStep256DynVC(b *testing.B)        { benchStep256(b, router.ArchDynVC) }

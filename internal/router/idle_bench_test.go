@@ -16,14 +16,15 @@ import (
 // cost does not.
 func benchIdle(b *testing.B, arch router.Arch, radix int, step bool) {
 	b.Helper()
-	cfg := router.Config{Arch: arch, Radix: radix}
-	if radix > 64 {
-		cfg.VCs = 2
-		cfg.LocalGroup = 8
-		if arch == router.ArchHierarchical {
-			cfg.SubSize = 16
-		}
+	d, ok := router.Describe(arch)
+	if !ok {
+		b.Fatalf("architecture %v not registered", arch)
 	}
+	vcs := 0
+	if radix > 64 {
+		vcs = 2
+	}
+	cfg := d.Variants(radix, vcs)[0].Config
 	r, err := router.New(cfg)
 	if err != nil {
 		b.Fatal(err)
@@ -44,10 +45,7 @@ func benchIdle(b *testing.B, arch router.Arch, radix int, step bool) {
 }
 
 func BenchmarkIdleStep(b *testing.B) {
-	for _, arch := range []router.Arch{
-		router.ArchLowRadix, router.ArchBaseline, router.ArchBuffered,
-		router.ArchSharedXpoint, router.ArchHierarchical,
-	} {
+	for _, arch := range router.Registered() {
 		for _, radix := range []int{64, 256} {
 			b.Run(fmt.Sprintf("%s/k%d", arch, radix), func(b *testing.B) {
 				benchIdle(b, arch, radix, true)
@@ -57,10 +55,7 @@ func BenchmarkIdleStep(b *testing.B) {
 }
 
 func BenchmarkIdleQuiescent(b *testing.B) {
-	for _, arch := range []router.Arch{
-		router.ArchLowRadix, router.ArchBaseline, router.ArchBuffered,
-		router.ArchSharedXpoint, router.ArchHierarchical,
-	} {
+	for _, arch := range router.Registered() {
 		for _, radix := range []int{64, 256} {
 			b.Run(fmt.Sprintf("%s/k%d", arch, radix), func(b *testing.B) {
 				benchIdle(b, arch, radix, false)

@@ -1,9 +1,22 @@
 package router
 
 import (
-	"highradix/internal/arb"
 	"highradix/internal/router/core"
 )
+
+func init() {
+	Register(ArchLowRadix, Descriptor{
+		Name:    "lowradix",
+		Summary: "conventional input-queued VC router, centralized single-cycle allocation",
+		Section: "Section 3 (the paper's radix-16 comparison point)",
+		Build:   func(cfg Config) Router { return newLowRadix(cfg) },
+		Traits:  Traits{ExactInFlight: true, TerminalGrantNote: "switch", WakeExact: true},
+		Variants: func(radix, vcs int) []Variant {
+			return []Variant{{"lowradix", Config{Arch: ArchLowRadix, Radix: radix, VCs: vcs}}}
+		},
+		BenchRadices: []int{16, 64},
+	})
+}
 
 // lowRadix is the conventional input-queued virtual-channel router of
 // Section 3 (Figure 4) with centralized allocation and the short
@@ -13,51 +26,20 @@ import (
 // output VC — and switch allocation is a single-iteration separable
 // input-first match. The paper uses this design at radix 16 as the
 // comparison point in Figure 9, noting that the centralized single-cycle
-// allocation "does not scale" to high radix.
+// allocation "does not scale" to high radix. The allocator itself lives
+// in sepAlloc, shared with the dynamic-VC family.
 type lowRadix struct {
 	cfg Config
 	core.Base
-
-	inFree   core.SerializerBank
-	outFree  core.SerializerBank
-	inputArb []*arb.RoundRobin // per input, over VCs
-	outArb   []*arb.RoundRobin // per output, over inputs
-	vaPtr    [][]int           // [output][outVC] rotating pointer over input-VC flat index
-
-	// scratch
-	saReqVC      []int         // per input: requesting VC this iteration
-	outReqs      []*arb.BitVec // per output: requesting inputs this iteration
-	outActive    *arb.BitVec   // outputs with at least one request
-	vcReq        *arb.BitVec   // sized v: one input's eligible VCs
-	inputMatched *arb.BitVec   // inputs matched in an earlier iteration
-	vaReqs       [][]int32     // per output VC (flat o*v+ov): requesting input VCs
-	vaActive     *arb.BitVec   // output VCs with at least one request
+	alloc sepAlloc
 }
 
 func newLowRadix(cfg Config) *lowRadix {
-	k, v := cfg.Radix, cfg.VCs
 	r := &lowRadix{
-		cfg:          cfg,
-		Base:         core.MakeBase(core.Obs{O: cfg.Observer}, k, v, cfg.InputBufDepth, cfg.STCycles),
-		inFree:       core.NewSerializerBank(k),
-		outFree:      core.NewSerializerBank(k),
-		inputArb:     make([]*arb.RoundRobin, k),
-		outArb:       make([]*arb.RoundRobin, k),
-		vaPtr:        make([][]int, k),
-		saReqVC:      make([]int, k),
-		outReqs:      make([]*arb.BitVec, k),
-		outActive:    arb.NewBitVec(k),
-		vcReq:        arb.NewBitVec(v),
-		inputMatched: arb.NewBitVec(k),
-		vaReqs:       make([][]int32, k*v),
-		vaActive:     arb.NewBitVec(k * v),
+		cfg:  cfg,
+		Base: core.MakeBase(core.Obs{O: cfg.Observer}, cfg.Radix, cfg.VCs, cfg.InputBufDepth, cfg.STCycles),
 	}
-	for i := 0; i < k; i++ {
-		r.outReqs[i] = arb.NewBitVec(k)
-		r.inputArb[i] = arb.NewRoundRobin(v)
-		r.outArb[i] = arb.NewRoundRobin(k)
-		r.vaPtr[i] = make([]int, v)
-	}
+	r.alloc = makeSepAlloc(&r.cfg, &r.Base, nil)
 	return r
 }
 
@@ -70,144 +52,6 @@ func (r *lowRadix) Config() Config { return r.cfg }
 
 func (r *lowRadix) Step(now int64) {
 	r.BeginCycle(now)
-	r.switchAllocate(now)
-	r.vcAllocate(now)
-}
-
-// vcAllocate is the centralized separable VC allocator: each input VC
-// whose head packet lacks an output VC requests one free VC on its
-// output (rotating choice), and a per-output-VC arbiter grants one
-// requester. Runs after switch allocation within the cycle so a newly
-// allocated packet first traverses in the next cycle (VA and SA are
-// distinct pipeline stages, Figure 5(b)).
-func (r *lowRadix) vcAllocate(now int64) {
-	k, v := r.cfg.Radix, r.cfg.VCs
-	// vaReqs[o*v+ov] collects flat input-VC indices; slices keep their
-	// capacity across cycles, so the steady state allocates nothing.
-	for i := r.In.NextOccupied(0); i >= 0; i = r.In.NextOccupied(i + 1) {
-		fronts := r.In.Fronts(i)
-		for c := 0; c < v; c++ {
-			fr := &fronts[c]
-			// now <= Inj also rejects empty buffers (FrontNone).
-			if !fr.Head || fr.OutVC >= 0 || now <= fr.Inj {
-				continue
-			}
-			o := int(fr.Dst)
-			// Rotating scan for a free output VC; the centralized
-			// allocator sees VC status, so only free VCs are requested.
-			cand := -1
-			for s := 0; s < v; s++ {
-				ov := (int(fr.Rot) + s) % v
-				if r.Owner.FreeVC(o, ov) {
-					cand = ov
-					break
-				}
-			}
-			if cand < 0 {
-				fr.Rot = uint8((int(fr.Rot) + 1) % v)
-				continue
-			}
-			key := o*v + cand
-			r.vaReqs[key] = append(r.vaReqs[key], int32(i*v+c))
-			r.vaActive.Set(key)
-		}
-	}
-	// Grants on distinct output VCs are independent (each input VC
-	// requests exactly one key), so the ascending-key order here and the
-	// old map's random order produce identical state.
-	for key := r.vaActive.Next(0); key >= 0; key = r.vaActive.Next(key + 1) {
-		l := r.vaReqs[key]
-		o, ov := key/v, key%v
-		// Rotating-priority grant over flat input-VC index.
-		ptr := r.vaPtr[o][ov]
-		best, bestRank := -1, 1<<62
-		for _, fi32 := range l {
-			fi := int(fi32)
-			rank := (fi - ptr + k*v) % (k * v)
-			if rank < bestRank {
-				bestRank, best = rank, fi
-			}
-		}
-		r.vaPtr[o][ov] = (best + 1) % (k * v)
-		i, c := best/v, best%v
-		fr := r.In.Front(i, c)
-		r.Owner.Acquire(o, ov, fr.Pkt)
-		fr.OutVC = int16(ov)
-		r.vaReqs[key] = l[:0]
-	}
-	r.vaActive.Reset()
-}
-
-// switchAllocate is the single-cycle separable input-first switch
-// allocator: each idle input picks one ready VC, then each output
-// grants one requesting input. With Config.AllocIters > 1 the match is
-// refined iSLIP-style: unmatched inputs re-bid, avoiding outputs that
-// already matched — the centralized luxury the paper's reference design
-// enjoys and the distributed design cannot afford.
-func (r *lowRadix) switchAllocate(now int64) {
-	v := r.cfg.VCs
-	st := r.cfg.STCycles
-	for iter := 0; iter < r.cfg.AllocIters; iter++ {
-		anyReq := false
-		for i := r.In.NextOccupied(0); i >= 0; i = r.In.NextOccupied(i + 1) {
-			if r.inputMatched.Get(i) || !r.inFree.Free(i, now) {
-				continue
-			}
-			r.vcReq.Reset()
-			any := false
-			fronts := r.In.Fronts(i)
-			for c := 0; c < v; c++ {
-				fr := &fronts[c]
-				// On the first iteration the input stage is blind to
-				// output status (a busy-output bid wastes the input's
-				// cycle — the head-of-line behavior that caps
-				// input-queued switches near 60%, Section 4.3). Later
-				// iterations only re-bid toward outputs that can still
-				// be granted, which is what the refinement is for.
-				eligible := now > fr.Inj && fr.OutVC >= 0
-				if eligible && iter > 0 && !r.outFree.Free(int(fr.Dst), now) {
-					eligible = false
-				}
-				if eligible {
-					r.vcReq.Set(c)
-					any = true
-				}
-			}
-			if !any {
-				continue
-			}
-			c := r.inputArb[i].ArbitrateBits(r.vcReq)
-			r.saReqVC[i] = c
-			o := int(fronts[c].Dst)
-			r.outReqs[o].Set(i)
-			r.outActive.Set(o)
-			anyReq = true
-		}
-		if !anyReq {
-			break
-		}
-		for o := r.outActive.Next(0); o >= 0; o = r.outActive.Next(o + 1) {
-			reqs := r.outReqs[o]
-			if r.outFree.Free(o, now) {
-				win := r.outArb[o].ArbitrateBits(reqs)
-				c := r.saReqVC[win]
-				fr := r.In.Front(win, c)
-				f := r.In.Pop(win, c)
-				f.VC = int(fr.OutVC)
-				if f.Tail {
-					fr.OutVC = -1
-				}
-				// Traversal occupies cycles now+1 .. now+STCycles; the flit
-				// ejects on the final traversal cycle.
-				r.inFree.Reserve(win, now, st)
-				r.outFree.Reserve(o, now, st)
-				r.Obs.Emit(Event{Cycle: now, Kind: EvGrant, Flit: f, Input: win, Output: o, VC: f.VC, Note: "switch"})
-				r.Out.Push(now, o, f)
-				r.inputMatched.Set(win)
-			}
-			reqs.Reset()
-		}
-		r.outActive.Reset()
-	}
-	r.inputMatched.Reset()
+	r.alloc.switchAllocate(now)
+	r.alloc.vcAllocate(now)
 }

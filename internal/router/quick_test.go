@@ -14,8 +14,7 @@ func TestRandomConfigConservation(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	archs := []router.Arch{router.ArchLowRadix, router.ArchBaseline, router.ArchBuffered,
-		router.ArchSharedXpoint, router.ArchHierarchical}
+	archs := router.Registered()
 	radices := []int{4, 8, 16}
 	subs := map[int][]int{4: {2, 4}, 8: {2, 4}, 16: {4, 8}}
 	trial := 0

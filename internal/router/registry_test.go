@@ -1,0 +1,109 @@
+package router_test
+
+import (
+	"strings"
+	"testing"
+
+	"highradix/internal/router"
+)
+
+// TestRegistryCompleteness is the contract every registered
+// architecture must meet for the cross-cutting layers to work: a full
+// descriptor, round-tripping names, constructible variants at the
+// conformance radix, and benchmark coverage at the paper's radix and —
+// for the high-radix architectures — at 128 and 256 so hrbench's
+// allocation gate holds at scale.
+func TestRegistryCompleteness(t *testing.T) {
+	archs := router.Registered()
+	if len(archs) < 7 {
+		t.Fatalf("registry holds %d architectures, want at least the 5 paper organizations plus voq and dynvc", len(archs))
+	}
+	for _, a := range archs {
+		d, ok := router.Describe(a)
+		if !ok {
+			t.Fatalf("Registered() returned %v but Describe does not know it", a)
+		}
+		t.Run(d.Name, func(t *testing.T) {
+			if d.Summary == "" || d.Section == "" {
+				t.Error("descriptor missing Summary or Section")
+			}
+			if d.Traits.TerminalGrantNote == "" {
+				t.Error("descriptor has no terminal grant note; the checker cannot audit switch-traversal spacing")
+			}
+			// Name round-trips: String -> ArchByName -> same Arch.
+			if got := a.String(); got != d.Name {
+				t.Errorf("String() = %q, registered name %q", got, d.Name)
+			}
+			back, err := router.ArchByName(d.Name)
+			if err != nil {
+				t.Fatalf("ArchByName(%q): %v", d.Name, err)
+			}
+			if back != a {
+				t.Errorf("ArchByName(%q) = %v, want %v", d.Name, back, a)
+			}
+			// Every variant at the conformance radix validates and
+			// constructs, and reports the owning architecture.
+			vts := d.Variants(16, 2)
+			if len(vts) == 0 {
+				t.Fatal("no variants at radix 16")
+			}
+			for _, vt := range vts {
+				if vt.Config.Arch != a {
+					t.Errorf("variant %q has Arch %v, want %v", vt.Name, vt.Config.Arch, a)
+				}
+				r, err := router.New(vt.Config)
+				if err != nil {
+					t.Errorf("variant %q does not construct: %v", vt.Name, err)
+					continue
+				}
+				if got := r.Config().Arch; got != a {
+					t.Errorf("variant %q constructed a router reporting Arch %v", vt.Name, got)
+				}
+			}
+			// Benchmark coverage: the paper's radix everywhere; the
+			// full 64/128/256 scaling axis for every high-radix
+			// architecture (the radix-16 comparison point stops at 64).
+			has := map[int]bool{}
+			for _, r := range d.BenchRadices {
+				has[r] = true
+			}
+			if !has[64] {
+				t.Errorf("BenchRadices %v misses the paper's radix 64", d.BenchRadices)
+			}
+			if a != router.ArchLowRadix && (!has[128] || !has[256]) {
+				t.Errorf("BenchRadices %v misses the 128/256 scaling points", d.BenchRadices)
+			}
+		})
+	}
+}
+
+// TestArchByNameUnknown pins the discoverability contract: asking for
+// an unregistered name fails with an error that enumerates every
+// registered name, so CLI users see the full menu.
+func TestArchByNameUnknown(t *testing.T) {
+	_, err := router.ArchByName("nosuch")
+	if err == nil {
+		t.Fatal("ArchByName(\"nosuch\") succeeded")
+	}
+	for _, name := range router.ArchNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not mention registered architecture %q", err, name)
+		}
+	}
+}
+
+// TestUnregisteredArchRejected pins the failure mode of the open enum:
+// an Arch value nobody registered has a diagnostic String and is
+// rejected by validation and construction.
+func TestUnregisteredArchRejected(t *testing.T) {
+	bogus := router.Arch(97)
+	if s := bogus.String(); !strings.Contains(s, "97") {
+		t.Errorf("String() of unregistered arch = %q, want the raw value for diagnostics", s)
+	}
+	if _, err := router.New(router.Config{Arch: bogus, Radix: 16}); err == nil {
+		t.Error("New constructed a router for an unregistered architecture")
+	}
+	if _, ok := router.Describe(bogus); ok {
+		t.Error("Describe claims to know an unregistered architecture")
+	}
+}

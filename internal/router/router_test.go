@@ -8,21 +8,24 @@ import (
 	"highradix/internal/sim"
 )
 
-// allConfigs enumerates one representative configuration per
-// architecture (plus key variants) at a small radix so invariant tests
-// stay fast.
+// allConfigs enumerates every variant of every registered architecture
+// at a small radix (with shallow buffers, so blocking paths are
+// exercised) — the invariant battery covers a new architecture the
+// moment it registers.
 func allConfigs() map[string]router.Config {
-	return map[string]router.Config{
-		"lowradix":      {Arch: router.ArchLowRadix, Radix: 16, VCs: 2, InputBufDepth: 8},
-		"baseline-cva":  {Arch: router.ArchBaseline, Radix: 16, VCs: 2, InputBufDepth: 8, VA: router.CVA},
-		"baseline-ova":  {Arch: router.ArchBaseline, Radix: 16, VCs: 2, InputBufDepth: 8, VA: router.OVA},
-		"baseline-prio": {Arch: router.ArchBaseline, Radix: 16, VCs: 2, InputBufDepth: 8, VA: router.CVA, Prioritized: true},
-		"buffered":      {Arch: router.ArchBuffered, Radix: 16, VCs: 2, InputBufDepth: 8, XpointBufDepth: 2},
-		"buffered-ideal": {Arch: router.ArchBuffered, Radix: 16, VCs: 2, InputBufDepth: 8,
-			XpointBufDepth: 2, IdealCredit: true},
-		"sharedxp":     {Arch: router.ArchSharedXpoint, Radix: 16, VCs: 2, InputBufDepth: 8, XpointBufDepth: 2},
-		"hierarchical": {Arch: router.ArchHierarchical, Radix: 16, VCs: 2, InputBufDepth: 8, SubSize: 4, SubInDepth: 2, SubOutDepth: 2},
+	m := map[string]router.Config{}
+	for _, a := range router.Registered() {
+		d, _ := router.Describe(a)
+		for _, vt := range d.Variants(16, 2) {
+			cfg := vt.Config
+			cfg.InputBufDepth = 8
+			cfg.XpointBufDepth = 2
+			cfg.SubInDepth = 2
+			cfg.SubOutDepth = 2
+			m[vt.Name] = cfg
+		}
 	}
+	return m
 }
 
 // driveResult captures one deterministic drive of a router.
@@ -290,8 +293,7 @@ func TestConfigValidation(t *testing.T) {
 }
 
 func TestArchNames(t *testing.T) {
-	for _, a := range []router.Arch{router.ArchLowRadix, router.ArchBaseline, router.ArchBuffered,
-		router.ArchSharedXpoint, router.ArchHierarchical} {
+	for _, a := range router.Registered() {
 		got, err := router.ArchByName(a.String())
 		if err != nil || got != a {
 			t.Errorf("round trip %v: got %v err %v", a, got, err)

@@ -1,11 +1,33 @@
 package router
 
 import (
+	"fmt"
+
 	"highradix/internal/arb"
 	"highradix/internal/flit"
 	"highradix/internal/router/core"
 	"highradix/internal/sim"
 )
+
+func init() {
+	Register(ArchSharedXpoint, Descriptor{
+		Name:    "sharedxp",
+		Summary: "buffered crossbar with one shared buffer per crosspoint and ACK/NACK retention",
+		Section: "Section 5.4",
+		Build:   func(cfg Config) Router { return newSharedXpoint(cfg) },
+		Traits:  Traits{ExactInFlight: false, TerminalGrantNote: "output", WakeExact: true},
+		Validate: func(c Config) []error {
+			if c.XpointBufDepth < 1 {
+				return []error{fmt.Errorf("crosspoint buffer depth %d < 1", c.XpointBufDepth)}
+			}
+			return nil
+		},
+		Variants: func(radix, vcs int) []Variant {
+			return []Variant{{"sharedxp", Config{Arch: ArchSharedXpoint, Radix: radix, VCs: vcs, LocalGroup: variantLocalGroup(radix)}}}
+		},
+		BenchRadices: []int{64, 128, 256},
+	})
+}
 
 // sharedXpoint is the Section 5.4 variant of the buffered crossbar: one
 // buffer per crosspoint shared by all virtual channels, cutting

@@ -1,0 +1,240 @@
+package router
+
+import (
+	"fmt"
+
+	"highradix/internal/arb"
+	"highradix/internal/router/core"
+)
+
+func init() {
+	Register(ArchVOQ, Descriptor{
+		Name:    "voq",
+		Summary: "virtual output queues with centralized iterative iSLIP scheduling",
+		Section: "Tiny Tera (McKeown et al.), against the paper's Section 4 comparison",
+		Build:   func(cfg Config) Router { return newVOQ(cfg) },
+		Traits:  Traits{ExactInFlight: true, TerminalGrantNote: "switch", WakeExact: true},
+		Validate: func(c Config) []error {
+			if c.XpointBufDepth < 1 {
+				return []error{fmt.Errorf("crosspoint buffer depth %d < 1", c.XpointBufDepth)}
+			}
+			return nil
+		},
+		Variants: func(radix, vcs int) []Variant {
+			base := Config{Arch: ArchVOQ, Radix: radix, VCs: vcs}
+			iter2 := base
+			iter2.AllocIters = 2
+			return []Variant{
+				{"voq", base},
+				{"voq-iter2", iter2},
+			}
+		},
+		BenchRadices: []int{64, 128, 256},
+	})
+}
+
+// voq is a virtual-output-queued router in the style of the Tiny Tera
+// packet switch (McKeown et al.): behind the per-VC input buffers, each
+// input keeps one FIFO per output, and a centralized iSLIP scheduler
+// computes a conflict-free input/output matching each cycle with a
+// configurable number of grant/accept iterations (Config.AllocIters).
+// VOQs eliminate the head-of-line blocking that caps the paper's
+// single-request input-queued designs (Section 4.3) — at the cost of
+// O(k^2) queues and a centralized scheduler whose wiring, like the
+// low-radix router's centralized allocator, is exactly what the paper
+// argues does not scale to high radix. The head-to-head against the
+// distributed separable allocator is the point of carrying it.
+//
+// Datapath per flit: input VC buffer -> VOQ (one flit per input per
+// cycle, credit-gated, depth XpointBufDepth) -> scheduler match ->
+// output serializer (STCycles per flit). Packets stay wormhole-intact:
+// the VOQ source-VC lock keeps one packet per VOQ in flight from the
+// input side, and an output VC is allocated to the packet when its head
+// flit first wins the match (rotating scan over the output's free VCs).
+type voq struct {
+	cfg Config
+	core.Base
+
+	voq    core.VOQBank
+	credit core.Ledger // VOQ pools flat [input*k+output]
+	sched  *arb.ISLIP
+	inMove *arb.RotorBank // per input, over VCs: input buffer -> VOQ move
+	vcPick *arb.RotorBank // per output, over VCs: output VC allocation
+
+	inFree  core.SerializerBank
+	outFree core.SerializerBank
+	// inBusy/outBusy mirror "serializer not free at now" as bitsets so
+	// the scheduler's request columns are built with word arithmetic.
+	// They are reconciled lazily from the serializer timestamps at the
+	// start of each Step — never by per-cycle expiry — so they stay
+	// exact when a driver fast-forwards over quiescent cycles.
+	inBusy  arb.BitVec
+	outBusy arb.BitVec
+
+	// scratch
+	reqCols  []arb.BitVec // [output] over inputs, rebuilt each cycle
+	outEl    *arb.BitVec  // eligible outputs, consumed by Match
+	now      int64        // cycle of the in-progress Step, read by acceptFn
+	acceptFn func(in, out int)
+}
+
+func newVOQ(cfg Config) *voq {
+	k, v := cfg.Radix, cfg.VCs
+	r := &voq{
+		cfg:     cfg,
+		Base:    core.MakeBase(core.Obs{O: cfg.Observer}, k, v, cfg.InputBufDepth, cfg.STCycles),
+		voq:     core.MakeVOQBank(k, k, cfg.XpointBufDepth),
+		sched:   arb.NewISLIP(k),
+		inMove:  arb.NewRotorBank(k, v),
+		vcPick:  arb.NewRotorBank(k, v),
+		inFree:  core.NewSerializerBank(k),
+		outFree: core.NewSerializerBank(k),
+		inBusy:  arb.MakeBitVec(k),
+		outBusy: arb.MakeBitVec(k),
+		reqCols: make([]arb.BitVec, k),
+		outEl:   arb.NewBitVec(k),
+	}
+	r.credit = core.MakeLedger(core.Obs{O: cfg.Observer}, "voq", k*k, cfg.XpointBufDepth)
+	for o := range r.reqCols {
+		r.reqCols[o] = arb.MakeBitVec(k)
+	}
+	r.acceptFn = func(in, out int) { r.accept(in, out) }
+	return r
+}
+
+func (r *voq) Config() Config { return r.cfg }
+
+// InFlight adds the VOQ occupancy to the base datapath's count.
+func (r *voq) InFlight() int { return r.In.Buffered() + r.voq.Buffered() + r.Out.Len() }
+
+// Quiescent: beyond the base datapath and the VOQs the router holds
+// only serializer timestamps, scheduler rotation state (which moves
+// only on grants) and the lazily reconciled busy bitsets (read only
+// under VOQ occupancy), so an empty datapath means Step is a no-op.
+func (r *voq) Quiescent() bool {
+	return r.In.Buffered() == 0 && r.voq.Buffered() == 0 && r.Out.Len() == 0
+}
+
+// NextWake: buffered flits anywhere drive scheduling every cycle;
+// otherwise only the ejection pipe holds timed state.
+func (r *voq) NextWake(now int64) int64 {
+	if r.In.Buffered() > 0 || r.voq.Buffered() > 0 {
+		return now + 1
+	}
+	return r.Out.NextWake(now)
+}
+
+func (r *voq) Step(now int64) {
+	r.BeginCycle(now)
+	r.reconcile(now)
+	r.transmit(now)
+	r.inputMove(now)
+}
+
+// reconcile clears busy bits whose serializer reservations have
+// expired. O(set bits), and exact across skipped cycles because the
+// serializer timestamps are absolute.
+func (r *voq) reconcile(now int64) {
+	for i := r.inBusy.Next(0); i >= 0; i = r.inBusy.Next(i + 1) {
+		if r.inFree.Free(i, now) {
+			r.inBusy.Clear(i)
+		}
+	}
+	for o := r.outBusy.Next(0); o >= 0; o = r.outBusy.Next(o + 1) {
+		if r.outFree.Free(o, now) {
+			r.outBusy.Clear(o)
+		}
+	}
+}
+
+// transmit runs one scheduling cycle: build the request columns over
+// the occupied VOQs, match with iSLIP, and send each matched VOQ front
+// into switch traversal. It runs before inputMove so a flit entering a
+// VOQ at cycle t is first schedulable at t+1 (one-cycle VOQ latency).
+func (r *voq) transmit(now int64) {
+	r.outEl.Reset()
+	any := false
+	for o := r.voq.NextActive(0); o >= 0; o = r.voq.NextActive(o + 1) {
+		if r.outBusy.Get(o) {
+			continue
+		}
+		req := &r.reqCols[o]
+		req.CopyAndNot(r.voq.Col(o), &r.inBusy)
+		if r.Owner.FreeMask(o) == 0 {
+			// No free output VC: unallocated head flits cannot start.
+			req.AndNot(r.voq.NeedVC(o))
+		}
+		if !req.Any() {
+			continue
+		}
+		r.outEl.Set(o)
+		any = true
+	}
+	if !any {
+		return
+	}
+	r.now = now
+	r.sched.Match(r.cfg.AllocIters, r.reqCols, r.outEl, r.acceptFn)
+}
+
+// accept commits one matched (input, output) pair: allocate an output
+// VC to a head flit, return the VOQ credit, and push the flit into
+// switch traversal, reserving both serializers for STCycles.
+func (r *voq) accept(i, o int) {
+	now, st := r.now, r.cfg.STCycles
+	f := r.voq.Front(i, o)
+	if f.Head && r.voq.OutVC(i, o) < 0 {
+		// The eligibility mask guaranteed a free VC; the rotating pick
+		// spreads packets across the output's VCs.
+		ov := r.vcPick.Arbitrate(o, r.Owner.FreeMask(o))
+		r.Owner.Acquire(o, ov, f.PacketID)
+		r.voq.SetOutVC(i, o, ov)
+	}
+	ov := r.voq.OutVC(i, o)
+	r.voq.Pop(i, o)
+	// Return the credit under the flit's source coordinates — the same
+	// (input, output, vc) label its spend used — before rewriting VC.
+	r.credit.Return(now, i*r.cfg.Radix+o, i, o, f.VC)
+	f.VC = ov
+	r.inFree.Reserve(i, now, st)
+	r.outFree.Reserve(o, now, st)
+	r.inBusy.Set(i)
+	r.outBusy.Set(o)
+	r.Obs.Emit(Event{Cycle: now, Kind: EvGrant, Flit: f, Input: i, Output: o, VC: f.VC, Note: "switch"})
+	r.Out.Push(now, o, f)
+}
+
+// inputMove advances at most one flit per input from its VC buffers
+// into the VOQ for its output — the VOQ write port. A VC is eligible
+// when its front flit has sat a cycle, the target VOQ has a credit, and
+// the VOQ's source-VC lock admits it (free for head flits, held by this
+// VC mid-packet).
+func (r *voq) inputMove(now int64) {
+	k, v := r.cfg.Radix, r.cfg.VCs
+	for i := r.In.NextOccupied(0); i >= 0; i = r.In.NextOccupied(i + 1) {
+		fronts := r.In.Fronts(i)
+		var elig uint64
+		for c := 0; c < v; c++ {
+			fr := &fronts[c]
+			if now <= fr.Inj {
+				continue
+			}
+			o := int(fr.Dst)
+			if !r.credit.Avail(i*k + o) {
+				continue
+			}
+			if lock := r.voq.Lock(i, o); lock >= 0 && lock != c {
+				continue
+			}
+			elig |= 1 << uint(c)
+		}
+		if elig == 0 {
+			continue
+		}
+		c := r.inMove.Arbitrate(i, elig)
+		o := int(fronts[c].Dst)
+		f := r.In.Pop(i, c)
+		r.credit.Spend(now, i*k+o, i, o, f.VC)
+		r.voq.Push(i, o, f)
+	}
+}
