@@ -9,24 +9,32 @@
 //
 //	hrbench                          # write BENCH_sweep.json
 //	hrbench -out results.json -benchtime 2s   # or -benchtime 50000x
-//	hrbench -check BENCH_sweep.json  # fail if allocs/op regressed
+//	hrbench -check BENCH_sweep.json  # fail if allocs/op or the cache regressed
 //
 // The committed BENCH_sweep.json at the repository root records the
 // sweep for the machine that generated it; ns/op is hardware-dependent
 // and only comparable within one file, but allocs/op is deterministic,
-// which is what -check enforces (CI runs it as a smoke test).
+// which is what -check enforces (CI runs it as a smoke test). The
+// "cache" section records the result cache end to end: cold-vs-warm
+// wall-clock for two Quick figures and the warm request throughput of
+// the hrsweepd handler stack; -check replays the cold/warm cycle and
+// fails if a warm rerun touches the store at all or differs by a byte.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http/httptest"
 	"os"
 	"testing"
 	"time"
 
 	"highradix"
+	"highradix/internal/cache"
 	"highradix/internal/experiments"
+	"highradix/internal/serve"
 	"highradix/internal/sim"
 	"highradix/internal/traffic"
 )
@@ -53,14 +61,35 @@ type figPoint struct {
 	Seconds float64 `json:"seconds"`
 }
 
+// cachePoint records one figure's generation wall-clock cold (fresh
+// store: every point simulates and is written) and warm (everything
+// served from the store). Both numbers are machine-dependent; the
+// invariants behind them — byte-identical output, zero store misses on
+// the warm pass — are enforced whenever the measurement runs.
+type cachePoint struct {
+	Name        string  `json:"name"`
+	ColdSeconds float64 `json:"cold_seconds"`
+	WarmSeconds float64 `json:"warm_seconds"`
+	Speedup     float64 `json:"speedup"`
+}
+
+// cacheBench is the result-cache section of the sweep file.
+type cacheBench struct {
+	Figures []cachePoint `json:"figures"`
+	// WarmRequestsPerSec is the warm /figures throughput through the
+	// full hrsweepd handler stack (mux, counters, memo), single client.
+	WarmRequestsPerSec float64 `json:"warm_requests_per_sec"`
+}
+
 // sweep is the file format: the configurations swept plus enough
 // metadata to interpret the numbers.
 type sweep struct {
-	Note      string     `json:"note"`
-	Load      float64    `json:"load"`
-	Benchtime string     `json:"benchtime"`
-	Points    []point    `json:"points"`
-	Figures   []figPoint `json:"figures,omitempty"`
+	Note      string      `json:"note"`
+	Load      float64     `json:"load"`
+	Benchtime string      `json:"benchtime"`
+	Points    []point     `json:"points"`
+	Figures   []figPoint  `json:"figures,omitempty"`
+	Cache     *cacheBench `json:"cache,omitempty"`
 }
 
 // configs lists the swept (arch, radix) pairs, straight from the
@@ -259,6 +288,89 @@ func figureTimings(verbose bool) []figPoint {
 	return out
 }
 
+// cacheTimings measures the content-addressed result cache end to end
+// against a fresh on-disk store: each figure generates twice — cold
+// (simulating and populating the store) and warm (served from it) —
+// and warm service throughput is driven through hrsweepd's full
+// handler stack. The wall-clock numbers are informational like ns/op,
+// but the invariants are not: a warm rerun that records any store miss
+// or differs from the cold output by a byte is an error, which is what
+// `-check` relies on.
+func cacheTimings(verbose bool) (*cacheBench, error) {
+	dir, err := os.MkdirTemp("", "hrbench-cache-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	st, err := cache.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	scale := experiments.Quick
+	scale.Workers = 1
+	scale.Cache = st
+	bench := &cacheBench{}
+	for _, name := range []string{"fig9", "fig19"} {
+		t0 := time.Now()
+		cold, hit, err := experiments.TableBytes(name, scale)
+		if err != nil {
+			return nil, fmt.Errorf("%s cold: %w", name, err)
+		}
+		coldSec := time.Since(t0).Seconds()
+		if hit {
+			return nil, fmt.Errorf("%s: cold run against a fresh store reported a cache hit", name)
+		}
+		missesAfterCold := st.Counters().Misses
+		t0 = time.Now()
+		warm, hit, err := experiments.TableBytes(name, scale)
+		if err != nil {
+			return nil, fmt.Errorf("%s warm: %w", name, err)
+		}
+		warmSec := time.Since(t0).Seconds()
+		if !hit {
+			return nil, fmt.Errorf("%s: warm rerun missed the figure cache", name)
+		}
+		if d := st.Counters().Misses - missesAfterCold; d != 0 {
+			return nil, fmt.Errorf("%s: warm rerun recorded %d store misses, want 0", name, d)
+		}
+		if !bytes.Equal(cold, warm) {
+			return nil, fmt.Errorf("%s: warm rerun is not byte-identical to the cold run", name)
+		}
+		p := cachePoint{Name: name, ColdSeconds: coldSec, WarmSeconds: warmSec,
+			Speedup: coldSec / warmSec}
+		if verbose {
+			fmt.Fprintf(os.Stderr, "%-8s cache cold %9.3f s   warm %.6f s   %.0fx\n",
+				p.Name, p.ColdSeconds, p.WarmSeconds, p.Speedup)
+		}
+		bench.Figures = append(bench.Figures, p)
+	}
+	// Warm throughput through the service: one request warms the render
+	// memo, then every request is the microsecond path /metrics calls a
+	// figure hit.
+	srv := serve.New(serve.Config{Scale: scale, MaxInflight: 1, Timeout: time.Minute})
+	do := func() int {
+		req := httptest.NewRequest("GET", "/figures/fig9", nil)
+		rec := httptest.NewRecorder()
+		srv.Handler().ServeHTTP(rec, req)
+		return rec.Code
+	}
+	if code := do(); code != 200 {
+		return nil, fmt.Errorf("warm-throughput warmup request: status %d", code)
+	}
+	const n = 5000
+	t0 := time.Now()
+	for i := 0; i < n; i++ {
+		if code := do(); code != 200 {
+			return nil, fmt.Errorf("warm request %d: status %d", i, code)
+		}
+	}
+	bench.WarmRequestsPerSec = n / time.Since(t0).Seconds()
+	if verbose {
+		fmt.Fprintf(os.Stderr, "hrsweepd warm figure requests: %.0f req/s\n", bench.WarmRequestsPerSec)
+	}
+	return bench, nil
+}
+
 // check compares a fresh sweep against the committed baseline and
 // reports every point whose allocs/op exceeds the recorded value.
 // ns/op is deliberately not checked: it varies with the host.
@@ -327,13 +439,26 @@ func main() {
 			fmt.Fprintln(os.Stderr, "hrbench:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("hrbench: %d points checked against %s, no allocation regressions\n",
+		// The cache invariants (warm rerun misses the store zero times
+		// and reproduces the cold bytes exactly) are machine-independent,
+		// so -check replays them; the timings themselves are not compared.
+		if _, err := cacheTimings(!*quiet); err != nil {
+			fmt.Fprintln(os.Stderr, "hrbench: FAIL:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("hrbench: %d points checked against %s, no allocation or cache regressions\n",
 			len(s.Points), *checkFile)
 		return
 	}
 
 	s := runSweep(*benchtime, !*quiet)
 	s.Figures = figureTimings(!*quiet)
+	c, err := cacheTimings(!*quiet)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hrbench:", err)
+		os.Exit(1)
+	}
+	s.Cache = c
 	data, err := json.MarshalIndent(s, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hrbench:", err)

@@ -188,7 +188,11 @@ func sweepLoads(base network.Options, list string, jobs, workers int, chk bool) 
 			aud = check.NewNetAuditor(topo.Terminals(), topo.SerCycles(), check.Options{})
 			o.Hooks = aud
 		}
-		res, err := runPoint(o, workers)
+		// Curve's run executes slotless; the simulation itself goes
+		// through Do so the pool still bounds concurrent runs.
+		res, err := sweep.Do(p, func() (network.Result, error) {
+			return runPoint(o, workers)
+		})
 		if err == nil && aud != nil && !res.Saturated {
 			err = aud.Final(res.Cycles)
 		}

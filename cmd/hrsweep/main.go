@@ -25,23 +25,26 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"highradix/internal/cache"
 	"highradix/internal/experiments"
+	"highradix/internal/stats"
 	"highradix/internal/traffic"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "experiment to run (see -list), or 'all'")
-		quick   = flag.Bool("quick", false, "reduced simulation windows")
-		seed    = flag.Uint64("seed", 1, "random seed")
-		list    = flag.Bool("list", false, "list available experiments")
-		csv     = flag.Bool("csv", false, "emit CSV instead of the text table")
-		plot    = flag.Bool("plot", false, "append an ASCII plot of the series")
-		jobs    = flag.Int("j", 0, "sweep pool workers (0 = GOMAXPROCS, 1 = serial)")
-		profile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		noff    = flag.Bool("noff", false, "force dense per-cycle stepping (disable quiescence fast-forward; results are byte-identical)")
-		inj     = flag.String("inj", "percycle", "injection sampling: percycle|gap (gap is event-driven, O(events) at low load, distribution-equivalent)")
-		netw    = flag.Int("netw", -1, "network-run shard workers: 0 = serial driver, >= 1 = sharded (-1 keeps the scale default; results are byte-identical at every value)")
+		exp      = flag.String("exp", "", "experiment to run (see -list), or 'all'")
+		quick    = flag.Bool("quick", false, "reduced simulation windows")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		list     = flag.Bool("list", false, "list available experiments")
+		csv      = flag.Bool("csv", false, "emit CSV instead of the text table")
+		plot     = flag.Bool("plot", false, "append an ASCII plot of the series")
+		jobs     = flag.Int("j", 0, "sweep pool workers (0 = GOMAXPROCS, 1 = serial)")
+		profile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		noff     = flag.Bool("noff", false, "force dense per-cycle stepping (disable quiescence fast-forward; results are byte-identical)")
+		inj      = flag.String("inj", "percycle", "injection sampling: percycle|gap (gap is event-driven, O(events) at low load, distribution-equivalent)")
+		netw     = flag.Int("netw", -1, "network-run shard workers: 0 = serial driver, >= 1 = sharded (-1 keeps the scale default; results are byte-identical at every value)")
+		cacheDir = flag.String("cache", "", "content-addressed result cache directory: warm figures and points are served from it byte-identically instead of resimulated")
 	)
 	flag.Parse()
 
@@ -88,10 +91,35 @@ func main() {
 	if *netw >= 0 {
 		scale.NetWorkers = *netw
 	}
+	if *cacheDir != "" {
+		st, err := cache.Open(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hrsweep:", err)
+			os.Exit(1)
+		}
+		scale.Cache = st
+		// Stats go to stderr when the run finishes; stdout stays
+		// byte-identical to an uncached invocation.
+		defer func() {
+			c := st.Counters()
+			fmt.Fprintf(os.Stderr, "cache: hits=%d misses=%d computes=%d puts=%d corrupt=%d\n",
+				c.Hits, c.Misses, c.Computes, c.Puts, c.Corrupt)
+		}()
+	}
 
 	run := func(name string, gen experiments.Generator) {
 		t0 := time.Now()
-		table, err := gen(scale)
+		var table *stats.Table
+		var err error
+		if scale.Cache != nil {
+			// The figure-level cache serves a warm table without
+			// running the generator at all; a dirty scale falls
+			// through to the generator, where the point-level cache
+			// limits recomputation to the changed points.
+			table, _, err = experiments.Table(name, scale)
+		} else {
+			table, err = gen(scale)
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "hrsweep: %s: %v\n", name, err)
 			os.Exit(1)
@@ -104,7 +132,11 @@ func main() {
 		if *plot {
 			fmt.Print(table.Plot(72, 20))
 		}
-		fmt.Printf("[%s completed in %.1fs]\n\n", name, time.Since(t0).Seconds())
+		// Timing goes to stderr: stdout carries only the tables, so two
+		// invocations of one experiment are byte-comparable regardless
+		// of wall-clock (which is the point of -cache).
+		fmt.Fprintf(os.Stderr, "[%s completed in %.1fs]\n", name, time.Since(t0).Seconds())
+		fmt.Println()
 	}
 
 	if *exp == "all" {

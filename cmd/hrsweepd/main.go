@@ -1,0 +1,83 @@
+// Command hrsweepd is the long-running figure service: it serves the
+// repository's experiments over HTTP, answering warm figures from the
+// content-addressed result cache in microseconds and dispatching cold
+// ones to the sweep worker pool with bounded concurrency and
+// per-request timeouts.
+//
+// Usage:
+//
+//	hrsweepd -cache DIR [-addr :8080] [-quick] [-seed N] [-j N] [-maxinflight N] [-timeout 5m]
+//
+// Endpoints:
+//
+//	GET /figures/{name}[?format=text|csv|json]  one experiment's table
+//	GET /points?arch=NAME&load=F                one single-router sweep point (JSON)
+//	GET /healthz                                liveness probe
+//	GET /metrics                                service + store counters (Prometheus text)
+//
+// Determinism makes the service sound: a figure served from cache is
+// byte-identical to one regenerated from scratch, so clients cannot
+// tell whether their request was warm — except by its latency.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"highradix/internal/cache"
+	"highradix/internal/experiments"
+	"highradix/internal/serve"
+	"highradix/internal/traffic"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		cacheDir = flag.String("cache", "", "content-addressed result cache directory (required)")
+		quick    = flag.Bool("quick", false, "serve figures at the reduced Quick scale instead of publication scale")
+		seed     = flag.Uint64("seed", 1, "random seed for all simulations")
+		jobs     = flag.Int("j", 0, "sweep pool workers per generation (0 = GOMAXPROCS)")
+		inj      = flag.String("inj", "percycle", "injection sampling: percycle|gap")
+		inflight = flag.Int("maxinflight", 2, "max concurrent cold figure computations")
+		timeout  = flag.Duration("timeout", 5*time.Minute, "per-request budget for cold computations (exceeded -> 504)")
+	)
+	flag.Parse()
+
+	if *cacheDir == "" {
+		fmt.Fprintln(os.Stderr, "hrsweepd: -cache DIR is required (the cache is what makes a figure service viable)")
+		os.Exit(2)
+	}
+	injMode, err := traffic.InjModeByName(*inj)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hrsweepd:", err)
+		os.Exit(2)
+	}
+	st, err := cache.Open(*cacheDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hrsweepd:", err)
+		os.Exit(1)
+	}
+
+	scale := experiments.Full
+	if *quick {
+		scale = experiments.Quick
+	}
+	scale.Seed = *seed
+	scale.Workers = *jobs
+	scale.Injection = injMode
+	scale.Cache = st
+
+	srv := serve.New(serve.Config{
+		Scale:       scale,
+		MaxInflight: *inflight,
+		Timeout:     *timeout,
+	})
+	log.Printf("hrsweepd: serving %d experiments on %s (cache %s)", len(experiments.Registry), *addr, st.Dir())
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		log.Fatalf("hrsweepd: %v", err)
+	}
+}

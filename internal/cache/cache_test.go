@@ -1,0 +1,230 @@
+package cache
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestKeyOrderInvariance(t *testing.T) {
+	a := NewKey("s/v1").Field("alpha", "1").Field("beta", "2").Field("gamma", "3").Key()
+	b := NewKey("s/v1").Field("gamma", "3").Field("alpha", "1").Field("beta", "2").Key()
+	if a != b {
+		t.Fatalf("field order changed the key:\n%s\n%s", a, b)
+	}
+}
+
+func TestKeySensitivity(t *testing.T) {
+	base := NewKey("s/v1").Field("alpha", "1").Field("beta", "2").Key()
+	cases := map[string]Key{
+		"schema":      NewKey("s/v2").Field("alpha", "1").Field("beta", "2").Key(),
+		"value":       NewKey("s/v1").Field("alpha", "1").Field("beta", "3").Key(),
+		"field name":  NewKey("s/v1").Field("alpha", "1").Field("betb", "2").Key(),
+		"extra field": NewKey("s/v1").Field("alpha", "1").Field("beta", "2").Field("c", "").Key(),
+	}
+	for what, k := range cases {
+		if k == base {
+			t.Errorf("changing the %s did not change the key", what)
+		}
+	}
+}
+
+// TestKeyFieldBoundary pins that a value containing what looks like a
+// field separator cannot collide with a genuinely separate field.
+func TestKeyFieldBoundary(t *testing.T) {
+	a := NewKey("s/v1").Field("a", "1\nb=2").Key()
+	b := NewKey("s/v1").Field("a", "1").Field("b", "2").Key()
+	if a == b {
+		t.Fatal("newline in a value forged a field boundary")
+	}
+}
+
+func TestKeyDuplicateFieldPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate field did not panic")
+		}
+	}()
+	NewKey("s/v1").Field("a", "1").Field("a", "2")
+}
+
+func testKey(s string) Key { return NewKey("test/v1").Field("name", s).Key() }
+
+func TestStoreRoundTrip(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey("roundtrip")
+	if _, ok := st.Get(k); ok {
+		t.Fatal("hit on empty store")
+	}
+	payload := []byte("the payload bytes")
+	if err := st.Put(k, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := st.Get(k)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Get = %q, %v; want %q", got, ok, payload)
+	}
+	c := st.Counters()
+	if c.Hits != 1 || c.Misses != 1 || c.Puts != 1 {
+		t.Fatalf("counters = %+v; want 1 hit, 1 miss, 1 put", c)
+	}
+}
+
+// TestStoreCorruption covers the integrity checksum: every way an entry
+// can rot on disk must read back as a miss (and increment Corrupt),
+// never as data.
+func TestStoreCorruption(t *testing.T) {
+	payload := []byte("precious simulation result")
+	mutations := map[string]func([]byte) []byte{
+		"truncated header":  func(b []byte) []byte { return b[:entryHeaderLen-3] },
+		"truncated payload": func(b []byte) []byte { return b[:len(b)-1] },
+		"flipped magic":     func(b []byte) []byte { b[0] ^= 0xff; return b },
+		"flipped length":    func(b []byte) []byte { b[11] ^= 0x01; return b },
+		"flipped checksum":  func(b []byte) []byte { b[20] ^= 0x10; return b },
+		"flipped payload":   func(b []byte) []byte { b[len(b)-4] ^= 0x02; return b },
+		"empty file":        func(b []byte) []byte { return nil },
+	}
+	for name, mutate := range mutations {
+		t.Run(name, func(t *testing.T) {
+			st, err := Open(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			k := testKey(name)
+			if err := st.Put(k, payload); err != nil {
+				t.Fatal(err)
+			}
+			raw, err := os.ReadFile(st.path(k))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(st.path(k), mutate(raw), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if got, ok := st.Get(k); ok {
+				t.Fatalf("corrupted entry served as a hit: %q", got)
+			}
+			if c := st.Counters(); c.Corrupt != 1 {
+				t.Fatalf("Corrupt = %d; want 1", c.Corrupt)
+			}
+			// The poisoned entry must be gone, and a recompute must
+			// repopulate it.
+			if _, err := os.Stat(st.path(k)); !os.IsNotExist(err) {
+				t.Fatalf("corrupted entry not removed (err=%v)", err)
+			}
+			got, hit, err := st.GetOrCompute(k, func() ([]byte, error) { return payload, nil })
+			if err != nil || hit || !bytes.Equal(got, payload) {
+				t.Fatalf("recompute after corruption = %q, hit=%v, err=%v", got, hit, err)
+			}
+			if got, ok := st.Get(k); !ok || !bytes.Equal(got, payload) {
+				t.Fatal("recomputed entry not stored")
+			}
+		})
+	}
+}
+
+// TestSingleFlight pins the dedup contract: N concurrent requests for
+// one cold key run exactly one compute and all receive byte-identical
+// payloads. Run under -race in CI.
+func TestSingleFlight(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey("cold")
+	var computes atomic.Int64
+	gate := make(chan struct{})
+	const n = 32
+	results := make([][]byte, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-gate
+			b, _, err := st.GetOrCompute(k, func() ([]byte, error) {
+				computes.Add(1)
+				return []byte("simulated once"), nil
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = b
+		}(i)
+	}
+	close(gate)
+	wg.Wait()
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("compute ran %d times; want 1", got)
+	}
+	for i := 1; i < n; i++ {
+		if !bytes.Equal(results[i], results[0]) {
+			t.Fatalf("caller %d got different bytes", i)
+		}
+	}
+	if c := st.Counters(); c.Computes != 1 {
+		t.Fatalf("Computes counter = %d; want 1", c.Computes)
+	}
+	// A fresh store over the same directory must now hit.
+	st2, err := Open(st.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st2.Get(k); !ok {
+		t.Fatal("entry not persisted for a new store over the same dir")
+	}
+}
+
+// TestGetOrComputeErrorNotCached pins that a failed compute leaves the
+// key cold: the next request retries instead of serving the error's
+// absence as data.
+func TestGetOrComputeErrorNotCached(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey("flaky")
+	wantErr := os.ErrDeadlineExceeded
+	if _, _, err := st.GetOrCompute(k, func() ([]byte, error) { return nil, wantErr }); err != wantErr {
+		t.Fatalf("err = %v; want %v", err, wantErr)
+	}
+	b, hit, err := st.GetOrCompute(k, func() ([]byte, error) { return []byte("ok"), nil })
+	if err != nil || hit || string(b) != "ok" {
+		t.Fatalf("retry = %q, hit=%v, err=%v", b, hit, err)
+	}
+}
+
+func TestPutEmptyKeyRejected(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(Key(""), []byte("x")); err == nil {
+		t.Fatal("Put with empty key succeeded")
+	}
+	if _, ok := st.Get(Key("")); ok {
+		t.Fatal("Get with empty key hit")
+	}
+}
+
+func TestStoreFanout(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey("fanout")
+	if err := st.Put(k, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	want := filepath.Join(st.Dir(), string(k[:2]), string(k))
+	if _, err := os.Stat(want); err != nil {
+		t.Fatalf("entry not at two-level path %s: %v", want, err)
+	}
+}

@@ -8,6 +8,7 @@ package experiments
 import (
 	"fmt"
 
+	"highradix/internal/cache"
 	"highradix/internal/router"
 	"highradix/internal/stats"
 	"highradix/internal/sweep"
@@ -55,6 +56,12 @@ type Scale struct {
 	// gap mode is distribution-equivalent and O(events) at low load,
 	// with its own goldens (fig9_gap, fig19_gap).
 	Injection traffic.InjMode
+	// Cache, when non-nil, is the content-addressed result store every
+	// generator consults before running a simulation point, and that
+	// Table consults before running a generator at all. Because every
+	// run is deterministic in its options, serving from the cache is
+	// byte-identical to recomputing; nil disables caching entirely.
+	Cache *cache.Store
 }
 
 // Full is the publication-quality scale.
@@ -98,16 +105,32 @@ func (s Scale) opts(cfg router.Config) testbench.Options {
 // pool builds the sweep pool the generators submit their points to.
 func (s Scale) pool() *sweep.Pool { return sweep.New(s.Workers) }
 
+// runTB runs one single-router point, consulting the scale's cache
+// when configured: a warm key decodes the stored Result without
+// touching the pool; a cold one simulates under a pool slot (inside
+// the store's single-flight) and stores the bytes. With Cache nil this
+// is exactly sweep.Do(p, testbench.Run).
+func (s Scale) runTB(p *sweep.Pool, o testbench.Options) (testbench.Result, error) {
+	key, ok := o.CacheKey()
+	return sweep.RunCached(p, s.Cache, key, ok, testbench.EncodeResult, testbench.DecodeResult,
+		func() (testbench.Result, error) { return testbench.Run(o) })
+}
+
 // satThroughput measures accepted throughput at offered load 1.0. It is
 // the leaf job the generators submit to the pool for their
 // saturation-throughput scalars.
-func (s Scale) satThroughput(cfg router.Config, mutate func(*testbench.Options)) (float64, error) {
+func (s Scale) satThroughput(p *sweep.Pool, cfg router.Config, mutate func(*testbench.Options)) (float64, error) {
 	o := s.opts(cfg)
 	o.DrainCycles = 1 // no need to drain a deliberately saturated run
 	if mutate != nil {
 		mutate(&o)
 	}
-	return testbench.SaturationThroughput(o)
+	o.Load = 1.0
+	res, err := s.runTB(p, o)
+	if err != nil {
+		return 0, err
+	}
+	return res.Throughput, nil
 }
 
 // latencyCase declares one line of a latency-versus-load figure: a
@@ -138,7 +161,7 @@ func (s Scale) latencyFigure(t *stats.Table, cases []latencyCase) error {
 		series, err := sweep.Curve(p, c.name, s.Loads, func(load float64) (sweep.Point, error) {
 			o := base
 			o.Load = load
-			res, err := testbench.Run(o)
+			res, err := s.runTB(p, o)
 			if err != nil {
 				return sweep.Point{}, err
 			}
@@ -147,9 +170,7 @@ func (s Scale) latencyFigure(t *stats.Table, cases []latencyCase) error {
 		if err != nil {
 			return caseOut{}, err
 		}
-		thr, err := sweep.Do(p, func() (float64, error) {
-			return s.satThroughput(c.cfg, c.mutate)
-		})
+		thr, err := s.satThroughput(p, c.cfg, c.mutate)
 		if err != nil {
 			return caseOut{}, err
 		}
@@ -169,44 +190,62 @@ func (s Scale) latencyFigure(t *stats.Table, cases []latencyCase) error {
 // their generator functions.
 type Generator func(Scale) (*stats.Table, error)
 
-// Registry lists every reproducible experiment.
-var Registry = []struct {
-	Name string
-	Desc string
-	Gen  Generator
-}{
-	{"fig1", "router pin-bandwidth scaling 1985-2010 (historical data + trend fits)", Fig1},
-	{"fig2", "latency-optimal radix vs router aspect ratio", Fig2},
-	{"fig3", "network latency and cost vs radix for 2003/2010 technologies", Fig3},
-	{"fig9", "latency vs offered load, baseline high-radix (CVA/OVA) vs low-radix", Fig9},
-	{"fig11", "prioritized (dual-arbiter) vs single-arbiter speculation, 1 VC and 4 VC", Fig11},
-	{"fig13", "fully buffered crossbar vs baseline vs low-radix", Fig13},
-	{"fig14", "crosspoint buffer size sweep, short and long packets", Fig14},
-	{"fig15", "storage area vs wire area of the fully buffered crossbar", Fig15},
-	{"fig17a", "hierarchical crossbar, uniform random traffic, subswitch sizes", Fig17a},
-	{"fig17b", "hierarchical crossbar, worst-case traffic", Fig17b},
-	{"fig17c", "long packets at equal total buffer storage", Fig17c},
-	{"fig17d", "storage bits vs radix, hierarchical vs fully buffered", Fig17d},
-	{"fig18", "nonuniform traffic: diagonal, hotspot, bursty (Table 1)", Fig18},
-	{"fig19", "4096-node Clos network: radix-64 (3 stages) vs radix-16 (5 stages)", Fig19},
-	{"topo", "extension: ring and 2D-torus topologies, latency vs offered load", FigTopo},
-	{"table1", "saturation throughput of every architecture on every Table 1 pattern", TableT1},
-	{"creditbus", "ablation: shared credit-return bus vs ideal credit return", AblCreditBus},
-	{"sharedxp", "ablation: shared-buffer (ACK/NACK) crosspoints vs per-VC buffers", AblSharedXpoint},
-	{"localgroup", "ablation: local arbitration group size m", AblLocalGroup},
-	{"specpolicy", "ablation: speculative output-VC bid policy (Section 4.4 re-bidding)", AblSpecPolicy},
-	{"allociters", "ablation: allocation iterations of the centralized low-radix router", AblAllocIters},
-	{"radixsweep", "extension: saturation throughput vs radix for the main organizations", RadixSweep},
-	{"radixscale", "extension: latency-throughput at radix 64/128/256, buffered and hierarchical", RadixScale},
-	{"fig_alloc", "extension: allocation-policy families head to head — baseline vs VOQ/iSLIP vs dynamic VC", FigAlloc},
+// Entry is one registered experiment. Version is the figure-level
+// cache version: it participates in the figure cache key, so bumping
+// it when a generator's declared cases change (new series, reordered
+// scalars, different configs) invalidates that experiment's stored
+// tables without touching any other entry. Point-level results are
+// keyed independently and survive a Version bump.
+type Entry struct {
+	Name    string
+	Desc    string
+	Version int
+	Gen     Generator
 }
 
-// ByName finds a registered experiment.
+// Registry lists every reproducible experiment.
+var Registry = []Entry{
+	{"fig1", "router pin-bandwidth scaling 1985-2010 (historical data + trend fits)", 1, Fig1},
+	{"fig2", "latency-optimal radix vs router aspect ratio", 1, Fig2},
+	{"fig3", "network latency and cost vs radix for 2003/2010 technologies", 1, Fig3},
+	{"fig9", "latency vs offered load, baseline high-radix (CVA/OVA) vs low-radix", 1, Fig9},
+	{"fig11", "prioritized (dual-arbiter) vs single-arbiter speculation, 1 VC and 4 VC", 1, Fig11},
+	{"fig13", "fully buffered crossbar vs baseline vs low-radix", 1, Fig13},
+	{"fig14", "crosspoint buffer size sweep, short and long packets", 1, Fig14},
+	{"fig15", "storage area vs wire area of the fully buffered crossbar", 1, Fig15},
+	{"fig17a", "hierarchical crossbar, uniform random traffic, subswitch sizes", 1, Fig17a},
+	{"fig17b", "hierarchical crossbar, worst-case traffic", 1, Fig17b},
+	{"fig17c", "long packets at equal total buffer storage", 1, Fig17c},
+	{"fig17d", "storage bits vs radix, hierarchical vs fully buffered", 1, Fig17d},
+	{"fig18", "nonuniform traffic: diagonal, hotspot, bursty (Table 1)", 1, Fig18},
+	{"fig19", "4096-node Clos network: radix-64 (3 stages) vs radix-16 (5 stages)", 1, Fig19},
+	{"topo", "extension: ring and 2D-torus topologies, latency vs offered load", 1, FigTopo},
+	{"table1", "saturation throughput of every architecture on every Table 1 pattern", 1, TableT1},
+	{"creditbus", "ablation: shared credit-return bus vs ideal credit return", 1, AblCreditBus},
+	{"sharedxp", "ablation: shared-buffer (ACK/NACK) crosspoints vs per-VC buffers", 1, AblSharedXpoint},
+	{"localgroup", "ablation: local arbitration group size m", 1, AblLocalGroup},
+	{"specpolicy", "ablation: speculative output-VC bid policy (Section 4.4 re-bidding)", 1, AblSpecPolicy},
+	{"allociters", "ablation: allocation iterations of the centralized low-radix router", 1, AblAllocIters},
+	{"radixsweep", "extension: saturation throughput vs radix for the main organizations", 1, RadixSweep},
+	{"radixscale", "extension: latency-throughput at radix 64/128/256, buffered and hierarchical", 1, RadixScale},
+	{"fig_alloc", "extension: allocation-policy families head to head — baseline vs VOQ/iSLIP vs dynamic VC", 1, FigAlloc},
+}
+
+// ByName finds a registered experiment's generator.
 func ByName(name string) (Generator, error) {
+	e, err := lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return e.Gen, nil
+}
+
+// lookup finds a registered experiment.
+func lookup(name string) (Entry, error) {
 	for _, e := range Registry {
 		if e.Name == name {
-			return e.Gen, nil
+			return e, nil
 		}
 	}
-	return nil, fmt.Errorf("experiments: unknown experiment %q", name)
+	return Entry{}, fmt.Errorf("experiments: unknown experiment %q", name)
 }

@@ -18,6 +18,16 @@ func (s Scale) netRun(o network.Options) (network.Result, error) {
 	return network.Run(o)
 }
 
+// runNet is netRun behind the scale's cache, under a pool slot. The
+// cache key deliberately omits the worker count: serial and sharded
+// runs of one configuration are byte-identical, so they share an
+// entry.
+func (s Scale) runNet(p *sweep.Pool, o network.Options) (network.Result, error) {
+	key, ok := o.CacheKey()
+	return sweep.RunCached(p, s.Cache, key, ok, network.EncodeResult, network.DecodeResult,
+		func() (network.Result, error) { return s.netRun(o) })
+}
+
 // Fig19 reproduces Figure 19: latency versus offered load for a
 // 4096-node Clos network built from radix-64 routers (three stages,
 // 64^2 terminals) and from radix-16 routers (five stages, 16^3
@@ -67,7 +77,7 @@ func Fig19(s Scale) (*stats.Table, error) {
 		series, err := sweep.Curve(p, c.name, s.NetLoads, func(load float64) (sweep.Point, error) {
 			o := base
 			o.Load = load
-			res, err := s.netRun(o)
+			res, err := s.runNet(p, o)
 			if err != nil {
 				return sweep.Point{}, err
 			}
@@ -76,11 +86,9 @@ func Fig19(s Scale) (*stats.Table, error) {
 		if err != nil {
 			return caseOut{}, err
 		}
-		zero, err := sweep.Do(p, func() (network.Result, error) {
-			o := base
-			o.Load = 0.05
-			return s.netRun(o)
-		})
+		zeroOpts := base
+		zeroOpts.Load = 0.05
+		zero, err := s.runNet(p, zeroOpts)
 		if err != nil {
 			return caseOut{}, err
 		}
@@ -152,7 +160,7 @@ func FigTopo(s Scale) (*stats.Table, error) {
 		series, err := sweep.Curve(p, c.name, s.NetLoads, func(load float64) (sweep.Point, error) {
 			o := base
 			o.Load = load
-			res, err := s.netRun(o)
+			res, err := s.runNet(p, o)
 			if err != nil {
 				return sweep.Point{}, err
 			}
@@ -161,11 +169,9 @@ func FigTopo(s Scale) (*stats.Table, error) {
 		if err != nil {
 			return caseOut{}, err
 		}
-		zero, err := sweep.Do(p, func() (network.Result, error) {
-			o := base
-			o.Load = 0.05
-			return s.netRun(o)
-		})
+		zeroOpts := base
+		zeroOpts.Load = 0.05
+		zero, err := s.runNet(p, zeroOpts)
 		if err != nil {
 			return caseOut{}, err
 		}

@@ -43,8 +43,9 @@ func RadixSweep(s Scale) (*stats.Table, error) {
 			jobs = append(jobs, c.cfg(k))
 		}
 	}
-	thrs, err := sweep.Map(s.pool(), jobs, func(cfg router.Config) (float64, error) {
-		return s.satThroughput(cfg, nil)
+	p := s.pool()
+	thrs, err := sweep.Gather(jobs, func(cfg router.Config) (float64, error) {
+		return s.satThroughput(p, cfg, nil)
 	})
 	if err != nil {
 		return nil, err

@@ -268,8 +268,9 @@ func TableT1(s Scale) (*stats.Table, error) {
 			jobs = append(jobs, cell{cfg: a.cfg, mutate: p.mutate})
 		}
 	}
-	thrs, err := sweep.Map(s.pool(), jobs, func(j cell) (float64, error) {
-		return s.satThroughput(j.cfg, j.mutate)
+	p := s.pool()
+	thrs, err := sweep.Gather(jobs, func(j cell) (float64, error) {
+		return s.satThroughput(p, j.cfg, j.mutate)
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,114 @@
+package network
+
+import (
+	"highradix/internal/flit"
+	"testing"
+
+	"highradix/internal/traffic"
+)
+
+func TestNetEncodeResultRoundTrip(t *testing.T) {
+	r := Result{
+		Load: 0.5, AvgLatency: 95.125, P99: 301, Throughput: 0.497,
+		Packets: 99999, Saturated: true, Cycles: 5400, AvgHops: 4.75,
+		DrainUsed: 132,
+	}
+	got, err := DecodeResult(EncodeResult(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != r {
+		t.Fatalf("roundtrip changed the result:\n%+v\n%+v", got, r)
+	}
+	if _, err := DecodeResult(nil); err == nil {
+		t.Fatal("nil payload decoded without error")
+	}
+}
+
+func TestNetCacheKeySensitivity(t *testing.T) {
+	base := Options{Net: Config{Radix: 4, Digits: 2}, Load: 0.5, Seed: 1}
+	baseKey, ok := base.CacheKey()
+	if !ok {
+		t.Fatal("base options uncacheable")
+	}
+	// Defaulting invariance: the defaulted spelling shares the key.
+	spelled := base
+	spelled.Net = spelled.Net.WithDefaults()
+	spelled.PktLen = 1
+	spelled.WarmupCycles = 2000
+	spelled.MeasureCycles = 4000
+	spelled.DrainCycles = 4 * (2000 + 4000)
+	if spelled.SatLatency == 0 {
+		spelled.SatLatency = base.WithDefaults().SatLatency
+	}
+	if k, ok := spelled.CacheKey(); !ok || k != baseKey {
+		t.Fatalf("defaulted spelling keys differently: %v ok=%v", k, ok)
+	}
+	distinct := map[string]func(*Options){
+		"load":      func(o *Options) { o.Load = 0.6 },
+		"seed":      func(o *Options) { o.Seed = 2 },
+		"pktlen":    func(o *Options) { o.PktLen = 3 },
+		"topology":  func(o *Options) { o.Net.Digits = 3 },
+		"pattern":   func(o *Options) { o.Pattern = traffic.NewDiagonal(16) },
+		"injection": func(o *Options) { o.Injection = traffic.InjGap },
+	}
+	for name, mutate := range distinct {
+		o := base
+		mutate(&o)
+		if k, ok := o.CacheKey(); !ok || k == baseKey {
+			t.Errorf("%s: key unchanged or uncacheable (ok=%v)", name, ok)
+		}
+	}
+	// Fast-forward twins share the entry.
+	ff := base
+	ff.NoFastForward = true
+	if k, ok := ff.CacheKey(); !ok || k != baseKey {
+		t.Errorf("NoFastForward changed the key")
+	}
+}
+
+// TestTopologyCanonicalDistinct pins that the three families and their
+// parameter variations canonicalize to distinct strings.
+func TestTopologyCanonicalDistinct(t *testing.T) {
+	mk := func(fn func() (Topology, error)) CanonicalTopology {
+		topo, err := fn()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ct, ok := topo.(CanonicalTopology)
+		if !ok {
+			t.Fatalf("%T does not implement CanonicalTopology", topo)
+		}
+		return ct
+	}
+	topos := []CanonicalTopology{
+		mk(func() (Topology, error) { return NewClos(Config{Radix: 4, Digits: 2}) }),
+		mk(func() (Topology, error) { return NewClos(Config{Radix: 4, Digits: 3}) }),
+		mk(func() (Topology, error) { return NewRing(RingConfig{Routers: 16}) }),
+		mk(func() (Topology, error) { return NewRing(RingConfig{Routers: 8}) }),
+		mk(func() (Topology, error) { return NewTorus(TorusConfig{X: 4, Y: 4}) }),
+		mk(func() (Topology, error) { return NewTorus(TorusConfig{X: 2, Y: 8}) }),
+	}
+	seen := map[string]bool{}
+	for _, ct := range topos {
+		c := ct.Canonical()
+		if seen[c] {
+			t.Errorf("duplicate topology canonical form: %s", c)
+		}
+		seen[c] = true
+	}
+}
+
+type nopHooks struct{}
+
+func (nopHooks) Injected(int64, *flit.Flit)  {}
+func (nopHooks) Delivered(int64, *flit.Flit) {}
+func (nopHooks) EndCycle(int64, int) error   { return nil }
+
+func TestNetCacheKeyUncacheable(t *testing.T) {
+	o := Options{Net: Config{Radix: 4, Digits: 2}, Load: 0.5, Seed: 1}
+	o.Hooks = nopHooks{}
+	if k, ok := o.CacheKey(); ok {
+		t.Fatalf("hooked run keyed as cacheable (%v)", k)
+	}
+}

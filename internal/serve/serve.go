@@ -1,0 +1,355 @@
+// Package serve is the HTTP figure service behind cmd/hrsweepd: it
+// renders the repository's experiments over HTTP, serving warm figures
+// from the content-addressed result cache in microseconds and
+// dispatching cold ones to the sweep worker pool exactly once no
+// matter how many requests ask for them.
+//
+// Soundness is inherited from the cache layer: every simulation in the
+// repository is deterministic in its options, so a stored figure is
+// byte-identical to a regenerated one, and the service can answer from
+// the store without qualification. Concurrency control is layered:
+//
+//   - the store's single-flight collapses concurrent requests for one
+//     cold figure into one generator run;
+//   - a semaphore bounds how many distinct cold figures generate at
+//     once, so a burst of cold traffic cannot fork an unbounded number
+//     of sweep pools;
+//   - a per-request timeout turns a too-slow cold computation into 504
+//     Gateway Timeout. The computation itself keeps running and warms
+//     the cache for the retry — abandoning it would waste the work.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"highradix/internal/experiments"
+	"highradix/internal/router"
+	"highradix/internal/stats"
+	"highradix/internal/sweep"
+	"highradix/internal/testbench"
+)
+
+// Config parameterizes the service.
+type Config struct {
+	// Scale is the experiment scale every figure is generated at; its
+	// Cache field (usually non-nil) is what makes warm requests cheap.
+	Scale experiments.Scale
+	// MaxInflight bounds how many distinct cold computations may run
+	// concurrently; further cold requests queue. <= 0 selects 2.
+	MaxInflight int
+	// Timeout is the per-request budget for cold computations; a
+	// request whose figure is not ready in time gets 504. <= 0 selects
+	// 5 minutes.
+	Timeout time.Duration
+}
+
+// Metrics is a snapshot of the service counters exported on /metrics.
+type Metrics struct {
+	// Requests counts every request accepted by a service endpoint.
+	Requests int64
+	// FigureHits / FigureMisses count figure and point requests that
+	// were answered from cache vs had to compute.
+	FigureHits   int64
+	FigureMisses int64
+	// Errors counts requests answered with a 4xx/5xx status.
+	Errors int64
+	// Timeouts counts cold requests that exceeded the budget (a subset
+	// of Errors).
+	Timeouts int64
+	// Inflight is the number of cold computations running now.
+	Inflight int64
+	// LatencyMicros is the cumulative request service time; divide by
+	// Requests for the mean.
+	LatencyMicros int64
+}
+
+// Server implements the figure service.
+type Server struct {
+	cfg  Config
+	mux  *http.ServeMux
+	pool *sweep.Pool
+	cold chan struct{} // bounds distinct concurrent cold computations
+
+	requests  atomic.Int64
+	hits      atomic.Int64
+	misses    atomic.Int64
+	errors    atomic.Int64
+	timeouts  atomic.Int64
+	inflight  atomic.Int64
+	latencyUS atomic.Int64
+
+	// rendered memoizes fully rendered response bodies (name+format →
+	// bytes). Within one process the scale is fixed, so a rendered
+	// figure never changes; the memo turns warm requests into one map
+	// read.
+	mu       sync.RWMutex
+	rendered map[string][]byte
+}
+
+// New builds the service.
+func New(cfg Config) *Server {
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = 2
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 5 * time.Minute
+	}
+	s := &Server{
+		cfg:      cfg,
+		mux:      http.NewServeMux(),
+		pool:     sweep.New(cfg.Scale.Workers),
+		cold:     make(chan struct{}, cfg.MaxInflight),
+		rendered: map[string][]byte{},
+	}
+	s.mux.HandleFunc("GET /figures/{name}", s.handleFigure)
+	s.mux.HandleFunc("GET /points", s.handlePoint)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics returns a snapshot of the service counters.
+func (s *Server) Metrics() Metrics {
+	return Metrics{
+		Requests:      s.requests.Load(),
+		FigureHits:    s.hits.Load(),
+		FigureMisses:  s.misses.Load(),
+		Errors:        s.errors.Load(),
+		Timeouts:      s.timeouts.Load(),
+		Inflight:      s.inflight.Load(),
+		LatencyMicros: s.latencyUS.Load(),
+	}
+}
+
+// track wraps a handler body with the request/latency/error counters.
+func (s *Server) track(fn func() int) {
+	s.requests.Add(1)
+	t0 := time.Now()
+	status := fn()
+	s.latencyUS.Add(time.Since(t0).Microseconds())
+	if status >= 400 {
+		s.errors.Add(1)
+	}
+}
+
+// format resolves the response format from ?format=, defaulting to the
+// aligned text table.
+func format(r *http.Request) (name, contentType string, ok bool) {
+	switch f := r.URL.Query().Get("format"); f {
+	case "", "text":
+		return "text", "text/plain; charset=utf-8", true
+	case "csv":
+		return "csv", "text/csv; charset=utf-8", true
+	case "json":
+		return "json", "application/json", true
+	default:
+		return f, "", false
+	}
+}
+
+func render(t *stats.Table, format string) ([]byte, error) {
+	switch format {
+	case "text":
+		return []byte(t.String()), nil
+	case "csv":
+		return []byte(t.CSV()), nil
+	case "json":
+		return t.JSON()
+	}
+	return nil, fmt.Errorf("serve: unknown format %q", format)
+}
+
+func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
+	s.track(func() int {
+		name := r.PathValue("name")
+		fmtName, contentType, ok := format(r)
+		if !ok {
+			http.Error(w, "unknown format (want text, csv or json)", http.StatusBadRequest)
+			return http.StatusBadRequest
+		}
+		if _, err := experiments.ByName(name); err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return http.StatusNotFound
+		}
+		memoKey := name + "\x00" + fmtName
+		s.mu.RLock()
+		body, warm := s.rendered[memoKey]
+		s.mu.RUnlock()
+		if warm {
+			s.hits.Add(1)
+			w.Header().Set("Content-Type", contentType)
+			w.Write(body)
+			return http.StatusOK
+		}
+		body, hit, status := s.compute(r.Context(), func() ([]byte, bool, error) {
+			t, hit, err := experiments.Table(name, s.cfg.Scale)
+			if err != nil {
+				return nil, false, err
+			}
+			b, err := render(t, fmtName)
+			return b, hit, err
+		})
+		if status != http.StatusOK {
+			http.Error(w, http.StatusText(status), status)
+			return status
+		}
+		if hit {
+			s.hits.Add(1)
+		} else {
+			s.misses.Add(1)
+		}
+		s.mu.Lock()
+		s.rendered[memoKey] = body
+		s.mu.Unlock()
+		w.Header().Set("Content-Type", contentType)
+		w.Write(body)
+		return http.StatusOK
+	})
+}
+
+// handlePoint serves one single-router sweep point:
+//
+//	GET /points?arch=baseline&load=0.5[&pattern=...][&format=json]
+//
+// The point is keyed and cached exactly like the figure generators'
+// points, so a point that any figure already computed is warm here and
+// vice versa.
+func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request) {
+	s.track(func() int {
+		q := r.URL.Query()
+		arch, err := router.ArchByName(q.Get("arch"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return http.StatusBadRequest
+		}
+		load, err := strconv.ParseFloat(q.Get("load"), 64)
+		if err != nil || load <= 0 || load > 1 {
+			http.Error(w, "load must be a float in (0, 1]", http.StatusBadRequest)
+			return http.StatusBadRequest
+		}
+		o := testbench.Options{
+			Router:        router.Config{Arch: arch},
+			Load:          load,
+			WarmupCycles:  s.cfg.Scale.Warmup,
+			MeasureCycles: s.cfg.Scale.Measure,
+			Seed:          s.cfg.Scale.Seed,
+			Injection:     s.cfg.Scale.Injection,
+		}
+		key, cacheable := o.CacheKey()
+		st := s.cfg.Scale.Cache
+		// Warm probe without counting a store miss twice: the compute
+		// path below re-resolves it.
+		warm := false
+		if st != nil && cacheable {
+			if _, ok := st.Get(key); ok {
+				warm = true
+			}
+		}
+		body, _, status := s.compute(r.Context(), func() ([]byte, bool, error) {
+			res, err := sweep.RunCached(s.pool, st, key, cacheable,
+				testbench.EncodeResult, testbench.DecodeResult,
+				func() (testbench.Result, error) { return testbench.Run(o) })
+			if err != nil {
+				return nil, false, err
+			}
+			return pointBody(res), warm, nil
+		})
+		if status != http.StatusOK {
+			http.Error(w, http.StatusText(status), status)
+			return status
+		}
+		if warm {
+			s.hits.Add(1)
+		} else {
+			s.misses.Add(1)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(body)
+		return http.StatusOK
+	})
+}
+
+// pointBody renders one result as deterministic JSON.
+func pointBody(res testbench.Result) []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, `{"load":%g,"avgLatency":%g,"p50":%g,"p99":%g,"throughput":%g,"packets":%d,"saturated":%t,"cycles":%d}`+"\n",
+		res.Load, res.AvgLatency, res.P50, res.P99, res.Throughput, res.Packets, res.Saturated, res.Cycles)
+	return []byte(b.String())
+}
+
+// compute runs fn under the cold-computation semaphore with the
+// per-request timeout and returns an HTTP status. fn runs on its own
+// goroutine; on timeout it is abandoned (it completes and warms the
+// cache) and the caller gets 504.
+func (s *Server) compute(ctx context.Context, fn func() ([]byte, bool, error)) (body []byte, hit bool, status int) {
+	ctx, cancel := context.WithTimeout(ctx, s.cfg.Timeout)
+	defer cancel()
+	select {
+	case s.cold <- struct{}{}:
+	case <-ctx.Done():
+		s.timeouts.Add(1)
+		return nil, false, http.StatusGatewayTimeout
+	}
+	type out struct {
+		body []byte
+		hit  bool
+		err  error
+	}
+	ch := make(chan out, 1)
+	s.inflight.Add(1)
+	go func() {
+		defer s.inflight.Add(-1)
+		defer func() { <-s.cold }()
+		b, h, err := fn()
+		ch <- out{b, h, err}
+	}()
+	select {
+	case o := <-ch:
+		if o.err != nil {
+			return nil, false, http.StatusInternalServerError
+		}
+		return o.body, o.hit, http.StatusOK
+	case <-ctx.Done():
+		s.timeouts.Add(1)
+		return nil, false, http.StatusGatewayTimeout
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleMetrics exports the service and store counters in the
+// Prometheus text exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	m := s.Metrics()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	p := func(name string, v int64) { fmt.Fprintf(w, "%s %d\n", name, v) }
+	p("hrsweepd_requests_total", m.Requests)
+	p("hrsweepd_figure_hits_total", m.FigureHits)
+	p("hrsweepd_figure_misses_total", m.FigureMisses)
+	p("hrsweepd_errors_total", m.Errors)
+	p("hrsweepd_timeouts_total", m.Timeouts)
+	p("hrsweepd_inflight", m.Inflight)
+	p("hrsweepd_request_latency_micros_total", m.LatencyMicros)
+	if st := s.cfg.Scale.Cache; st != nil {
+		c := st.Counters()
+		p("hrsweepd_store_hits_total", c.Hits)
+		p("hrsweepd_store_misses_total", c.Misses)
+		p("hrsweepd_store_corrupt_total", c.Corrupt)
+		p("hrsweepd_store_computes_total", c.Computes)
+		p("hrsweepd_store_puts_total", c.Puts)
+		p("hrsweepd_store_inflight", c.Inflight)
+	}
+}

@@ -1,0 +1,98 @@
+package stats
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func sampleTable() *Table {
+	return &Table{
+		Title:  "Figure 9: latency vs load",
+		XLabel: "offered load",
+		YLabel: "latency (cycles)",
+		Series: []*Series{
+			{
+				Name: "baseline",
+				Points: []Point{
+					{X: 0.1, Y: 12.5},
+					{X: 0.5, Y: 37.25, Saturated: false},
+					{X: 0.9, Y: math.Inf(1), Saturated: true},
+				},
+			},
+			{Name: "empty"},
+		},
+		Scalars: []Scalar{
+			{Name: "sat-throughput", Value: 0.648, Unit: "frac"},
+			{Name: "packets", Value: 12345, Unit: ""},
+		},
+		Notes: []string{"quick scale", "seed=1\nmultiline note"},
+	}
+}
+
+func TestEncodeTableRoundTrip(t *testing.T) {
+	orig := sampleTable()
+	enc := EncodeTable(orig)
+	got, err := DecodeTable(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(EncodeTable(got), enc) {
+		t.Fatalf("re-encoding the decoded table changed bytes")
+	}
+	// Spot-check structure survived, including the NaN-free specials.
+	if got.Title != orig.Title || len(got.Series) != 2 || len(got.Scalars) != 2 || len(got.Notes) != 2 {
+		t.Fatalf("decoded shape wrong: %+v", got)
+	}
+	if !math.IsInf(got.Series[0].Points[2].Y, 1) || !got.Series[0].Points[2].Saturated {
+		t.Fatalf("saturated +Inf point not preserved: %+v", got.Series[0].Points[2])
+	}
+	if got.Notes[1] != orig.Notes[1] {
+		t.Fatalf("multiline note mangled: %q", got.Notes[1])
+	}
+}
+
+// TestEncodeTableStable pins that encoding is a pure function of the
+// table value: two independently built equal tables encode identically.
+func TestEncodeTableStable(t *testing.T) {
+	if !bytes.Equal(EncodeTable(sampleTable()), EncodeTable(sampleTable())) {
+		t.Fatal("equal tables encoded differently")
+	}
+}
+
+func TestDecodeTableRejectsCorruption(t *testing.T) {
+	enc := EncodeTable(sampleTable())
+	if _, err := DecodeTable(nil); err == nil {
+		t.Error("empty payload decoded without error")
+	}
+	for cut := 1; cut < len(enc); cut += 7 {
+		if _, err := DecodeTable(enc[:cut]); err == nil {
+			t.Errorf("truncation at %d decoded without error", cut)
+		}
+	}
+	if _, err := DecodeTable(append(append([]byte{}, enc...), 0)); err == nil {
+		t.Error("trailing byte decoded without error")
+	}
+	bad := append([]byte{}, enc...)
+	bad[0] = 99
+	if _, err := DecodeTable(bad); err == nil {
+		t.Error("wrong layout version decoded without error")
+	}
+}
+
+func TestTableJSONDeterministic(t *testing.T) {
+	a, err := sampleTable().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sampleTable().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("JSON rendering not deterministic")
+	}
+	if a[len(a)-1] != '\n' {
+		t.Fatal("JSON rendering missing trailing newline")
+	}
+}

@@ -1,0 +1,50 @@
+package sweep
+
+import "highradix/internal/cache"
+
+// RunCached runs one cacheable leaf job with the content-addressed
+// store consulted first. A warm key returns the decoded stored value
+// without touching the pool; a cold key runs compute under a pool slot
+// inside the store's single-flight (so N concurrent requests for one
+// cold key run one simulation) and stores the encoded bytes.
+//
+// Lock ordering matters here: the flight is acquired BEFORE the pool
+// slot, never the reverse. A leaf that held a slot while waiting on a
+// flight could fill every slot with waiters and starve the one compute
+// that would release them.
+//
+// st == nil or cacheable == false degrades to a plain pooled run, so
+// callers thread one code path whether or not a cache is configured.
+func RunCached[T any](p *Pool, st *cache.Store, key cache.Key, cacheable bool,
+	encode func(T) []byte,
+	decode func([]byte) (T, error),
+	compute func() (T, error),
+) (T, error) {
+	if st == nil || !cacheable {
+		return Do(p, compute)
+	}
+	payload, _, err := st.GetOrCompute(key, func() ([]byte, error) {
+		v, err := Do(p, compute)
+		if err != nil {
+			return nil, err
+		}
+		return encode(v), nil
+	})
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	if v, err := decode(payload); err == nil {
+		return v, nil
+	}
+	// The entry's checksum passed but the payload does not decode: a
+	// stale layout stored under an unbumped schema version. Never serve
+	// it — recompute and overwrite so the store self-heals.
+	v, err := Do(p, compute)
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	st.Put(key, encode(v))
+	return v, nil
+}

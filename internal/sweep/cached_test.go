@@ -1,0 +1,142 @@
+package sweep
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"highradix/internal/cache"
+)
+
+func encInt(v int64) []byte {
+	return binary.BigEndian.AppendUint64(nil, uint64(v))
+}
+
+func decInt(b []byte) (int64, error) {
+	if len(b) != 8 {
+		return 0, errors.New("bad payload")
+	}
+	return int64(binary.BigEndian.Uint64(b)), nil
+}
+
+func TestRunCachedHitSkipsCompute(t *testing.T) {
+	st, err := cache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(2)
+	key := cache.NewKey("test/v1").Key()
+	var computes atomic.Int64
+	compute := func() (int64, error) {
+		computes.Add(1)
+		return 42, nil
+	}
+	for i := 0; i < 3; i++ {
+		v, err := RunCached(p, st, key, true, encInt, decInt, compute)
+		if err != nil || v != 42 {
+			t.Fatalf("run %d: %d, %v", i, v, err)
+		}
+	}
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("%d computes, want 1 (warm runs must hit the store)", got)
+	}
+	// Uncacheable and storeless runs always compute.
+	if _, err := RunCached(p, st, key, false, encInt, decInt, compute); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunCached[int64](p, nil, key, true, encInt, decInt, compute); err != nil {
+		t.Fatal(err)
+	}
+	if got := computes.Load(); got != 3 {
+		t.Fatalf("%d computes, want 3", got)
+	}
+}
+
+// TestRunCachedSingleFlight pins the dedup contract under the pool: N
+// concurrent requests for one cold key run exactly one simulation and
+// all receive its value.
+func TestRunCachedSingleFlight(t *testing.T) {
+	st, err := cache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(4)
+	key := cache.NewKey("test/v1").Key()
+	var computes atomic.Int64
+	const goroutines = 16
+	var wg sync.WaitGroup
+	vals := make([]int64, goroutines)
+	errs := make([]error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			vals[g], errs[g] = RunCached(p, st, key, true, encInt, decInt, func() (int64, error) {
+				computes.Add(1)
+				return 7, nil
+			})
+		}(g)
+	}
+	wg.Wait()
+	for g := 0; g < goroutines; g++ {
+		if errs[g] != nil || vals[g] != 7 {
+			t.Fatalf("goroutine %d: %d, %v", g, vals[g], errs[g])
+		}
+	}
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("%d computes for one cold key, want 1", got)
+	}
+}
+
+// TestRunCachedSelfHeals: a checksum-valid entry whose payload no
+// longer decodes (stale layout under an unbumped schema) is never
+// served — it is recomputed and overwritten.
+func TestRunCachedSelfHeals(t *testing.T) {
+	st, err := cache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(1)
+	key := cache.NewKey("test/v1").Key()
+	if err := st.Put(key, []byte("not eight bytes")); err != nil {
+		t.Fatal(err)
+	}
+	var computes atomic.Int64
+	compute := func() (int64, error) {
+		computes.Add(1)
+		return 9, nil
+	}
+	if v, err := RunCached(p, st, key, true, encInt, decInt, compute); err != nil || v != 9 {
+		t.Fatalf("self-heal run: %d, %v", v, err)
+	}
+	if computes.Load() != 1 {
+		t.Fatalf("stale entry served without recompute")
+	}
+	// The overwrite stuck: a second run hits the healed entry.
+	if v, err := RunCached(p, st, key, true, encInt, decInt, compute); err != nil || v != 9 {
+		t.Fatalf("post-heal run: %d, %v", v, err)
+	}
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("%d computes, want 1 after self-heal", got)
+	}
+}
+
+func TestRunCachedErrorPropagates(t *testing.T) {
+	st, err := cache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(1)
+	key := cache.NewKey("test/v1").Key()
+	boom := fmt.Errorf("boom")
+	if _, err := RunCached(p, st, key, true, encInt, decInt, func() (int64, error) { return 0, boom }); !errors.Is(err, boom) {
+		t.Fatalf("error = %v, want boom", err)
+	}
+	// A failed compute must not poison the key.
+	if v, err := RunCached(p, st, key, true, encInt, decInt, func() (int64, error) { return 5, nil }); err != nil || v != 5 {
+		t.Fatalf("retry after error: %d, %v", v, err)
+	}
+}

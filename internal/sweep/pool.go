@@ -121,26 +121,116 @@ type Point struct {
 // Curve sweeps run over xs and returns the series named name,
 // truncated after the first saturated point — the exact contract of
 // the serial testbench.Sweep / network.Sweep loops, which stop where
-// the paper's curves end. Points are submitted to the pool in waves of
-// the pool size so that work past an already-saturated point is
-// bounded by one wave instead of the whole load list; with a pool of
-// one this degenerates to the serial early-stopping loop.
+// the paper's curves end.
+//
+// Points launch strictly in index order through a sliding window of
+// min(pool size, GOMAXPROCS) past the lowest incomplete index:
+// launching more points of one curve than there are CPUs cannot finish
+// the curve sooner, it only time-slices the point that decides whether
+// the rest are needed. The launcher stops at the first index known to
+// be saturated (or failed), and a point that was already launched
+// rechecks that bound after acquiring its pool slot. Because no index
+// launches until everything more than a window behind it has
+// completed, at most lookahead-1 points past the saturation index can
+// ever run — on one CPU the window is one point wide and the loop is
+// exactly the serial early-stopping sweep, which is what restores
+// serial wall-clock for saturating curves at any -j.
+//
+// Output is deterministic because it depends only on results at
+// indices up to the first saturated index, all of which are always
+// computed: points are added in index order and the curve truncates at
+// the first saturated point. If a point at or below that index fails,
+// the lowest-index error is returned — the one the serial loop would
+// have hit first.
+//
+// run executes on a plain goroutine WITHOUT holding a worker slot; it
+// must bound its own simulation concurrency by going through Do or
+// RunCached on the shared pool. That split is what lets a cached point
+// answer without consuming a slot, and is required for lock ordering:
+// a run that held a slot while waiting on a cache single-flight could
+// fill every slot with waiters and starve the flight's one compute.
+// The pool parameter sizes the lookahead window only.
 func Curve(p *Pool, name string, xs []float64, run func(x float64) (Point, error)) (*stats.Series, error) {
 	s := &stats.Series{Name: name}
-	for start := 0; start < len(xs); start += p.workers {
-		end := start + p.workers
-		if end > len(xs) {
-			end = len(xs)
+	n := len(xs)
+	if n == 0 {
+		return s, nil
+	}
+	lookahead := p.workers
+	if mp := runtime.GOMAXPROCS(0); mp < lookahead {
+		lookahead = mp
+	}
+
+	type outcome struct {
+		pt   Point
+		err  error
+		done bool
+	}
+	results := make([]outcome, n)
+	finished := make([]bool, n)
+	var (
+		mu       sync.Mutex
+		cond     = sync.NewCond(&mu)
+		bound    = n // lowest index known saturated or failed
+		frontier = 0 // lowest index not yet finished
+		inflight = 0
+		next     = 0
+	)
+	mu.Lock()
+	for {
+		for next < n && next <= bound && next >= frontier+lookahead {
+			cond.Wait()
 		}
-		pts, err := Map(p, xs[start:end], run)
-		if err != nil {
-			return nil, err
+		if next >= n || next > bound {
+			break
 		}
-		for i, pt := range pts {
-			s.Add(xs[start+i], pt.Y, pt.Saturated)
-			if pt.Saturated {
-				return s, nil
+		i := next
+		next++
+		inflight++
+		mu.Unlock()
+		go func(i int) {
+			// The bound may have dropped below i between the launch
+			// decision and this goroutine getting scheduled; skip the
+			// run rather than simulate a point past the curve's end.
+			mu.Lock()
+			skip := i > bound
+			mu.Unlock()
+			var o outcome
+			if !skip {
+				o.pt, o.err = run(xs[i])
+				o.done = true
 			}
+			mu.Lock()
+			results[i] = o
+			finished[i] = true
+			for frontier < n && finished[frontier] {
+				frontier++
+			}
+			if o.done && (o.err != nil || o.pt.Saturated) && i < bound {
+				bound = i
+			}
+			inflight--
+			cond.Broadcast()
+			mu.Unlock()
+		}(i)
+		mu.Lock()
+	}
+	for inflight > 0 {
+		cond.Wait()
+	}
+	mu.Unlock()
+
+	for i := 0; i < n; i++ {
+		r := results[i]
+		if !r.done {
+			break
+		}
+		if r.err != nil {
+			return nil, r.err
+		}
+		s.Add(xs[i], r.pt.Y, r.pt.Saturated)
+		if r.pt.Saturated {
+			return s, nil
 		}
 	}
 	return s, nil

@@ -4,9 +4,11 @@ import (
 	"errors"
 	"fmt"
 	"reflect"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestMapPreservesOrder(t *testing.T) {
@@ -141,30 +143,74 @@ func TestCurveMatchesSerial(t *testing.T) {
 	}
 }
 
-// TestCurveBoundsWaste verifies wave scheduling: once a wave contains a
-// saturated point, no later wave runs.
+// TestCurveBoundsWaste verifies the sliding-window launcher: once a
+// point saturates, at most lookahead-1 points past it ever run,
+// regardless of pool size — the fix for parallel curve sweeps costing
+// more wall-clock than serial ones once scheduling interleaves work
+// past saturation.
 func TestCurveBoundsWaste(t *testing.T) {
 	const workers = 4
 	p := New(workers)
+	lookahead := min(workers, runtime.GOMAXPROCS(0))
 	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}
+	const satIndex = 1 // x = 2 saturates
 	var mu sync.Mutex
 	ran := map[float64]bool{}
 	_, err := Curve(p, "w", xs, func(x float64) (Point, error) {
 		mu.Lock()
 		ran[x] = true
 		mu.Unlock()
-		return Point{Y: x, Saturated: x >= 2}, nil // saturates in the first wave
+		return Point{Y: x, Saturated: x >= xs[satIndex]}, nil
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(ran) != workers {
-		t.Fatalf("%d points ran, want exactly the first wave of %d", len(ran), workers)
-	}
-	for _, x := range xs[workers:] {
-		if ran[x] {
-			t.Fatalf("point %v ran after saturation wave", x)
+	for _, x := range xs[:satIndex+1] {
+		if !ran[x] {
+			t.Fatalf("required point %v never ran", x)
 		}
+	}
+	if max := satIndex + lookahead; len(ran) > max {
+		t.Fatalf("%d points ran, want at most %d (saturation index %d + lookahead %d overshoot)",
+			len(ran), max, satIndex, lookahead)
+	}
+	for _, x := range xs[satIndex+lookahead:] {
+		if ran[x] {
+			t.Fatalf("point %v ran outside the lookahead window past saturation", x)
+		}
+	}
+}
+
+// TestCurveSlowSaturationNoChurn is the timing-adversarial case: the
+// saturating point is slow and every later point is fast. A launcher
+// gated only on in-flight count would churn through the whole tail
+// while the slow point runs; the sliding window must still cap
+// overshoot at lookahead-1 points.
+func TestCurveSlowSaturationNoChurn(t *testing.T) {
+	const workers = 8
+	p := New(workers)
+	lookahead := min(workers, runtime.GOMAXPROCS(0))
+	xs := make([]float64, 64)
+	for i := range xs {
+		xs[i] = float64(i + 1)
+	}
+	const satIndex = 2
+	var ranCount atomic.Int64
+	_, err := Curve(p, "slow", xs, func(x float64) (Point, error) {
+		ranCount.Add(1)
+		if int(x) == satIndex+1 {
+			// The saturating point is the slow one; every later point
+			// is instantaneous and would churn if the launcher let it.
+			time.Sleep(30 * time.Millisecond)
+			return Point{Y: x, Saturated: true}, nil
+		}
+		return Point{Y: x, Saturated: false}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if max := int64(satIndex + lookahead); ranCount.Load() > max {
+		t.Fatalf("%d points ran, want at most %d: launcher churned past a slow saturating point", ranCount.Load(), max)
 	}
 }
 

@@ -1,0 +1,105 @@
+package testbench
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"highradix/internal/cache"
+	"highradix/internal/traffic"
+)
+
+// resultSchema versions the CacheKey canonical form and the
+// EncodeResult payload layout together: a change to either — a new
+// Options field that affects results, a Result field, or any
+// simulation-semantics change that alters outputs for unchanged
+// options — must bump it, which invalidates every previously stored
+// single-router point at once.
+const resultSchema = "tbrun/v1"
+
+// CacheKey returns the content address of this run's Result, or
+// ok=false when the run cannot be cached:
+//
+//   - trace replays (the trace itself would need canonicalizing);
+//   - runs with an Observer or an OnMeasureStart hook (callbacks fire
+//     during simulation; serving from cache would silently skip them);
+//   - custom traffic patterns outside traffic.Canonical's set.
+//
+// Defaults are applied before keying, so sparse and spelled-out
+// defaulted options share an entry. NoFastForward is deliberately
+// excluded: fast-forward is byte-identical by contract (the twin and
+// fuzz equivalence suites), so both stepping modes share one entry —
+// the cache leans on exactly the determinism the repository already
+// enforces. Everything else that can steer a result byte — router
+// config, pattern, burstiness, load, packet length, phase lengths,
+// saturation threshold, seed, checker arming, injection mode — is a
+// key field.
+func (o Options) CacheKey() (key cache.Key, ok bool) {
+	o = o.withDefaults()
+	if o.Trace != nil || o.OnMeasureStart != nil || o.Router.Observer != nil {
+		return "", false
+	}
+	pat, ok := traffic.Canonical(o.Pattern)
+	if !ok {
+		return "", false
+	}
+	b := cache.NewKey(resultSchema)
+	b.Field("router", o.Router.Canonical())
+	b.Field("pattern", pat)
+	b.Fieldf("bursty", "%t/%g", o.Bursty, o.BurstLen)
+	b.Fieldf("load", "%g", o.Load)
+	b.Fieldf("pktlen", "%d", o.PktLen)
+	b.Fieldf("warmup", "%d", o.WarmupCycles)
+	b.Fieldf("measure", "%d", o.MeasureCycles)
+	b.Fieldf("drain", "%d", o.DrainCycles)
+	b.Fieldf("satlatency", "%g", o.SatLatency)
+	b.Fieldf("seed", "%d", o.Seed)
+	b.Fieldf("check", "%t", o.Check)
+	b.Fieldf("inj", "%s", o.Injection)
+	return b.Key(), true
+}
+
+// encodedResultLen is the fixed EncodeResult payload size: a version
+// byte plus nine 8-byte fields.
+const encodedResultLen = 1 + 9*8
+
+// EncodeResult renders a Result as stable bytes for the content-
+// addressed store: fixed field order, IEEE-754 bit patterns for floats,
+// big-endian two's complement for counters. The encoding is exact — a
+// decoded Result is ==-identical to the encoded one — which is what
+// makes cached and recomputed figure tables byte-identical.
+func EncodeResult(r Result) []byte {
+	b := make([]byte, 0, encodedResultLen)
+	b = append(b, 1) // layout version
+	for _, f := range [...]float64{r.Load, r.AvgLatency, r.P50, r.P99, r.Throughput, r.RelErr99} {
+		b = binary.BigEndian.AppendUint64(b, math.Float64bits(f))
+	}
+	b = binary.BigEndian.AppendUint64(b, uint64(r.Packets))
+	b = binary.BigEndian.AppendUint64(b, uint64(r.Cycles))
+	var sat uint64
+	if r.Saturated {
+		sat = 1
+	}
+	b = binary.BigEndian.AppendUint64(b, sat)
+	return b
+}
+
+// DecodeResult inverts EncodeResult. An unexpected length or layout
+// version is an error; callers treat it as a cache miss and recompute.
+func DecodeResult(b []byte) (Result, error) {
+	if len(b) != encodedResultLen || b[0] != 1 {
+		return Result{}, fmt.Errorf("testbench: bad encoded result (%d bytes)", len(b))
+	}
+	u := func(i int) uint64 { return binary.BigEndian.Uint64(b[1+8*i:]) }
+	return Result{
+		Load:       math.Float64frombits(u(0)),
+		AvgLatency: math.Float64frombits(u(1)),
+		P50:        math.Float64frombits(u(2)),
+		P99:        math.Float64frombits(u(3)),
+		Throughput: math.Float64frombits(u(4)),
+		RelErr99:   math.Float64frombits(u(5)),
+		Packets:    int64(u(6)),
+		Cycles:     int64(u(7)),
+		Saturated:  u(8) != 0,
+	}, nil
+}

@@ -1,0 +1,38 @@
+package traffic
+
+import "fmt"
+
+// Canonical returns the canonical description of a pattern for result
+// caching (internal/cache), and whether the pattern is one the
+// repository can canonicalize. The built-in patterns are all flat
+// parameter structs, so name plus printed parameters pins the exact
+// destination function; an unknown implementation returns ok=false and
+// the run is simply not cached (a custom Dest could consult anything,
+// so no generic encoding of it can be sound). A nil pattern is the
+// drivers' default — uniform over the device's port or terminal count —
+// and canonicalizes to a distinct marker since the count is not known
+// here.
+func Canonical(p Pattern) (desc string, ok bool) {
+	switch pat := p.(type) {
+	case nil:
+		return "default-uniform", true
+	case *Uniform:
+		return fmt.Sprintf("uniform%+v", *pat), true
+	case *Diagonal:
+		return fmt.Sprintf("diagonal%+v", *pat), true
+	case *Hotspot:
+		return fmt.Sprintf("hotspot%+v", *pat), true
+	case *WorstCaseHierarchical:
+		return fmt.Sprintf("worstcase%+v", *pat), true
+	case *BitComplement:
+		return fmt.Sprintf("bitcomp%+v", *pat), true
+	case *BitReverse:
+		return fmt.Sprintf("bitrev%+v", *pat), true
+	case *Transpose:
+		return fmt.Sprintf("transpose%+v", *pat), true
+	case *Shuffle:
+		return fmt.Sprintf("shuffle%+v", *pat), true
+	default:
+		return "", false
+	}
+}
